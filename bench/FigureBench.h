@@ -1,0 +1,41 @@
+//===- bench/FigureBench.h - Shared figure-reproduction driver --*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for the per-figure benchmark binaries (Figures 5-8):
+/// measures one suite under baseline / dbds / dupalot and prints the
+/// per-benchmark rows plus the geometric-mean footer the paper reports
+/// under each figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_BENCH_FIGUREBENCH_H
+#define DBDS_BENCH_FIGUREBENCH_H
+
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+namespace dbds {
+
+/// Runs \p Suite and prints the paper-style report. Returns the rows for
+/// further aggregation.
+inline std::vector<BenchmarkMeasurement>
+runFigure(const char *FigureName, const SuiteSpec &Suite) {
+  printf("# %s — configurations: baseline (DBDS off), DBDS, dupalot "
+         "(no trade-off)\n",
+         FigureName);
+  printf("# peak: %% faster than baseline (higher is better)\n");
+  printf("# ct:   %% compile-time increase (lower is better)\n");
+  printf("# cs:   %% code-size increase (lower is better)\n");
+  std::vector<BenchmarkMeasurement> Rows = measureSuite(Suite);
+  printf("%s\n", formatSuiteReport(Suite.Name, Rows).c_str());
+  return Rows;
+}
+
+} // namespace dbds
+
+#endif // DBDS_BENCH_FIGUREBENCH_H

@@ -1,0 +1,122 @@
+//===- bench/bench_ablation_costmodel.cpp - §4.1/§5.3 cost model ----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiments E7 and E11 (DESIGN.md): the node cost model's micro-claims.
+//
+//   E7 (§4.1 / Figure 3): a division costs 32 model cycles, a shift 1;
+//       simulating the duplication of x / phi(.., 2) must therefore
+//       report CS = 31 on the constant predecessor.
+//
+//   E11 (Figure 4): a merge behind a 90%/10% split whose hot path folds a
+//       2-cycle multiply goes from 14.0 expected cycles to 12.2 in the
+//       paper's hand calculation; we reproduce the same accounting with
+//       our estimator and verify the post-duplication expected cycles
+//       drop accordingly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/CostModel.h"
+#include "dbds/DBDSPhase.h"
+#include "dbds/Simulator.h"
+#include "ir/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dbds;
+
+namespace {
+
+const char *Figure3Source = R"(
+func @f(int, int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %xr = param 2
+  %mask = const 1023
+  %x = and %xr, %mask
+  %c = cmp gt %a, %b
+  if %c, b1, b2 !0.5
+b1:
+  %one = const 1
+  %y = add %x, %one
+  jump b3
+b2:
+  %two = const 2
+  jump b3
+b3:
+  %phi = phi int [%y, b1], [%two, b2]
+  %div = div %x, %phi
+  ret %div
+}
+)";
+
+const char *Figure4Source = R"(
+func @f(int) {
+b0:
+  %p = param 0
+  %zero = const 0
+  %c = cmp gt %p, %zero
+  if %c, b1, b2 !0.9
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  %phi = phi int [%p, b1], [%zero, b2]
+  %three = const 3
+  %m = mul %phi, %three
+  ret %m
+}
+)";
+
+} // namespace
+
+int main() {
+  printf("# E7/E11: node cost model micro-claims\n\n");
+
+  // E7: CS = 32 - 1 = 31 for division -> shift.
+  {
+    ParseResult R = parseModule(Figure3Source);
+    if (!R) {
+      fprintf(stderr, "parse error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    Function *F = R.Mod->functions()[0];
+    auto Candidates = simulateDuplications(*F, R.Mod.get());
+    printf("E7 Figure 3: div=%u cycles, shr=%u cycles\n",
+           opcodeCycles(Opcode::Div), opcodeCycles(Opcode::Shr));
+    for (const auto &C : Candidates)
+      printf("  candidate merge=b%u pred=b%u: cycles saved = %.1f "
+             "(paper: 31)\n",
+             C.MergeId, C.PredId, C.CyclesSaved);
+  }
+
+  // E11: Figure 4 expected-cycle accounting.
+  {
+    ParseResult R = parseModule(Figure4Source);
+    if (!R) {
+      fprintf(stderr, "parse error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    Function *F = R.Mod->functions()[0];
+    double Before = expectedCycles(*F);
+    DBDSConfig Config;
+    Config.ClassTable = R.Mod.get();
+    Config.Verify = false;
+    runDBDS(*F, Config);
+    double After = expectedCycles(*F);
+    printf("\nE11 Figure 4: expected cycles %.2f -> %.2f "
+           "(paper's example: 14.0 -> 12.2; shape: the 10%%-path constant "
+           "fold removes its share of the multiply)\n",
+           Before, After);
+    if (After >= Before) {
+      fprintf(stderr, "expected cycles did not drop\n");
+      return 1;
+    }
+  }
+  return 0;
+}

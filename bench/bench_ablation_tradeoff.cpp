@@ -1,0 +1,126 @@
+//===- bench/bench_ablation_tradeoff.cpp - §5.4 constant sweeps -----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E9 (DESIGN.md): sensitivity of the §5.4 trade-off constants.
+// The paper derived BenefitScale = 256 empirically and fixed the code
+// size IncreaseBudget at 1.5. This ablation sweeps both and reports peak
+// performance and code size per setting on a mixed workload. Expected
+// shape: peak performance saturates as BS grows (all beneficial
+// duplications taken) while code size keeps climbing — the paper's
+// argument for a bounded scale; tightening IB trades peak for size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/DBDSPhase.h"
+#include "opts/Phase.h"
+#include "vm/Interpreter.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+namespace {
+
+struct SweepOutcome {
+  double PeakImprovement;
+  double CodeSizeIncrease;
+  unsigned Duplications;
+};
+
+SweepOutcome measure(double BenefitScale, double IncreaseBudget) {
+  GeneratorConfig GC;
+  GC.Seed = 0xE9;
+  GC.NumFunctions = 6;
+  SweepOutcome Out{0, 0, 0};
+
+  // Baseline cycles/size.
+  uint64_t BaseCycles = 0, BaseSize = 0;
+  {
+    GeneratedWorkload W = generateWorkload(GC);
+    auto Fs = W.Mod->functions();
+    for (unsigned FI = 0; FI != Fs.size(); ++FI) {
+      Interpreter Interp(*W.Mod);
+      Interp.enableCodeSizePenalty();
+      ProfileSummary P;
+      for (const auto &A : W.TrainInputs[FI]) {
+        Interp.reset();
+        Interp.run(*Fs[FI], ArrayRef<int64_t>(A), 1u << 24, &P);
+      }
+      applyProfile(*Fs[FI], P);
+      PhaseManager PM = PhaseManager::standardPipeline(false, W.Mod.get());
+      PM.run(*Fs[FI]);
+      BaseSize += Fs[FI]->estimatedCodeSize();
+      for (const auto &A : W.EvalInputs[FI]) {
+        Interp.reset();
+        BaseCycles +=
+            Interp.run(*Fs[FI], ArrayRef<int64_t>(A), 1u << 24).DynamicCycles;
+      }
+    }
+  }
+
+  GeneratedWorkload W = generateWorkload(GC);
+  auto Fs = W.Mod->functions();
+  uint64_t Cycles = 0, Size = 0;
+  for (unsigned FI = 0; FI != Fs.size(); ++FI) {
+    Interpreter Interp(*W.Mod);
+    Interp.enableCodeSizePenalty();
+    ProfileSummary P;
+    for (const auto &A : W.TrainInputs[FI]) {
+      Interp.reset();
+      Interp.run(*Fs[FI], ArrayRef<int64_t>(A), 1u << 24, &P);
+    }
+    applyProfile(*Fs[FI], P);
+    PhaseManager PM = PhaseManager::standardPipeline(false, W.Mod.get());
+    PM.run(*Fs[FI]);
+
+    DBDSConfig DC;
+    DC.ClassTable = W.Mod.get();
+    DC.Verify = false;
+    DC.BenefitScale = BenefitScale;
+    DC.IncreaseBudget = IncreaseBudget;
+    Out.Duplications += runDBDS(*Fs[FI], DC).DuplicationsPerformed;
+    Size += Fs[FI]->estimatedCodeSize();
+    for (const auto &A : W.EvalInputs[FI]) {
+      Interp.reset();
+      Cycles +=
+          Interp.run(*Fs[FI], ArrayRef<int64_t>(A), 1u << 24).DynamicCycles;
+    }
+  }
+  Out.PeakImprovement = (static_cast<double>(BaseCycles) /
+                             static_cast<double>(Cycles) -
+                         1.0) *
+                        100.0;
+  Out.CodeSizeIncrease = (static_cast<double>(Size) /
+                              static_cast<double>(BaseSize) -
+                          1.0) *
+                         100.0;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  printf("# E9: trade-off constant ablation (paper §5.4: BS = 256, "
+         "IB = 1.5)\n\n");
+
+  printf("BenefitScale sweep (IB fixed at 1.5):\n");
+  printf("%10s | %10s | %10s | %6s\n", "BS", "peak %", "size %", "dups");
+  for (double BS : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    SweepOutcome O = measure(BS, 1.5);
+    printf("%10.0f | %10.2f | %10.2f | %6u\n", BS, O.PeakImprovement,
+           O.CodeSizeIncrease, O.Duplications);
+  }
+
+  printf("\nIncreaseBudget sweep (BS fixed at 256):\n");
+  printf("%10s | %10s | %10s | %6s\n", "IB", "peak %", "size %", "dups");
+  for (double IB : {1.0, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+    SweepOutcome O = measure(256.0, IB);
+    printf("%10.2f | %10.2f | %10.2f | %6u\n", IB, O.PeakImprovement,
+           O.CodeSizeIncrease, O.Duplications);
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+//===- bench/bench_estimator_validation.cpp - §8 estimator validation -----===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's second §8 plan: "we plan to validate the presented IR
+// performance estimator ... experiments validating a correlation between
+// our benefit and cost estimations and the real performance and code size
+// of an application."
+//
+// This bench runs that experiment on this substrate: across many
+// generated compilation units it correlates
+//   (a) the static expected-cycles estimate (frequency-weighted node
+//       costs, Figure 4's arithmetic) against measured dynamic cycles,
+//   (b) the static per-candidate cycles-saved estimate against the real
+//       measured improvement of performing exactly that duplication.
+// Expected shape: strong positive correlation for (a); positive but
+// noisier correlation for (b) (the estimator ignores second-order
+// cleanups) — which is the paper's justification for using the estimator
+// as a ranking, not an absolute predictor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/CostModel.h"
+#include "dbds/DBDSPhase.h"
+#include "dbds/Duplicator.h"
+#include "dbds/Simulator.h"
+#include "opts/Phase.h"
+#include "vm/Interpreter.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace dbds;
+
+namespace {
+
+double pearson(const std::vector<double> &X, const std::vector<double> &Y) {
+  double MX = 0, MY = 0;
+  for (size_t I = 0; I != X.size(); ++I) {
+    MX += X[I];
+    MY += Y[I];
+  }
+  MX /= static_cast<double>(X.size());
+  MY /= static_cast<double>(Y.size());
+  double Cov = 0, VX = 0, VY = 0;
+  for (size_t I = 0; I != X.size(); ++I) {
+    Cov += (X[I] - MX) * (Y[I] - MY);
+    VX += (X[I] - MX) * (X[I] - MX);
+    VY += (Y[I] - MY) * (Y[I] - MY);
+  }
+  return Cov / std::sqrt(VX * VY);
+}
+
+} // namespace
+
+int main() {
+  printf("# §8: validating the static performance estimator\n\n");
+
+  // (a) Whole-unit expected cycles vs measured dynamic cycles.
+  std::vector<double> Estimated, Measured;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    GeneratorConfig GC;
+    GC.Seed = Seed * 977;
+    GC.NumFunctions = 1;
+    GC.SegmentsPerFunction = 3 + Seed % 6;
+    GC.ColdSegments = Seed % 8;
+    GeneratedWorkload W = generateWorkload(GC);
+    Function &F = *W.Mod->functions()[0];
+    Interpreter Interp(*W.Mod);
+    ProfileSummary P;
+    for (const auto &A : W.TrainInputs[0]) {
+      Interp.reset();
+      Interp.run(F, ArrayRef<int64_t>(A), 1u << 24, &P);
+    }
+    applyProfile(F, P);
+    Estimated.push_back(expectedCycles(F));
+    uint64_t Cycles = 0;
+    for (const auto &A : W.EvalInputs[0]) {
+      Interp.reset();
+      Cycles += Interp.run(F, ArrayRef<int64_t>(A), 1u << 24).DynamicCycles;
+    }
+    Measured.push_back(static_cast<double>(Cycles));
+  }
+  printf("(a) expected cycles vs measured cycles over %zu units: "
+         "Pearson r = %.3f (expect strongly positive)\n",
+         Estimated.size(), pearson(Estimated, Measured));
+
+  // (b) Per-candidate cycles-saved estimate vs realized improvement.
+  std::vector<double> PredictedSavings, RealizedSavings;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    GeneratorConfig GC;
+    GC.Seed = Seed * 7919;
+    GC.NumFunctions = 1;
+    GC.SegmentsPerFunction = 4;
+    GC.ColdSegments = 2;
+    GeneratedWorkload W = generateWorkload(GC);
+    Function &F = *W.Mod->functions()[0];
+    Interpreter Interp(*W.Mod);
+    ProfileSummary P;
+    for (const auto &A : W.TrainInputs[0]) {
+      Interp.reset();
+      Interp.run(F, ArrayRef<int64_t>(A), 1u << 24, &P);
+    }
+    applyProfile(F, P);
+    PhaseManager PM = PhaseManager::standardPipeline(false, W.Mod.get());
+    PM.run(F);
+
+    auto Candidates = simulateDuplications(F, W.Mod.get());
+    if (Candidates.empty())
+      continue;
+    // Take the hottest candidate and perform exactly that duplication.
+    const DuplicationCandidate *Best = &Candidates[0];
+    for (const auto &C : Candidates)
+      if (C.benefit() > Best->benefit())
+        Best = &C;
+    Block *M = F.getBlockById(Best->MergeId);
+    Block *Pred = F.getBlockById(Best->PredId);
+    if (!M || !Pred || !canDuplicateInto(M, Pred))
+      continue;
+
+    uint64_t Before = 0, After = 0;
+    for (const auto &A : W.EvalInputs[0]) {
+      Interp.reset();
+      Before += Interp.run(F, ArrayRef<int64_t>(A), 1u << 24).DynamicCycles;
+    }
+    duplicateIntoPredecessor(F, M, Pred);
+    PM.run(F); // the follow-up action steps
+    for (const auto &A : W.EvalInputs[0]) {
+      Interp.reset();
+      After += Interp.run(F, ArrayRef<int64_t>(A), 1u << 24).DynamicCycles;
+    }
+    PredictedSavings.push_back(Best->benefit());
+    RealizedSavings.push_back(static_cast<double>(Before) -
+                              static_cast<double>(After));
+  }
+  printf("(b) candidate benefit estimate vs realized cycle savings over "
+         "%zu duplications: Pearson r = %.3f (expect positive)\n",
+         PredictedSavings.size(),
+         pearson(PredictedSavings, RealizedSavings));
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- bench/bench_ext_path_duplication.cpp - §8 extension evaluation -----===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's §8 future work, evaluated: "the current optimization tier
+// cannot duplicate over multiple merges along paths although the
+// simulation tier can simulate along paths. We want to conduct
+// experiments evaluating ... if we can increase peak performance even
+// further." This bench compares stock DBDS against DBDS with the
+// path-duplication extension on all four suites' workload generators.
+// Expected shape: a small additional peak improvement at a small
+// additional code-size cost — chained merges are rarer than single ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/DBDSPhase.h"
+#include "opts/Phase.h"
+#include "support/Statistics.h"
+#include "vm/Interpreter.h"
+#include "workloads/Suites.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+namespace {
+
+struct Outcome {
+  uint64_t Cycles = 0, Size = 0;
+  unsigned Dups = 0;
+};
+
+Outcome measure(const GeneratorConfig &GC, int Mode /*0 base 1 dbds 2 path*/) {
+  GeneratedWorkload W = generateWorkload(GC);
+  Outcome Out;
+  Interpreter Interp(*W.Mod);
+  Interp.enableCodeSizePenalty(192, 160, 1u << 20);
+  auto Fs = W.Mod->functions();
+  for (unsigned FI = 0; FI != Fs.size(); ++FI) {
+    Function &F = *Fs[FI];
+    ProfileSummary P;
+    for (const auto &A : W.TrainInputs[FI]) {
+      Interp.reset();
+      Interp.run(F, ArrayRef<int64_t>(A), 1u << 24, &P);
+    }
+    applyProfile(F, P);
+    PhaseManager PM = PhaseManager::standardPipeline(false, W.Mod.get());
+    PM.run(F);
+    if (Mode != 0) {
+      DBDSConfig DC;
+      DC.ClassTable = W.Mod.get();
+      DC.Verify = false;
+      DC.EnablePathDuplication = Mode == 2;
+      Out.Dups += runDBDS(F, DC).DuplicationsPerformed;
+    }
+    Out.Size += F.estimatedCodeSize();
+    for (const auto &A : W.EvalInputs[FI]) {
+      Interp.reset();
+      Out.Cycles += Interp.run(F, ArrayRef<int64_t>(A), 1u << 24).DynamicCycles;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  printf("# §8 extension: path duplication over two merges\n");
+  printf("# (peak/code size %% vs baseline; 'dups' = duplications "
+         "performed)\n\n");
+  printf("%-14s | %19s | %25s\n", "suite", "DBDS peak cs dups",
+         "DBDS+paths peak cs dups");
+
+  std::vector<double> StockPeak, PathPeak;
+  for (const SuiteSpec &Suite : allSuites()) {
+    // One representative benchmark per suite keeps the bench fast.
+    for (unsigned BI : {0u, 4u}) {
+      if (BI >= Suite.Benchmarks.size())
+        continue;
+      const BenchmarkSpec &Spec = Suite.Benchmarks[BI];
+      Outcome Base = measure(Spec.Config, 0);
+      Outcome Stock = measure(Spec.Config, 1);
+      Outcome Path = measure(Spec.Config, 2);
+      auto Pct = [](uint64_t Num, uint64_t Den) {
+        return (static_cast<double>(Den) / static_cast<double>(Num) - 1.0) *
+               100.0;
+      };
+      double SP = Pct(Stock.Cycles, Base.Cycles);
+      double PP = Pct(Path.Cycles, Base.Cycles);
+      printf("%-14s | %6.2f %5.2f %4u | %6.2f %5.2f %4u\n",
+             (Suite.Name + "/" + Spec.Name).c_str(), SP,
+             Pct(Base.Size, Stock.Size), Stock.Dups, PP,
+             Pct(Base.Size, Path.Size), Path.Dups);
+      StockPeak.push_back(1.0 + SP / 100.0);
+      PathPeak.push_back(1.0 + PP / 100.0);
+    }
+  }
+  printf("\ngeomean peak: DBDS %+.2f%%, DBDS+paths %+.2f%%\n",
+         (geometricMean(ArrayRef<double>(StockPeak)) - 1.0) * 100.0,
+         (geometricMean(ArrayRef<double>(PathPeak)) - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,19 @@
+//===- bench/bench_fig5_java_dacapo.cpp - Figure 5 reproduction -----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E1 (DESIGN.md): Figure 5 — Java DaCapo under baseline / DBDS
+// / dupalot. Paper geomeans: DBDS +0.99% peak / +24.92% ct / +15.90% cs;
+// dupalot -0.14% / +50.08% / +38.22%. Expected shape: the smallest peak
+// gains of the four suites; dupalot clearly worse on ct and cs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+int main() {
+  dbds::runFigure("Figure 5: Java DaCapo", dbds::javaDaCapoSuite());
+  return 0;
+}

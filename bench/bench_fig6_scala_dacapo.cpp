@@ -1,0 +1,19 @@
+//===- bench/bench_fig6_scala_dacapo.cpp - Figure 6 reproduction ----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E2 (DESIGN.md): Figure 6 — Scala DaCapo. Paper geomeans:
+// DBDS +3.15% peak / +11.32% ct / +6.88% cs; dupalot +2.07% / +28.40% /
+// +26.27%. Expected shape: mid-size peak gains (boxing/escape traffic),
+// dupalot trailing DBDS on peak at 2-4x the code size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+int main() {
+  dbds::runFigure("Figure 6: Scala DaCapo", dbds::scalaDaCapoSuite());
+  return 0;
+}

@@ -1,0 +1,21 @@
+//===- bench/bench_fig7_micro.cpp - Figure 7 reproduction ------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E3 (DESIGN.md): Figure 7 — the Java/Scala micro benchmarks
+// (streams/lambdas). Paper geomeans: DBDS +8.07% peak / +15.38% ct /
+// +11.53% cs; dupalot +8.57% / +26.41% / +25.78%. Expected shape: the
+// largest peak gains of all suites (escape analysis + redundant checks,
+// §6.2), with individual benchmarks up to ~40%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+int main() {
+  dbds::runFigure("Figure 7: Java/Scala micro benchmarks",
+                  dbds::microSuite());
+  return 0;
+}

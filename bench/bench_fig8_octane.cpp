@@ -1,0 +1,31 @@
+//===- bench/bench_fig8_octane.cpp - Figure 8 reproduction -----------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E4 (DESIGN.md): Figure 8 — JavaScript Octane on a Graal
+// JS-like profile (partial-evaluator output: condition chains, allocation
+// outliers). Paper geomeans: DBDS +8.81% peak / +22.48% ct / +7.31% cs;
+// dupalot +6.66% / +42.63% / +25.58%. Expected shape: strong peak gains;
+// E10: at least one benchmark (raytrace-like) where dupalot trails DBDS
+// noticeably.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+int main() {
+  auto Rows = dbds::runFigure("Figure 8: JavaScript Octane",
+                              dbds::octaneSuite());
+  // E10 check: print the dupalot-vs-DBDS peak gap for raytrace.
+  for (const auto &M : Rows) {
+    if (M.Name != "raytrace")
+      continue;
+    printf("raytrace dupalot-vs-DBDS peak gap: %.2f%% (paper: dupalot 15%% "
+           "slower than baseline on this benchmark)\n",
+           M.peakImprovementPercent(M.DupALot) -
+               M.peakImprovementPercent(M.DBDS));
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- examples/escape_analysis.cpp - Listing 3 -> Listing 4 --------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Listing 3: an allocation escapes only through a phi —
+//
+//   int foo(A a) {
+//     A p = (a == null) ? new A(0) : a;
+//     return p.x;
+//   }
+//
+// Duplicating the merge into the allocating predecessor removes the phi
+// escape; read elimination forwards the constructor store into the load,
+// and allocation sinking (scalar replacement) deletes the now-unused
+// `new A` — Listing 4. The example asserts that no allocation remains.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/DBDSPhase.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "vm/Interpreter.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+static const char *Listing3 = R"(
+class A 1
+
+func @foo(obj, int) {
+b0:
+  %a = param 0
+  %x = param 1
+  %null = const null
+  %c = cmp eq %a, %null
+  if %c, b1, b2 !0.5
+b1:
+  %new = new 0
+  store %new, 0, %x
+  jump b3
+b2:
+  jump b3
+b3:
+  %p = phi obj [%new, b1], [%a, b2]
+  %f = load %p, 0
+  ret %f
+}
+)";
+
+int main() {
+  ParseResult R = parseModule(Listing3);
+  if (!R) {
+    fprintf(stderr, "parse error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  Function *F = R.Mod->functions()[0];
+  printf("== Listing 3 (allocation escapes through the phi) ==\n%s\n",
+         printFunction(F).c_str());
+
+  DBDSConfig Config;
+  Config.ClassTable = R.Mod.get();
+  runDBDS(*F, Config);
+  printf("== Listing 4 (allocation scalar-replaced) ==\n%s\n",
+         printFunction(F).c_str());
+
+  unsigned Allocations = 0;
+  for (Block *B : F->blocks())
+    for (Instruction *I : *B)
+      Allocations += I->getOpcode() == Opcode::New ? 1 : 0;
+  printf("allocations remaining: %u (expect 0)\n\n", Allocations);
+
+  Interpreter Interp(*R.Mod);
+  RuntimeValue NullCase[2] = {RuntimeValue::null(), RuntimeValue::ofInt(42)};
+  printf("foo(null, 42) = %lld (expect 42: the scalar-replaced field)\n",
+         static_cast<long long>(
+             Interp.run(*F, ArrayRef<RuntimeValue>(NullCase, 2))
+                 .Result.Scalar));
+  RuntimeValue Obj = Interp.allocate(0);
+  Interp.writeField(Obj, 0, 99);
+  RuntimeValue ObjCase[2] = {Obj, RuntimeValue::ofInt(1)};
+  printf("foo(a, _)     = %lld (expect 99: a.x)\n",
+         static_cast<long long>(
+             Interp.run(*F, ArrayRef<RuntimeValue>(ObjCase, 2))
+                 .Result.Scalar));
+  return 0;
+}

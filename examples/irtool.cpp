@@ -1,0 +1,163 @@
+//===- examples/irtool.cpp - Textual IR optimizer driver -------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line driver over the textual IR format:
+//
+//   irtool <file.ir> [--config=baseline|dbds|dupalot] [--candidates]
+//          [--run f:arg1,arg2,...] [--dot]
+//
+// Parses the module, optionally prints the simulation tier's candidate
+// list, optimizes every function under the chosen configuration, prints
+// the result, and optionally interprets a function on given arguments.
+// `--config=baseline` runs only the standard cleanup pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DotExport.h"
+#include "dbds/DBDSPhase.h"
+#include "dbds/Simulator.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Phase.h"
+#include "vm/Interpreter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace dbds;
+
+namespace {
+
+std::string readFile(const char *Path) {
+  FILE *File = fopen(Path, "rb");
+  if (!File)
+    return "";
+  std::string Content;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Content.append(Buffer, Read);
+  fclose(File);
+  return Content;
+}
+
+int usage(const char *Prog) {
+  fprintf(stderr,
+          "usage: %s <file.ir> [--config=baseline|dbds|dupalot] "
+          "[--candidates] [--run func:arg1,arg2,...]\n",
+          Prog);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+
+  const char *Path = nullptr;
+  std::string ConfigName = "dbds";
+  bool ShowCandidates = false;
+  bool EmitDot = false;
+  std::string RunSpec;
+  for (int I = 1; I != Argc; ++I) {
+    if (strncmp(Argv[I], "--config=", 9) == 0)
+      ConfigName = Argv[I] + 9;
+    else if (strcmp(Argv[I], "--candidates") == 0)
+      ShowCandidates = true;
+    else if (strcmp(Argv[I], "--dot") == 0)
+      EmitDot = true;
+    else if (strncmp(Argv[I], "--run", 5) == 0 && I + 1 < Argc &&
+             Argv[I][5] == '\0')
+      RunSpec = Argv[++I];
+    else if (strncmp(Argv[I], "--run=", 6) == 0)
+      RunSpec = Argv[I] + 6;
+    else if (Argv[I][0] != '-')
+      Path = Argv[I];
+    else
+      return usage(Argv[0]);
+  }
+  if (!Path)
+    return usage(Argv[0]);
+
+  std::string Source = readFile(Path);
+  if (Source.empty()) {
+    fprintf(stderr, "error: cannot read '%s'\n", Path);
+    return 1;
+  }
+  ParseResult R = parseModule(Source);
+  if (!R) {
+    fprintf(stderr, "%s: parse error: %s\n", Path, R.Error.c_str());
+    return 1;
+  }
+
+  for (Function *F : R.Mod->functions()) {
+    if (ShowCandidates) {
+      SimulationStats Stats;
+      auto Candidates = simulateDuplications(*F, R.Mod.get(), &Stats);
+      printf("# @%s: %u pairs simulated, %zu beneficial\n",
+             F->getName().c_str(), Stats.PairsSimulated, Candidates.size());
+      for (const auto &C : Candidates)
+        printf("#   merge b%u <- pred b%u: benefit %.1f cycles, "
+               "probability %.3f, cost %lld\n",
+               C.MergeId, C.PredId, C.CyclesSaved, C.Probability,
+               static_cast<long long>(C.SizeCost));
+    }
+    PhaseManager PM = PhaseManager::standardPipeline(true, R.Mod.get());
+    PM.run(*F);
+    if (ConfigName != "baseline") {
+      DBDSConfig Config;
+      Config.ClassTable = R.Mod.get();
+      Config.UseTradeoff = ConfigName != "dupalot";
+      DBDSResult Result = runDBDS(*F, Config);
+      printf("# @%s: %u duplications (%s)\n", F->getName().c_str(),
+             Result.DuplicationsPerformed, ConfigName.c_str());
+    }
+  }
+  if (EmitDot) {
+    DotOptions Options;
+    Options.ShowDominatorTree = true;
+    for (Function *F : R.Mod->functions())
+      printf("%s", exportDot(*F, Options).c_str());
+  } else {
+    printf("%s", printModule(R.Mod.get()).c_str());
+  }
+
+  if (!RunSpec.empty()) {
+    size_t Colon = RunSpec.find(':');
+    std::string Name = RunSpec.substr(0, Colon);
+    Function *F = R.Mod->getFunction(Name);
+    if (!F) {
+      fprintf(stderr, "error: no function '@%s'\n", Name.c_str());
+      return 1;
+    }
+    std::vector<int64_t> Args;
+    if (Colon != std::string::npos) {
+      std::string Rest = RunSpec.substr(Colon + 1);
+      size_t Pos = 0;
+      while (Pos < Rest.size()) {
+        size_t Comma = Rest.find(',', Pos);
+        Args.push_back(atoll(Rest.substr(Pos, Comma - Pos).c_str()));
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    }
+    Interpreter Interp(*R.Mod);
+    ExecutionResult E = Interp.run(*F, ArrayRef<int64_t>(Args));
+    if (!E.Ok) {
+      fprintf(stderr, "error: execution did not terminate\n");
+      return 1;
+    }
+    printf("# @%s(...) = %lld  [%llu model cycles, %llu instructions]\n",
+           Name.c_str(), static_cast<long long>(E.Result.Scalar),
+           static_cast<unsigned long long>(E.DynamicCycles),
+           static_cast<unsigned long long>(E.Steps));
+  }
+  return 0;
+}

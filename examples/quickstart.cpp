@@ -1,0 +1,97 @@
+//===- examples/quickstart.cpp - Figure 1 end to end -----------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Figure 1 in five minutes: build
+//
+//   int foo(int x) {
+//     int phi;
+//     if (x > 0) phi = x; else phi = 0;
+//     return 2 + phi;
+//   }
+//
+// with the IRBuilder, run the DBDS optimization, and watch the constant
+// predecessor's `2 + phi` fold to `2` (Figure 1c). Demonstrates the core
+// public API: IRBuilder, Interpreter, simulateDuplications, runDBDS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/DBDSPhase.h"
+#include "dbds/Simulator.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "vm/Interpreter.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+int main() {
+  // -- Build Figure 1a ----------------------------------------------------
+  Module M;
+  Function *F = M.addFunction(std::make_unique<Function>("foo", 1));
+  IRBuilder B(*F);
+
+  Block *Entry = B.createBlock();
+  Block *Then = B.createBlock();
+  Block *Else = B.createBlock();
+  Block *Merge = B.createBlock();
+
+  B.setBlock(Entry);
+  Instruction *X = B.param(0);
+  Instruction *Cond = B.cmp(Predicate::GT, X, B.constInt(0));
+  B.branch(Cond, Then, Else, /*TrueProbability=*/0.5);
+
+  B.setBlock(Then);
+  B.jump(Merge);
+  B.setBlock(Else);
+  B.jump(Merge);
+
+  B.setBlock(Merge);
+  PhiInst *Phi = B.phi(Type::Int);
+  Phi->appendInput(X);            // from Then
+  Phi->appendInput(B.constInt(0)); // from Else
+  Instruction *Sum = B.add(B.constInt(2), Phi);
+  B.ret(Sum);
+
+  printf("== Figure 1a (initial program) ==\n%s\n",
+         printFunction(F).c_str());
+
+  // -- Simulation tier: what would duplication enable? ---------------------
+  SimulationStats Stats;
+  auto Candidates = simulateDuplications(*F, &M, &Stats);
+  printf("simulated %u predecessor->merge pairs, %zu beneficial:\n",
+         Stats.PairsSimulated, Candidates.size());
+  for (const auto &C : Candidates)
+    printf("  duplicate b%u into b%u: %.0f cycles saved, %lld size cost\n",
+           C.MergeId, C.PredId, C.CyclesSaved,
+           static_cast<long long>(C.SizeCost));
+
+  // -- Full three-tier DBDS run --------------------------------------------
+  Interpreter Interp(M);
+  uint64_t ColdCyclesBefore =
+      Interp.run(*F, ArrayRef<int64_t>({-3})).DynamicCycles;
+
+  DBDSConfig Config;
+  Config.ClassTable = &M;
+  DBDSResult R = runDBDS(*F, Config);
+  printf("\nDBDS performed %u duplication(s) in %u iteration(s)\n",
+         R.DuplicationsPerformed, R.IterationsRun);
+
+  printf("\n== After DBDS (Figure 1c: the x<=0 path returns 2 "
+         "directly) ==\n%s\n",
+         printFunction(F).c_str());
+
+  // -- Verify semantics and the speedup ------------------------------------
+  printf("foo(5)  = %lld (expect 7)\n",
+         static_cast<long long>(
+             Interp.run(*F, ArrayRef<int64_t>({5})).Result.Scalar));
+  ExecutionResult Cold = Interp.run(*F, ArrayRef<int64_t>({-3}));
+  printf("foo(-3) = %lld (expect 2), dynamic cycles %llu -> %llu\n",
+         static_cast<long long>(Cold.Result.Scalar),
+         static_cast<unsigned long long>(ColdCyclesBefore),
+         static_cast<unsigned long long>(Cold.DynamicCycles));
+  return 0;
+}

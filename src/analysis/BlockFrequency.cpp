@@ -1,0 +1,74 @@
+//===- analysis/BlockFrequency.cpp - Relative execution frequency ---------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BlockFrequency.h"
+
+using namespace dbds;
+
+BlockFrequency BlockFrequency::computeStatic(Function &F,
+                                             const DominatorTree &DT,
+                                             const LoopInfo &LI) {
+  BlockFrequency Result;
+  // Acyclic propagation in RPO (back-edge contributions skipped), then a
+  // loop-depth multiplier. A classic, deterministic static estimator.
+  for (Block *B : DT.rpo()) {
+    double In = 0.0;
+    if (B == F.getEntry()) {
+      In = 1.0;
+    } else {
+      for (Block *P : B->preds()) {
+        if (!DT.isReachable(P) || LoopInfo::isBackEdge(P, B, DT))
+          continue;
+        double EdgeProb = 1.0;
+        if (auto *If = dyn_cast<IfInst>(P->getTerminator())) {
+          EdgeProb = 0.0;
+          if (If->getTrueSucc() == B)
+            EdgeProb += If->getTrueProbability();
+          if (If->getFalseSucc() == B)
+            EdgeProb += 1.0 - If->getTrueProbability();
+        }
+        In += Result.Freq[P] * EdgeProb;
+      }
+      // A loop header's frequency is its entry frequency times the
+      // expected trip count. When the header itself holds the exit branch
+      // (rotated-entry loops, the common shape here), the profiled
+      // stay-probability p gives the expected 1/(1-p) iterations;
+      // otherwise fall back to the generic multiplier.
+      if (LI.isLoopHeader(B)) {
+        double Multiplier = LoopMultiplier;
+        if (auto *If = dyn_cast<IfInst>(B->getTerminator())) {
+          bool TrueStays = DT.isReachable(If->getTrueSucc()) &&
+                           LI.loopDepth(If->getTrueSucc()) >= LI.loopDepth(B);
+          bool FalseStays =
+              DT.isReachable(If->getFalseSucc()) &&
+              LI.loopDepth(If->getFalseSucc()) >= LI.loopDepth(B);
+          if (TrueStays != FalseStays) {
+            double Stay = TrueStays ? If->getTrueProbability()
+                                    : 1.0 - If->getTrueProbability();
+            if (Stay > 0.999)
+              Stay = 0.999;
+            Multiplier = 1.0 / (1.0 - Stay);
+          }
+        }
+        In *= Multiplier;
+      }
+    }
+    Result.Freq[B] = In;
+    Result.MaxFreq = In > Result.MaxFreq ? In : Result.MaxFreq;
+  }
+  return Result;
+}
+
+BlockFrequency BlockFrequency::fromProfile(
+    const std::unordered_map<Block *, uint64_t> &Counts) {
+  BlockFrequency Result;
+  for (const auto &[B, Count] : Counts) {
+    double C = static_cast<double>(Count);
+    Result.Freq[B] = C;
+    Result.MaxFreq = C > Result.MaxFreq ? C : Result.MaxFreq;
+  }
+  return Result;
+}

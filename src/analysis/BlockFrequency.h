@@ -1,0 +1,62 @@
+//===- analysis/BlockFrequency.h - Relative execution frequency -*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relative basic-block execution frequencies. The paper (§5.3/§5.4) scales
+/// each duplication candidate's benefit by the block's execution frequency
+/// relative to the compilation unit's maximum frequency; probabilities come
+/// from VM profiling. We support both a profile-driven construction (from
+/// the dbds::vm profiler's block counts) and a static estimate (branch
+/// probabilities plus a loop multiplier) for unprofiled code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_ANALYSIS_BLOCKFREQUENCY_H
+#define DBDS_ANALYSIS_BLOCKFREQUENCY_H
+
+#include "analysis/DominatorTree.h"
+#include "analysis/Loops.h"
+
+#include <unordered_map>
+
+namespace dbds {
+
+/// Per-block relative execution frequencies for one function.
+class BlockFrequency {
+public:
+  /// Static estimate from branch probabilities; loop bodies are weighted by
+  /// LoopMultiplier per nesting level.
+  static BlockFrequency computeStatic(Function &F, const DominatorTree &DT,
+                                      const LoopInfo &LI);
+
+  /// Exact relative frequencies from profiled execution counts.
+  static BlockFrequency
+  fromProfile(const std::unordered_map<Block *, uint64_t> &Counts);
+
+  /// Absolute frequency of \p B (entry-relative for static estimates,
+  /// execution count for profiles). Blocks never seen map to 0.
+  double frequency(Block *B) const {
+    auto It = Freq.find(B);
+    return It == Freq.end() ? 0.0 : It->second;
+  }
+
+  /// Frequency of \p B relative to the hottest block, in [0, 1]. This is
+  /// the probability term of the paper's shouldDuplicate heuristic.
+  double relativeFrequency(Block *B) const {
+    return MaxFreq > 0.0 ? frequency(B) / MaxFreq : 0.0;
+  }
+
+  /// Extra weight per loop nesting level in the static estimate.
+  static constexpr double LoopMultiplier = 10.0;
+
+private:
+  std::unordered_map<Block *, double> Freq;
+  double MaxFreq = 0.0;
+};
+
+} // namespace dbds
+
+#endif // DBDS_ANALYSIS_BLOCKFREQUENCY_H

@@ -1,0 +1,98 @@
+//===- analysis/DotExport.cpp - GraphViz CFG/dominator-tree export --------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DotExport.h"
+
+#include "analysis/DominatorTree.h"
+#include "ir/Block.h"
+#include "ir/Function.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+namespace {
+
+/// Escapes a string for use inside a dot label.
+std::string escapeLabel(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+    case '\\':
+    case '{':
+    case '}':
+    case '<':
+    case '>':
+    case '|':
+      Out += '\\';
+      Out += C;
+      break;
+    case '\n':
+      Out += "\\l"; // left-aligned line break
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string dbds::exportDot(Function &F, const DotOptions &Options) {
+  std::string Out = "digraph \"" + F.getName() + "\" {\n";
+  Out += "  node [shape=record, fontname=\"monospace\", fontsize=9];\n";
+
+  for (Block *B : F.blocks()) {
+    std::string Label = B->getName();
+    if (Options.ShowInstructions) {
+      Label += ":\\l";
+      for (const Instruction *I : *B)
+        Label += escapeLabel("  " + printInstruction(I)) + "\\l";
+    }
+    std::string Attrs = "label=\"" + Label + "\"";
+    if (Options.HighlightMerges && B->isMerge())
+      Attrs += ", style=filled, fillcolor=\"#fde9c8\"";
+    if (B == F.getEntry())
+      Attrs += ", penwidth=2";
+    Out += "  " + B->getName() + " [" + Attrs + "];\n";
+  }
+
+  for (Block *B : F.blocks()) {
+    Instruction *Term = B->getTerminator();
+    if (!Term)
+      continue;
+    if (auto *If = dyn_cast<IfInst>(Term)) {
+      char Buf[64];
+      snprintf(Buf, sizeof(Buf), "%.2f", If->getTrueProbability());
+      Out += "  " + B->getName() + " -> " + If->getTrueSucc()->getName() +
+             " [label=\"T " + Buf + "\"];\n";
+      snprintf(Buf, sizeof(Buf), "%.2f", 1.0 - If->getTrueProbability());
+      Out += "  " + B->getName() + " -> " + If->getFalseSucc()->getName() +
+             " [label=\"F " + Buf + "\"];\n";
+    } else if (auto *Jump = dyn_cast<JumpInst>(Term)) {
+      Out += "  " + B->getName() + " -> " + Jump->getTarget()->getName() +
+             ";\n";
+    }
+  }
+
+  if (Options.ShowDominatorTree) {
+    DominatorTree DT(F);
+    for (Block *B : F.blocks()) {
+      if (!DT.isReachable(B))
+        continue;
+      if (Block *Idom = DT.getIdom(B))
+        Out += "  " + Idom->getName() + " -> " + B->getName() +
+               " [style=dashed, color=gray, constraint=false];\n";
+    }
+  }
+
+  Out += "}\n";
+  return Out;
+}

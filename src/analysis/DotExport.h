@@ -1,0 +1,37 @@
+//===- analysis/DotExport.h - GraphViz CFG/dominator-tree export ------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a function's CFG (and optionally its dominator tree) as a
+/// GraphViz dot graph — this substrate's stand-in for Graal's IGV when
+/// debugging duplication decisions. Blocks are nodes with their
+/// instructions as record labels; control-flow edges are annotated with
+/// branch probabilities; dominator-tree edges can be overlaid dashed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_ANALYSIS_DOTEXPORT_H
+#define DBDS_ANALYSIS_DOTEXPORT_H
+
+#include <string>
+
+namespace dbds {
+
+class Function;
+
+/// Options for the dot rendering.
+struct DotOptions {
+  bool ShowInstructions = true;  ///< Full instruction listing per block.
+  bool ShowDominatorTree = false; ///< Overlay idom edges (dashed).
+  bool HighlightMerges = true;   ///< Fill merge blocks (duplication sites).
+};
+
+/// Renders \p F as a `digraph`.
+std::string exportDot(Function &F, const DotOptions &Options = {});
+
+} // namespace dbds
+
+#endif // DBDS_ANALYSIS_DOTEXPORT_H

@@ -1,0 +1,36 @@
+//===- analysis/Loops.cpp - Natural loop detection -------------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+using namespace dbds;
+
+LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
+  (void)F;
+  for (Block *B : DT.rpo()) {
+    for (Block *S : B->succs()) {
+      if (!isBackEdge(B, S, DT))
+        continue;
+      Headers.insert(S);
+      // Walk the natural loop body: everything reaching the latch B
+      // without passing through the header S.
+      std::vector<Block *> Worklist;
+      std::unordered_set<Block *> Body;
+      Body.insert(S);
+      if (Body.insert(B).second)
+        Worklist.push_back(B);
+      while (!Worklist.empty()) {
+        Block *W = Worklist.back();
+        Worklist.pop_back();
+        for (Block *P : W->preds())
+          if (DT.isReachable(P) && Body.insert(P).second)
+            Worklist.push_back(P);
+      }
+      for (Block *Member : Body)
+        ++Depth[Member];
+    }
+  }
+}

@@ -1,0 +1,51 @@
+//===- analysis/Loops.h - Natural loop detection ----------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Back-edge based natural loop detection. DBDS never duplicates a loop
+/// header (that would be loop peeling, which the paper defers to future
+/// work), and the static frequency estimator weights loop bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_ANALYSIS_LOOPS_H
+#define DBDS_ANALYSIS_LOOPS_H
+
+#include "analysis/DominatorTree.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dbds {
+
+/// Loop structure of one function (header set + per-block nesting depth).
+class LoopInfo {
+public:
+  LoopInfo(Function &F, const DominatorTree &DT);
+
+  /// True if \p B is the header of a natural loop.
+  bool isLoopHeader(Block *B) const { return Headers.count(B) != 0; }
+
+  /// Number of loops containing \p B (0 outside any loop).
+  unsigned loopDepth(Block *B) const {
+    auto It = Depth.find(B);
+    return It == Depth.end() ? 0 : It->second;
+  }
+
+  /// True if edge \p From -> \p To is a back edge (target dominates source).
+  static bool isBackEdge(Block *From, Block *To, const DominatorTree &DT) {
+    return DT.isReachable(From) && DT.isReachable(To) &&
+           DT.dominates(To, From);
+  }
+
+private:
+  std::unordered_set<Block *> Headers;
+  std::unordered_map<Block *, unsigned> Depth;
+};
+
+} // namespace dbds
+
+#endif // DBDS_ANALYSIS_LOOPS_H

@@ -1,0 +1,33 @@
+//===- analysis/Verifier.h - IR invariant checking --------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the structural and SSA invariants every phase must preserve:
+/// terminator placement, predecessor/successor symmetry, phi/predecessor
+/// alignment, leading-phi layout, def-dominates-use, use-list symmetry,
+/// and basic typing rules. All tests and phases verify after mutation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_ANALYSIS_VERIFIER_H
+#define DBDS_ANALYSIS_VERIFIER_H
+
+#include <string>
+
+namespace dbds {
+
+class Function;
+
+/// Verifies \p F. Returns an empty string when all invariants hold, or a
+/// diagnostic describing the first violation.
+std::string verifyFunction(Function &F);
+
+/// Convenience wrapper asserting success (used in tests and debug builds).
+bool isValid(Function &F);
+
+} // namespace dbds
+
+#endif // DBDS_ANALYSIS_VERIFIER_H

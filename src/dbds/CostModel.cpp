@@ -1,0 +1,27 @@
+//===- dbds/CostModel.cpp - Whole-unit cost estimation ---------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/CostModel.h"
+
+#include "analysis/BlockFrequency.h"
+
+using namespace dbds;
+
+double dbds::expectedCycles(Function &F) {
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  BlockFrequency Freq = BlockFrequency::computeStatic(F, DT, LI);
+  double Total = 0.0;
+  for (Block *B : F.blocks()) {
+    double BlockCycles = 0.0;
+    for (const Instruction *I : *B)
+      BlockCycles += I->estimatedCycles();
+    Total += Freq.frequency(B) * BlockCycles;
+  }
+  return Total;
+}
+
+uint64_t dbds::codeSize(const Function &F) { return F.estimatedCodeSize(); }

@@ -1,0 +1,32 @@
+//===- dbds/CostModel.h - Whole-unit cost estimation ------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-compilation-unit applications of the static node cost model
+/// (paper §5.3, Figure 4): expected run-time cycles (per-block cycles
+/// weighted by relative execution frequency) and total code size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_DBDS_COSTMODEL_H
+#define DBDS_DBDS_COSTMODEL_H
+
+#include "ir/Function.h"
+
+namespace dbds {
+
+/// Frequency-weighted cycle estimate of \p F, the quantity Figure 4
+/// computes by hand (14 cycles -> 12.2 cycles): sum over blocks of
+/// (static frequency x sum of instruction cycle estimates).
+double expectedCycles(Function &F);
+
+/// Static code size estimate (same as Function::estimatedCodeSize; here
+/// for symmetry with expectedCycles).
+uint64_t codeSize(const Function &F);
+
+} // namespace dbds
+
+#endif // DBDS_DBDS_COSTMODEL_H

@@ -1,0 +1,209 @@
+//===- dbds/DBDSPhase.cpp - The three-tier DBDS driver ---------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/DBDSPhase.h"
+
+#include "analysis/Loops.h"
+#include "analysis/Verifier.h"
+#include "dbds/CostModel.h"
+#include "dbds/Duplicator.h"
+#include "dbds/Simulator.h"
+#include "opts/Phase.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dbds;
+
+namespace {
+
+void verifyOrDie(Function &F, const char *When) {
+  std::string Error = verifyFunction(F);
+  if (!Error.empty()) {
+    fprintf(stderr, "verifier failed %s on @%s: %s\n", When,
+            F.getName().c_str(), Error.c_str());
+    abort();
+  }
+}
+
+/// Revalidates a candidate against the current CFG (earlier duplications
+/// in the same iteration may have restructured it).
+bool candidateStillValid(Function &F, const DuplicationCandidate &C,
+                         Block *&M, Block *&P) {
+  M = F.getBlockById(C.MergeId);
+  P = F.getBlockById(C.PredId);
+  if (!M || !P || !canDuplicateInto(M, P))
+    return false;
+  DominatorTree DT(F);
+  if (!DT.isReachable(M) || !DT.isReachable(P))
+    return false;
+  LoopInfo LI(F, DT);
+  return !LI.isLoopHeader(M);
+}
+
+} // namespace
+
+DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
+  DBDSResult Result;
+  uint64_t InitialSize = F.estimatedCodeSize();
+  PhaseManager Cleanup =
+      PhaseManager::standardPipeline(Config.Verify, Config.ClassTable);
+
+  // §5.2: "subsequent iterations of DBDS will consider new merges first
+  // and only expand to already visited ones if there is sufficient budget
+  // left" — merges seen in earlier iterations rank behind fresh ones.
+  std::unordered_set<unsigned> VisitedMerges;
+
+  for (unsigned Iter = 0; Iter != Config.MaxIterations; ++Iter) {
+    ++Result.IterationsRun;
+
+    // Tier 1: simulation (with path continuation when the §8 extension is
+    // enabled).
+    std::vector<DuplicationCandidate> Candidates = simulateDuplications(
+        F, Config.ClassTable, /*Stats=*/nullptr,
+        /*MaxPathLength=*/Config.EnablePathDuplication ? 2 : 1);
+    Result.CandidatesSimulated += Candidates.size();
+
+    // Tier 2: trade-off — most promising candidates first (§3.2: sorted by
+    // benefit and cost, to optimize the best ones while budget remains);
+    // after the first iteration, new merges rank before revisited ones.
+    std::sort(Candidates.begin(), Candidates.end(),
+              [&VisitedMerges](const DuplicationCandidate &A,
+                               const DuplicationCandidate &B) {
+                bool ASeen = VisitedMerges.count(A.MergeId) != 0;
+                bool BSeen = VisitedMerges.count(B.MergeId) != 0;
+                if (ASeen != BSeen)
+                  return !ASeen; // fresh merges first
+                if (A.benefit() != B.benefit())
+                  return A.benefit() > B.benefit();
+                if (A.SizeCost != B.SizeCost)
+                  return A.SizeCost < B.SizeCost;
+                return A.MergeId < B.MergeId; // deterministic tie-break
+              });
+    for (const DuplicationCandidate &C : Candidates)
+      VisitedMerges.insert(C.MergeId);
+
+    // Tier 3: optimization.
+    double IterationBenefit = 0.0;
+    bool Changed = false;
+    for (const DuplicationCandidate &C : Candidates) {
+      Block *M = nullptr, *P = nullptr;
+      if (!candidateStillValid(F, C, M, P))
+        continue;
+      uint64_t CurrentSize = F.estimatedCodeSize();
+      if (Config.UseTradeoff) {
+        if (!shouldDuplicate(C.CyclesSaved, C.Probability, C.SizeCost,
+                             CurrentSize, InitialSize, Config))
+          continue;
+      } else {
+        // dupalot: any benefit suffices, only the hard VM limit applies.
+        if (C.CyclesSaved <= 0.0 || CurrentSize >= Config.MaxUnitSize)
+          continue;
+      }
+      duplicateIntoPredecessor(F, M, P);
+      if (Config.Verify)
+        verifyOrDie(F, "after duplication");
+      ++Result.DuplicationsPerformed;
+
+      // §8 extension: continue the duplication along the simulated path.
+      // After the first duplication P ends with the copied jump into the
+      // second merge; duplicate that one into P as well.
+      if (C.isPath()) {
+        assert(Config.EnablePathDuplication &&
+               "path candidate without the extension enabled");
+        Block *M2 = F.getBlockById(C.SecondMergeId);
+        DominatorTree DT(F);
+        LoopInfo LI(F, DT);
+        if (M2 && canDuplicateInto(M2, P) && DT.isReachable(M2) &&
+            !LI.isLoopHeader(M2)) {
+          duplicateIntoPredecessor(F, M2, P);
+          if (Config.Verify)
+            verifyOrDie(F, "after path duplication");
+          ++Result.DuplicationsPerformed;
+        }
+      }
+
+      IterationBenefit += C.benefit();
+      Changed = true;
+    }
+    Result.TotalBenefit += IterationBenefit;
+
+    // Follow-up optimizations on the duplicated code.
+    if (Changed)
+      Cleanup.run(F);
+
+    if (!Changed || IterationBenefit < Config.MinIterationBenefit)
+      break;
+  }
+  return Result;
+}
+
+BacktrackingResult
+dbds::runBacktrackingDuplication(std::unique_ptr<Function> &F,
+                                 const Module *ClassTable,
+                                 uint64_t MaxUnitSize) {
+  BacktrackingResult Result;
+  PhaseManager Pipeline =
+      PhaseManager::standardPipeline(/*Verify=*/false, ClassTable);
+
+  bool ProgressMade = true;
+  while (ProgressMade) {
+    ProgressMade = false;
+    // Snapshot the merge list; the CFG changes under us, so blocks are
+    // revisited by id.
+    std::vector<unsigned> MergeIds;
+    for (Block *B : F->blocks())
+      if (B->isMerge())
+        MergeIds.push_back(B->getId());
+
+    for (unsigned MergeId : MergeIds) {
+      if (F->estimatedCodeSize() >= MaxUnitSize)
+        return Result;
+      Block *M = F->getBlockById(MergeId);
+      if (!M || !M->isMerge())
+        continue;
+      {
+        DominatorTree DT(*F);
+        if (!DT.isReachable(M))
+          continue;
+        LoopInfo LI(*F, DT);
+        if (LI.isLoopHeader(M))
+          continue;
+      }
+
+      // Algorithm 1: copy the whole CFG — the operation whose cost makes
+      // backtracking impractical (§3.1: ~10x compile time in Graal).
+      std::unique_ptr<Function> Snapshot = F->clone();
+      ++Result.GraphCopies;
+      double Before = expectedCycles(*F);
+
+      bool DuplicatedAny = false;
+      SmallVector<Block *, 4> Preds(M->preds().begin(), M->preds().end());
+      for (Block *P : Preds) {
+        if (canDuplicateInto(M, P)) {
+          duplicateIntoPredecessor(*F, M, P);
+          DuplicatedAny = true;
+        }
+      }
+      if (!DuplicatedAny)
+        continue;
+      Pipeline.run(*F);
+
+      double After = expectedCycles(*F);
+      if (After < Before) {
+        ++Result.Duplications;
+        ProgressMade = true;
+        break; // the CFG and block list changed: restart the outer loop
+      }
+      // Backtrack: restore the snapshot.
+      ++Result.Backtracks;
+      F = std::move(Snapshot);
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- dbds/FrequencySplitting.h - Self-style splitting baseline -*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The related-work baseline from paper §7: the Self compiler's splitting
+/// (Chambers) duplicates merges based on the *frequency* of the optimized
+/// code path (weight) and the code-size cost of the duplication — without
+/// analyzing in advance which optimizations a duplication would enable.
+/// DBDS §7 claims to improve on exactly this by simulating the benefit
+/// first. This implementation duplicates every non-loop-header merge
+/// whose predecessor is hot enough, within the same size budget DBDS
+/// uses, so the two heuristics are directly comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_DBDS_FREQUENCYSPLITTING_H
+#define DBDS_DBDS_FREQUENCYSPLITTING_H
+
+#include "ir/Function.h"
+
+namespace dbds {
+
+class Module;
+
+/// Tuning of the Self-style baseline.
+struct SplittingConfig {
+  /// Minimum relative execution frequency of the predecessor (the
+  /// "weight" of Chambers' heuristics).
+  double HotThreshold = 0.5;
+  /// Same meaning as DBDSConfig::IncreaseBudget / MaxUnitSize.
+  double IncreaseBudget = 1.5;
+  uint64_t MaxUnitSize = 65536;
+  unsigned MaxIterations = 3;
+  const Module *ClassTable = nullptr;
+  bool Verify = true;
+};
+
+struct SplittingResult {
+  unsigned Duplications = 0;
+  unsigned IterationsRun = 0;
+};
+
+/// Runs frequency-only splitting on \p F: duplicate hot predecessor->merge
+/// pairs blindly, then clean up with the standard pipeline.
+SplittingResult runFrequencySplitting(Function &F,
+                                      const SplittingConfig &Config);
+
+} // namespace dbds
+
+#endif // DBDS_DBDS_FREQUENCYSPLITTING_H

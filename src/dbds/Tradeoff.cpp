@@ -1,0 +1,25 @@
+//===- dbds/Tradeoff.cpp - The shouldDuplicate heuristic -------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/Candidate.h"
+
+using namespace dbds;
+
+bool dbds::shouldDuplicate(double CyclesSaved, double Probability,
+                           int64_t SizeCost, uint64_t CurrentSize,
+                           uint64_t InitialSize, const DBDSConfig &Config) {
+  if (CyclesSaved <= 0.0)
+    return false;
+  double ScaledBenefit = CyclesSaved * Probability * Config.BenefitScale;
+  if (!(ScaledBenefit > static_cast<double>(SizeCost)))
+    return false;
+  if (CurrentSize >= Config.MaxUnitSize)
+    return false;
+  double Budget =
+      static_cast<double>(InitialSize) * Config.IncreaseBudget;
+  return static_cast<double>(CurrentSize) + static_cast<double>(SizeCost) <
+         Budget;
+}

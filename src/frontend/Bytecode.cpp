@@ -1,0 +1,361 @@
+//===- frontend/Bytecode.cpp - Bytecode assembler/disassembler ------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Bytecode.h"
+
+#include "ir/Instruction.h" // predicateName
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+
+using namespace dbds;
+
+const char *dbds::bcMnemonic(BcOpcode Op) {
+  switch (Op) {
+  case BcOpcode::Iconst:
+    return "iconst";
+  case BcOpcode::Null:
+    return "null";
+  case BcOpcode::Load:
+    return "load";
+  case BcOpcode::Store:
+    return "store";
+  case BcOpcode::Dup:
+    return "dup";
+  case BcOpcode::Pop:
+    return "pop";
+  case BcOpcode::Swap:
+    return "swap";
+  case BcOpcode::Add:
+    return "add";
+  case BcOpcode::Sub:
+    return "sub";
+  case BcOpcode::Mul:
+    return "mul";
+  case BcOpcode::Div:
+    return "div";
+  case BcOpcode::Rem:
+    return "rem";
+  case BcOpcode::And:
+    return "and";
+  case BcOpcode::Or:
+    return "or";
+  case BcOpcode::Xor:
+    return "xor";
+  case BcOpcode::Shl:
+    return "shl";
+  case BcOpcode::Shr:
+    return "shr";
+  case BcOpcode::Neg:
+    return "neg";
+  case BcOpcode::Not:
+    return "not";
+  case BcOpcode::Cmp:
+    return "cmp";
+  case BcOpcode::Goto:
+    return "goto";
+  case BcOpcode::BrTrue:
+    return "brtrue";
+  case BcOpcode::BrFalse:
+    return "brfalse";
+  case BcOpcode::Ret:
+    return "ret";
+  case BcOpcode::RetVoid:
+    return "retvoid";
+  case BcOpcode::New:
+    return "new";
+  case BcOpcode::GetField:
+    return "getfield";
+  case BcOpcode::PutField:
+    return "putfield";
+  case BcOpcode::Call:
+    return "call";
+  case BcOpcode::InvokeFn:
+    return "invoke";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Token {
+  std::string Text;
+  unsigned Line;
+};
+
+std::vector<std::vector<Token>> tokenizeLines(const std::string &Source) {
+  std::vector<std::vector<Token>> Lines;
+  unsigned LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t NL = Source.find('\n', Pos);
+    std::string Text = Source.substr(
+        Pos, NL == std::string::npos ? std::string::npos : NL - Pos);
+    ++LineNo;
+    std::vector<Token> Tokens;
+    size_t I = 0;
+    while (I < Text.size()) {
+      char C = Text[I];
+      if (isspace(static_cast<unsigned char>(C))) {
+        ++I;
+        continue;
+      }
+      if (C == '#')
+        break;
+      if (C == '{' || C == '}' || C == '(' || C == ')' || C == ':' ||
+          C == '=' || C == '@') {
+        Tokens.push_back({std::string(1, C), LineNo});
+        ++I;
+        continue;
+      }
+      size_t Start = I;
+      if (C == '-')
+        ++I;
+      while (I < Text.size() &&
+             (isalnum(static_cast<unsigned char>(Text[I])) ||
+              Text[I] == '_' || Text[I] == '-'))
+        ++I;
+      Tokens.push_back({Text.substr(Start, I - Start), LineNo});
+    }
+    if (!Tokens.empty())
+      Lines.push_back(std::move(Tokens));
+    if (NL == std::string::npos)
+      break;
+    Pos = NL + 1;
+  }
+  return Lines;
+}
+
+std::optional<Predicate> predicateFromName(const std::string &Name) {
+  if (Name == "eq")
+    return Predicate::EQ;
+  if (Name == "ne")
+    return Predicate::NE;
+  if (Name == "lt")
+    return Predicate::LT;
+  if (Name == "le")
+    return Predicate::LE;
+  if (Name == "gt")
+    return Predicate::GT;
+  if (Name == "ge")
+    return Predicate::GE;
+  return std::nullopt;
+}
+
+} // namespace
+
+BcParseResult dbds::assembleBytecode(const std::string &Source) {
+  BcParseResult Result;
+  auto Mod = std::make_unique<BytecodeModule>();
+  auto fail = [&Result](unsigned Line, const std::string &Message) {
+    Result.Error = "line " + std::to_string(Line) + ": " + Message;
+    return std::move(Result);
+  };
+
+  auto Lines = tokenizeLines(Source);
+  size_t LineIdx = 0;
+  while (LineIdx < Lines.size()) {
+    const auto &L = Lines[LineIdx];
+    if (L[0].Text == "class") {
+      if (L.size() != 2)
+        return fail(L[0].Line, "expected 'class <numfields>'");
+      Mod->ClassFieldCounts.push_back(
+          static_cast<unsigned>(atoll(L[1].Text.c_str())));
+      ++LineIdx;
+      continue;
+    }
+    if (L[0].Text != "bcfunc")
+      return fail(L[0].Line, "expected 'class' or 'bcfunc'");
+
+    // bcfunc @ name ( nparams ) locals = n {
+    BytecodeFunction F;
+    size_t T = 1;
+    if (T >= L.size() || L[T].Text != "@")
+      return fail(L[0].Line, "expected '@name'");
+    ++T;
+    if (T >= L.size())
+      return fail(L[0].Line, "missing function name");
+    F.Name = L[T++].Text;
+    if (T + 2 >= L.size() || L[T].Text != "(")
+      return fail(L[0].Line, "expected '(<nparams>)'");
+    F.NumParams = static_cast<unsigned>(atoll(L[T + 1].Text.c_str()));
+    if (L[T + 2].Text != ")")
+      return fail(L[0].Line, "expected ')'");
+    T += 3;
+    F.NumLocals = F.NumParams;
+    if (T < L.size() && L[T].Text == "locals") {
+      if (T + 2 >= L.size() || L[T + 1].Text != "=")
+        return fail(L[0].Line, "expected 'locals=<n>'");
+      F.NumLocals = static_cast<unsigned>(atoll(L[T + 2].Text.c_str()));
+      T += 3;
+    }
+    if (F.NumLocals < F.NumParams)
+      return fail(L[0].Line, "locals must cover the parameters");
+    if (T >= L.size() || L[T].Text != "{")
+      return fail(L[0].Line, "expected '{'");
+    ++LineIdx;
+
+    // Body: two passes over the lines — collect label offsets, then emit.
+    std::unordered_map<std::string, size_t> Labels;
+    std::vector<std::pair<size_t, std::string>> Fixups; // code idx, label
+    bool Closed = false;
+    for (; LineIdx < Lines.size(); ++LineIdx) {
+      const auto &BL = Lines[LineIdx];
+      if (BL[0].Text == "}") {
+        Closed = true;
+        ++LineIdx;
+        break;
+      }
+      // Label line: "name :"
+      if (BL.size() == 2 && BL[1].Text == ":") {
+        if (!Labels.emplace(BL[0].Text, F.Code.size()).second)
+          return fail(BL[0].Line, "duplicate label '" + BL[0].Text + "'");
+        continue;
+      }
+      const std::string &Op = BL[0].Text;
+      auto intArg = [&](size_t Idx, int64_t &Out) {
+        if (Idx >= BL.size())
+          return false;
+        Out = atoll(BL[Idx].Text.c_str());
+        return true;
+      };
+      BcInst I{BcOpcode::Pop, 0, 0, {}};
+      static const std::pair<const char *, BcOpcode> Simple[] = {
+          {"dup", BcOpcode::Dup},     {"pop", BcOpcode::Pop},
+          {"swap", BcOpcode::Swap},   {"add", BcOpcode::Add},
+          {"sub", BcOpcode::Sub},     {"mul", BcOpcode::Mul},
+          {"div", BcOpcode::Div},     {"rem", BcOpcode::Rem},
+          {"and", BcOpcode::And},     {"or", BcOpcode::Or},
+          {"xor", BcOpcode::Xor},     {"shl", BcOpcode::Shl},
+          {"shr", BcOpcode::Shr},     {"neg", BcOpcode::Neg},
+          {"not", BcOpcode::Not},     {"ret", BcOpcode::Ret},
+          {"retvoid", BcOpcode::RetVoid}, {"null", BcOpcode::Null},
+      };
+      bool Matched = false;
+      for (const auto &[Name, Code] : Simple) {
+        if (Op == Name) {
+          I.Op = Code;
+          Matched = true;
+          break;
+        }
+      }
+      if (!Matched) {
+        if (Op == "iconst" || Op == "load" || Op == "store" || Op == "new" ||
+            Op == "getfield" || Op == "putfield") {
+          if (!intArg(1, I.A))
+            return fail(BL[0].Line, "'" + Op + "' needs an immediate");
+          I.Op = Op == "iconst"    ? BcOpcode::Iconst
+                 : Op == "load"    ? BcOpcode::Load
+                 : Op == "store"   ? BcOpcode::Store
+                 : Op == "new"     ? BcOpcode::New
+                 : Op == "getfield" ? BcOpcode::GetField
+                                    : BcOpcode::PutField;
+        } else if (Op == "cmp") {
+          if (BL.size() < 2)
+            return fail(BL[0].Line, "'cmp' needs a predicate");
+          auto Pred = predicateFromName(BL[1].Text);
+          if (!Pred)
+            return fail(BL[1].Line, "unknown predicate '" + BL[1].Text + "'");
+          I.Op = BcOpcode::Cmp;
+          I.A = static_cast<int64_t>(*Pred);
+        } else if (Op == "goto" || Op == "brtrue" || Op == "brfalse") {
+          if (BL.size() < 2)
+            return fail(BL[0].Line, "'" + Op + "' needs a label");
+          I.Op = Op == "goto"    ? BcOpcode::Goto
+                 : Op == "brtrue" ? BcOpcode::BrTrue
+                                  : BcOpcode::BrFalse;
+          Fixups.push_back({F.Code.size(), BL[1].Text});
+        } else if (Op == "call") {
+          int64_t Callee, NArgs;
+          if (!intArg(1, Callee) || !intArg(2, NArgs))
+            return fail(BL[0].Line, "'call' needs <callee> <nargs>");
+          I.Op = BcOpcode::Call;
+          I.A = Callee;
+          I.B = NArgs;
+        } else if (Op == "invoke") {
+          // invoke @ name <nargs>
+          if (BL.size() < 4 || BL[1].Text != "@")
+            return fail(BL[0].Line, "'invoke' needs @callee <nargs>");
+          I.Op = BcOpcode::InvokeFn;
+          I.Name = BL[2].Text;
+          I.B = atoll(BL[3].Text.c_str());
+        } else {
+          return fail(BL[0].Line, "unknown opcode '" + Op + "'");
+        }
+      }
+      F.Code.push_back(I);
+    }
+    if (!Closed)
+      return fail(Lines.back()[0].Line, "missing '}'");
+    for (const auto &[CodeIdx, Label] : Fixups) {
+      auto It = Labels.find(Label);
+      if (It == Labels.end())
+        return fail(L[0].Line, "undefined label '" + Label + "'");
+      F.Code[CodeIdx].A = static_cast<int64_t>(It->second);
+    }
+    if (F.Code.empty())
+      return fail(L[0].Line, "empty bytecode function");
+    Mod->Functions.push_back(std::move(F));
+  }
+
+  Result.Mod = std::move(Mod);
+  return Result;
+}
+
+std::string dbds::disassemble(const BytecodeFunction &F) {
+  std::string Out = "bcfunc @" + F.Name + "(" + std::to_string(F.NumParams) +
+                    ") locals=" + std::to_string(F.NumLocals) + " {\n";
+  // Collect branch targets for labels.
+  std::unordered_map<size_t, std::string> Labels;
+  for (const BcInst &I : F.Code) {
+    if (I.Op == BcOpcode::Goto || I.Op == BcOpcode::BrTrue ||
+        I.Op == BcOpcode::BrFalse) {
+      size_t Target = static_cast<size_t>(I.A);
+      if (!Labels.count(Target))
+        Labels[Target] = "L" + std::to_string(Labels.size());
+    }
+  }
+  for (size_t Idx = 0; Idx != F.Code.size(); ++Idx) {
+    auto LabelIt = Labels.find(Idx);
+    if (LabelIt != Labels.end())
+      Out += LabelIt->second + ":\n";
+    const BcInst &I = F.Code[Idx];
+    Out += "  ";
+    Out += bcMnemonic(I.Op);
+    switch (I.Op) {
+    case BcOpcode::Iconst:
+    case BcOpcode::Load:
+    case BcOpcode::Store:
+    case BcOpcode::New:
+    case BcOpcode::GetField:
+    case BcOpcode::PutField:
+      Out += " " + std::to_string(I.A);
+      break;
+    case BcOpcode::Cmp:
+      Out += std::string(" ") +
+             predicateName(static_cast<Predicate>(I.A));
+      break;
+    case BcOpcode::Goto:
+    case BcOpcode::BrTrue:
+    case BcOpcode::BrFalse:
+      Out += " " + Labels.at(static_cast<size_t>(I.A));
+      break;
+    case BcOpcode::Call:
+      Out += " " + std::to_string(I.A) + " " + std::to_string(I.B);
+      break;
+    case BcOpcode::InvokeFn:
+      Out += " @" + I.Name + " " + std::to_string(I.B);
+      break;
+    default:
+      break;
+    }
+    Out += "\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,125 @@
+//===- frontend/Bytecode.h - Stack bytecode definition ----------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small stack-based bytecode in the JVM mold — the input language of
+/// this substrate's front end, mirroring paper §5.1: "Graal translates
+/// Java bytecode to machine code in multiple steps. From the parsed
+/// bytecodes Graal IR is generated." Functions are flat instruction lists
+/// with label-relative branches, an operand stack, and numbered locals;
+/// frontend/Translator.h builds SSA IR from them by abstract
+/// interpretation of the stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_FRONTEND_BYTECODE_H
+#define DBDS_FRONTEND_BYTECODE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+/// Bytecode opcodes. Stack effects in comments (pops -> pushes).
+enum class BcOpcode : uint8_t {
+  Iconst, ///< () -> (value); operand A = immediate
+  Null,   ///< () -> (null reference)
+  Load,   ///< () -> (locals[A])
+  Store,  ///< (v) -> (); locals[A] = v
+  Dup,    ///< (v) -> (v, v)
+  Pop,    ///< (v) -> ()
+  Swap,   ///< (a, b) -> (b, a)
+  // Arithmetic: (a, b) -> (a OP b); Neg/Not are unary.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Neg,
+  Not,
+  // Comparisons: (a, b) -> (0/1); A = predicate (dbds::Predicate).
+  Cmp,
+  // Control flow; A = bytecode index of the target.
+  Goto,
+  BrTrue,  ///< (c) -> (); branch if c != 0
+  BrFalse, ///< (c) -> (); branch if c == 0
+  Ret,     ///< (v) -> return v
+  RetVoid, ///< return
+  // Objects; A = class id / field index.
+  New,      ///< () -> (ref)
+  GetField, ///< (ref) -> (value); A = field
+  PutField, ///< (ref, value) -> (); A = field
+  // Opaque call; A = callee id, B = argument count: (args...) -> (result).
+  Call,
+  // Direct call of a module bytecode function; Name = callee, B = argc.
+  InvokeFn,
+};
+
+/// Printable mnemonic for \p Op.
+const char *bcMnemonic(BcOpcode Op);
+
+/// One bytecode instruction: opcode plus up to two immediates.
+struct BcInst {
+  BcOpcode Op;
+  int64_t A = 0;
+  int64_t B = 0;
+  std::string Name; ///< Callee for InvokeFn.
+};
+
+/// A bytecode function.
+struct BytecodeFunction {
+  std::string Name;
+  unsigned NumParams = 0; ///< Parameters arrive in locals [0, NumParams).
+  unsigned NumLocals = 0; ///< Total locals (>= NumParams).
+  std::vector<BcInst> Code;
+};
+
+/// A bytecode module: class table plus functions.
+struct BytecodeModule {
+  /// Field counts per class id (index = class id).
+  std::vector<unsigned> ClassFieldCounts;
+  std::vector<BytecodeFunction> Functions;
+};
+
+/// Outcome of assembling bytecode text.
+struct BcParseResult {
+  std::unique_ptr<BytecodeModule> Mod;
+  std::string Error; ///< Empty on success.
+
+  explicit operator bool() const { return Mod != nullptr; }
+};
+
+/// Assembles the textual form:
+///
+///   class 2                      # class 0 with 2 fields
+///   bcfunc @abs(1) locals=1 {
+///     load 0
+///     iconst 0
+///     cmp lt
+///     brtrue Lneg
+///     load 0
+///     ret
+///   Lneg:
+///     iconst 0
+///     load 0
+///     sub
+///     ret
+///   }
+BcParseResult assembleBytecode(const std::string &Source);
+
+/// Disassembles a function back to text (round-trips assembleBytecode).
+std::string disassemble(const BytecodeFunction &F);
+
+} // namespace dbds
+
+#endif // DBDS_FRONTEND_BYTECODE_H

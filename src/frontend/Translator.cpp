@@ -1,0 +1,417 @@
+//===- frontend/Translator.cpp - Bytecode to SSA IR ------------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Translator.h"
+
+#include "ir/IRBuilder.h"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+using namespace dbds;
+
+namespace {
+
+/// The abstract machine state at a program point: SSA values for every
+/// local and operand-stack slot.
+struct AbstractState {
+  std::vector<Instruction *> Locals;
+  std::vector<Instruction *> Stack;
+};
+
+class FunctionTranslator {
+public:
+  FunctionTranslator(const BytecodeFunction &BC, Function &F)
+      : BC(BC), F(F), Builder(F) {}
+
+  std::string run();
+
+private:
+  struct BcBlock {
+    size_t Start = 0;       ///< First bytecode index.
+    Block *IR = nullptr;    ///< The IR block.
+    bool EntrySealed = false; ///< Phis created (first edge seen).
+    std::vector<PhiInst *> LocalPhis;
+    std::vector<PhiInst *> StackPhis;
+  };
+
+  std::string fail(size_t BcIdx, const std::string &Message) {
+    return "function " + BC.Name + " at bytecode " + std::to_string(BcIdx) +
+           ": " + Message;
+  }
+
+  /// Emits an edge into \p Target carrying \p State: creates the target's
+  /// entry phis on first arrival, then appends one input per phi. Must be
+  /// called exactly when the corresponding IR edge is added (so phi input
+  /// order matches predecessor order).
+  std::string emitEdge(BcBlock &Target, const AbstractState &State,
+                       size_t FromIdx) {
+    if (!Target.EntrySealed) {
+      Target.EntrySealed = true;
+      for (Instruction *L : State.Locals) {
+        auto *Phi = F.create<PhiInst>(L->getType());
+        Target.IR->insertPhi(Phi);
+        Target.LocalPhis.push_back(Phi);
+      }
+      for (Instruction *S : State.Stack) {
+        auto *Phi = F.create<PhiInst>(S->getType());
+        Target.IR->insertPhi(Phi);
+        Target.StackPhis.push_back(Phi);
+      }
+    }
+    if (State.Stack.size() != Target.StackPhis.size())
+      return fail(FromIdx, "inconsistent stack depth at join (" +
+                               std::to_string(State.Stack.size()) + " vs " +
+                               std::to_string(Target.StackPhis.size()) + ")");
+    for (unsigned I = 0; I != State.Locals.size(); ++I) {
+      if (State.Locals[I]->getType() != Target.LocalPhis[I]->getType())
+        return fail(FromIdx, "type-incompatible join for local " +
+                                 std::to_string(I));
+      Target.LocalPhis[I]->appendInput(State.Locals[I]);
+    }
+    for (unsigned I = 0; I != State.Stack.size(); ++I) {
+      if (State.Stack[I]->getType() != Target.StackPhis[I]->getType())
+        return fail(FromIdx, "type-incompatible join for stack slot " +
+                                 std::to_string(I));
+      Target.StackPhis[I]->appendInput(State.Stack[I]);
+    }
+    return "";
+  }
+
+  const BytecodeFunction &BC;
+  Function &F;
+  IRBuilder Builder;
+  std::unordered_map<size_t, BcBlock> Blocks; // leader index -> block
+};
+
+std::string FunctionTranslator::run() {
+  const auto &Code = BC.Code;
+  if (Code.empty())
+    return "function " + BC.Name + ": empty code";
+
+  // ---- Leaders: branch targets and fall-through points. -----------------
+  auto isBranch = [](BcOpcode Op) {
+    return Op == BcOpcode::Goto || Op == BcOpcode::BrTrue ||
+           Op == BcOpcode::BrFalse;
+  };
+  auto isTerminatorOp = [&](BcOpcode Op) {
+    return isBranch(Op) || Op == BcOpcode::Ret || Op == BcOpcode::RetVoid;
+  };
+  std::set<size_t> Leaders{0};
+  for (size_t I = 0; I != Code.size(); ++I) {
+    if (isBranch(Code[I].Op)) {
+      size_t Target = static_cast<size_t>(Code[I].A);
+      if (Target >= Code.size())
+        return fail(I, "branch target out of range");
+      Leaders.insert(Target);
+      if (I + 1 < Code.size())
+        Leaders.insert(I + 1);
+    }
+    if ((Code[I].Op == BcOpcode::Ret || Code[I].Op == BcOpcode::RetVoid) &&
+        I + 1 < Code.size())
+      Leaders.insert(I + 1);
+  }
+
+  // ---- Reachability over bytecode blocks. --------------------------------
+  auto blockEnd = [&](size_t Start) {
+    auto Next = Leaders.upper_bound(Start);
+    return Next == Leaders.end() ? Code.size() : *Next;
+  };
+  std::set<size_t> Reachable;
+  std::vector<size_t> Worklist{0};
+  while (!Worklist.empty()) {
+    size_t Start = Worklist.back();
+    Worklist.pop_back();
+    if (!Reachable.insert(Start).second)
+      continue;
+    size_t End = blockEnd(Start);
+    const BcInst &Last = Code[End - 1];
+    if (isBranch(Last.Op)) {
+      Worklist.push_back(static_cast<size_t>(Last.A));
+      if (Last.Op != BcOpcode::Goto) {
+        if (End >= Code.size())
+          return fail(End - 1, "conditional branch falls off the end");
+        Worklist.push_back(End);
+      }
+    } else if (Last.Op != BcOpcode::Ret && Last.Op != BcOpcode::RetVoid) {
+      if (End >= Code.size())
+        return fail(End - 1, "execution falls off the end of the code");
+      Worklist.push_back(End); // plain fall-through
+    }
+  }
+
+  // ---- IR skeleton: synthetic entry + one block per reachable leader. ----
+  Block *Entry = F.createBlock();
+  for (size_t Start : Reachable) {
+    BcBlock B;
+    B.Start = Start;
+    B.IR = F.createBlock();
+    Blocks.emplace(Start, std::move(B));
+  }
+
+  // Entry: parameters and zero-initialized spare locals.
+  Builder.setBlock(Entry);
+  AbstractState EntryState;
+  for (unsigned I = 0; I != BC.NumParams; ++I)
+    EntryState.Locals.push_back(Builder.param(I));
+  for (unsigned I = BC.NumParams; I != BC.NumLocals; ++I)
+    EntryState.Locals.push_back(Builder.constInt(0));
+  {
+    BcBlock &First = Blocks.at(0);
+    if (std::string Error = emitEdge(First, EntryState, 0); !Error.empty())
+      return Error;
+    Builder.jump(First.IR);
+  }
+
+  // ---- Translate each reachable block (iteration order is irrelevant:
+  // phi inputs are appended at edge-emission time). -----------------------
+  for (size_t Start : Reachable) {
+    BcBlock &B = Blocks.at(Start);
+    Builder.setBlock(B.IR);
+    AbstractState State;
+    State.Locals.assign(B.LocalPhis.begin(), B.LocalPhis.end());
+    State.Stack.assign(B.StackPhis.begin(), B.StackPhis.end());
+
+    auto pop = [&]() -> Instruction * {
+      if (State.Stack.empty())
+        return nullptr;
+      Instruction *V = State.Stack.back();
+      State.Stack.pop_back();
+      return V;
+    };
+
+    size_t End = blockEnd(Start);
+    for (size_t Idx = Start; Idx != End; ++Idx) {
+      const BcInst &I = Code[Idx];
+      switch (I.Op) {
+      case BcOpcode::Iconst:
+        State.Stack.push_back(Builder.constInt(I.A));
+        break;
+      case BcOpcode::Null:
+        State.Stack.push_back(Builder.constNull());
+        break;
+      case BcOpcode::Load:
+        if (static_cast<size_t>(I.A) >= State.Locals.size())
+          return fail(Idx, "local index out of range");
+        State.Stack.push_back(State.Locals[static_cast<size_t>(I.A)]);
+        break;
+      case BcOpcode::Store: {
+        Instruction *V = pop();
+        if (!V)
+          return fail(Idx, "stack underflow");
+        if (static_cast<size_t>(I.A) >= State.Locals.size())
+          return fail(Idx, "local index out of range");
+        State.Locals[static_cast<size_t>(I.A)] = V;
+        break;
+      }
+      case BcOpcode::Dup: {
+        if (State.Stack.empty())
+          return fail(Idx, "stack underflow");
+        State.Stack.push_back(State.Stack.back());
+        break;
+      }
+      case BcOpcode::Pop:
+        if (!pop())
+          return fail(Idx, "stack underflow");
+        break;
+      case BcOpcode::Swap: {
+        Instruction *A = pop(), *B2 = pop();
+        if (!A || !B2)
+          return fail(Idx, "stack underflow");
+        State.Stack.push_back(A);
+        State.Stack.push_back(B2);
+        break;
+      }
+      case BcOpcode::Add:
+      case BcOpcode::Sub:
+      case BcOpcode::Mul:
+      case BcOpcode::Div:
+      case BcOpcode::Rem:
+      case BcOpcode::And:
+      case BcOpcode::Or:
+      case BcOpcode::Xor:
+      case BcOpcode::Shl:
+      case BcOpcode::Shr: {
+        Instruction *RHS = pop(), *LHS = pop();
+        if (!RHS || !LHS)
+          return fail(Idx, "stack underflow");
+        if (LHS->getType() != Type::Int || RHS->getType() != Type::Int)
+          return fail(Idx, "arithmetic on a reference");
+        static const Opcode Map[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                     Opcode::Div, Opcode::Rem, Opcode::And,
+                                     Opcode::Or,  Opcode::Xor, Opcode::Shl,
+                                     Opcode::Shr};
+        Opcode IrOp = Map[static_cast<unsigned>(I.Op) -
+                          static_cast<unsigned>(BcOpcode::Add)];
+        State.Stack.push_back(Builder.binary(IrOp, LHS, RHS));
+        break;
+      }
+      case BcOpcode::Neg:
+      case BcOpcode::Not: {
+        Instruction *V = pop();
+        if (!V)
+          return fail(Idx, "stack underflow");
+        if (V->getType() != Type::Int)
+          return fail(Idx, "arithmetic on a reference");
+        auto *U = F.create<UnaryInst>(
+            I.Op == BcOpcode::Neg ? Opcode::Neg : Opcode::Not, V);
+        B.IR->append(U);
+        State.Stack.push_back(U);
+        break;
+      }
+      case BcOpcode::Cmp: {
+        Instruction *RHS = pop(), *LHS = pop();
+        if (!RHS || !LHS)
+          return fail(Idx, "stack underflow");
+        if (LHS->getType() != RHS->getType())
+          return fail(Idx, "comparison of mixed types");
+        State.Stack.push_back(
+            Builder.cmp(static_cast<Predicate>(I.A), LHS, RHS));
+        break;
+      }
+      case BcOpcode::New:
+        State.Stack.push_back(
+            Builder.newObject(static_cast<unsigned>(I.A)));
+        break;
+      case BcOpcode::GetField: {
+        Instruction *Ref = pop();
+        if (!Ref)
+          return fail(Idx, "stack underflow");
+        if (Ref->getType() != Type::Obj)
+          return fail(Idx, "getfield on a non-reference");
+        State.Stack.push_back(
+            Builder.load(Ref, static_cast<unsigned>(I.A)));
+        break;
+      }
+      case BcOpcode::PutField: {
+        Instruction *V = pop(), *Ref = pop();
+        if (!V || !Ref)
+          return fail(Idx, "stack underflow");
+        if (Ref->getType() != Type::Obj)
+          return fail(Idx, "putfield on a non-reference");
+        Builder.store(Ref, static_cast<unsigned>(I.A), V);
+        break;
+      }
+      case BcOpcode::Call: {
+        SmallVector<Instruction *, 4> Args;
+        for (int64_t N = 0; N != I.B; ++N) {
+          Instruction *V = pop();
+          if (!V)
+            return fail(Idx, "stack underflow");
+          Args.push_back(V);
+        }
+        // Arguments were pushed left to right; restore that order.
+        SmallVector<Instruction *, 4> Ordered;
+        for (auto It = Args.end(); It != Args.begin();)
+          Ordered.push_back(*--It);
+        State.Stack.push_back(Builder.call(
+            static_cast<unsigned>(I.A),
+            ArrayRef<Instruction *>(Ordered.begin(), Ordered.size())));
+        break;
+      }
+      case BcOpcode::InvokeFn: {
+        SmallVector<Instruction *, 4> Args;
+        for (int64_t N = 0; N != I.B; ++N) {
+          Instruction *V = pop();
+          if (!V)
+            return fail(Idx, "stack underflow");
+          Args.push_back(V);
+        }
+        SmallVector<Instruction *, 4> Ordered;
+        for (auto It = Args.end(); It != Args.begin();)
+          Ordered.push_back(*--It);
+        auto *Invoke = F.create<InvokeInst>(
+            I.Name, ArrayRef<Instruction *>(Ordered.begin(),
+                                            Ordered.size()));
+        B.IR->append(Invoke);
+        State.Stack.push_back(Invoke);
+        break;
+      }
+      case BcOpcode::Goto: {
+        BcBlock &Target = Blocks.at(static_cast<size_t>(I.A));
+        if (std::string E = emitEdge(Target, State, Idx); !E.empty())
+          return E;
+        Builder.jump(Target.IR);
+        break;
+      }
+      case BcOpcode::BrTrue:
+      case BcOpcode::BrFalse: {
+        Instruction *Cond = pop();
+        if (!Cond)
+          return fail(Idx, "stack underflow");
+        if (Cond->getType() != Type::Int)
+          return fail(Idx, "branch on a reference");
+        BcBlock &Target = Blocks.at(static_cast<size_t>(I.A));
+        BcBlock &Fall = Blocks.at(End);
+        Block *TrueIR = I.Op == BcOpcode::BrTrue ? Target.IR : Fall.IR;
+        Block *FalseIR = I.Op == BcOpcode::BrTrue ? Fall.IR : Target.IR;
+        if (TrueIR == FalseIR)
+          return fail(Idx, "conditional branch with equal targets (use "
+                           "goto)");
+        // Edge emission order must match Builder.branch's pred appends:
+        // true successor first.
+        BcBlock &FirstEdge = I.Op == BcOpcode::BrTrue ? Target : Fall;
+        BcBlock &SecondEdge = I.Op == BcOpcode::BrTrue ? Fall : Target;
+        if (std::string E = emitEdge(FirstEdge, State, Idx); !E.empty())
+          return E;
+        if (std::string E = emitEdge(SecondEdge, State, Idx); !E.empty())
+          return E;
+        Builder.branch(Cond, TrueIR, FalseIR, 0.5);
+        break;
+      }
+      case BcOpcode::Ret: {
+        Instruction *V = pop();
+        if (!V)
+          return fail(Idx, "stack underflow");
+        Builder.ret(V);
+        break;
+      }
+      case BcOpcode::RetVoid:
+        Builder.ret(nullptr);
+        break;
+      }
+      if (isTerminatorOp(I.Op))
+        break;
+    }
+
+    // Implicit fall-through into the next leader.
+    if (!B.IR->getTerminator()) {
+      BcBlock &Fall = Blocks.at(End);
+      if (std::string E = emitEdge(Fall, State, End - 1); !E.empty())
+        return E;
+      Builder.jump(Fall.IR);
+    }
+  }
+  return "";
+}
+
+} // namespace
+
+TranslationResult dbds::translateBytecode(const BytecodeModule &BC) {
+  TranslationResult Result;
+  auto Mod = std::make_unique<Module>();
+  for (unsigned ClassId = 0; ClassId != BC.ClassFieldCounts.size();
+       ++ClassId)
+    Mod->addClass("C" + std::to_string(ClassId),
+                  BC.ClassFieldCounts[ClassId]);
+
+  for (const BytecodeFunction &BF : BC.Functions) {
+    SmallVector<Type, 4> Params;
+    for (unsigned I = 0; I != BF.NumParams; ++I)
+      Params.push_back(Type::Int);
+    auto F = std::make_unique<Function>(BF.Name, BF.NumParams, Params);
+    FunctionTranslator Translator(BF, *F);
+    std::string Error = Translator.run();
+    if (!Error.empty()) {
+      Result.Error = Error;
+      return Result;
+    }
+    Mod->addFunction(std::move(F));
+  }
+  Result.Mod = std::move(Mod);
+  return Result;
+}

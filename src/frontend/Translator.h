@@ -1,0 +1,43 @@
+//===- frontend/Translator.h - Bytecode to SSA IR ---------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds SSA IR from stack bytecode by abstract interpretation of the
+/// operand stack and locals (the role of Graal's bytecode parser, paper
+/// §5.1): basic blocks at branch targets, one phi per live local and
+/// stack slot at every block entry (trivial ones fold in the first
+/// canonicalizer run), and structural validation of stack discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_FRONTEND_TRANSLATOR_H
+#define DBDS_FRONTEND_TRANSLATOR_H
+
+#include "frontend/Bytecode.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+
+namespace dbds {
+
+/// Outcome of a translation.
+struct TranslationResult {
+  std::unique_ptr<Module> Mod;
+  std::string Error; ///< Empty on success, else "function f: message".
+
+  explicit operator bool() const { return Mod != nullptr; }
+};
+
+/// Translates every function of \p BC into a fresh IR module. Fails (with
+/// a diagnostic) on malformed bytecode: stack underflow, inconsistent
+/// stack depth at a join, type-incompatible joins, falling off the end of
+/// the code, or branches to out-of-range targets.
+TranslationResult translateBytecode(const BytecodeModule &BC);
+
+} // namespace dbds
+
+#endif // DBDS_FRONTEND_TRANSLATOR_H

@@ -1,0 +1,130 @@
+//===- ir/Block.cpp - Basic block -----------------------------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Block.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace dbds;
+
+void Block::append(Instruction *I) {
+  assert(I->getBlock() == nullptr && "instruction already inserted");
+  assert(getTerminator() == nullptr && "appending past the terminator");
+  Insts.push_back(I);
+  I->Parent = this;
+}
+
+void Block::insert(unsigned Idx, Instruction *I) {
+  assert(I->getBlock() == nullptr && "instruction already inserted");
+  assert(Idx <= Insts.size() && "insert index out of range");
+  Insts.insert(Insts.begin() + Idx, I);
+  I->Parent = this;
+}
+
+void Block::insertPhi(PhiInst *Phi) {
+  unsigned Idx = 0;
+  while (Idx < Insts.size() && isa<PhiInst>(Insts[Idx]))
+    ++Idx;
+  insert(Idx, Phi);
+}
+
+void Block::remove(Instruction *I) {
+  assert(I->getBlock() == this && "instruction not in this block");
+  auto It = std::find(Insts.begin(), Insts.end(), I);
+  assert(It != Insts.end() && "instruction missing from list");
+  Insts.erase(It);
+  I->Parent = nullptr;
+  // Detach operands so operand use lists stay exact. Removing from the
+  // back keeps indices valid.
+  while (I->getNumOperands() != 0)
+    I->removeOperand(I->getNumOperands() - 1);
+}
+
+void Block::transferAllTo(Block *Dest) {
+  assert(Dest != this && "transfer to self");
+  assert(Dest->getTerminator() == nullptr && "destination already ends");
+  for (Instruction *I : Insts) {
+    I->Parent = Dest;
+    Dest->Insts.push_back(I);
+  }
+  Insts.clear();
+}
+
+void Block::transferTailTo(unsigned FromIdx, Block *Dest) {
+  assert(Dest != this && "transfer to self");
+  assert(Dest->getTerminator() == nullptr && "destination already ends");
+  assert(FromIdx <= Insts.size() && "split index out of range");
+  for (unsigned Idx = FromIdx; Idx != Insts.size(); ++Idx) {
+    Insts[Idx]->Parent = Dest;
+    Dest->Insts.push_back(Insts[Idx]);
+  }
+  Insts.resize(FromIdx);
+}
+
+unsigned Block::indexOf(const Instruction *I) const {
+  for (unsigned Idx = 0, E = size(); Idx != E; ++Idx)
+    if (Insts[Idx] == I)
+      return Idx;
+  assert(false && "instruction not in this block");
+  return ~0u;
+}
+
+SmallVector<PhiInst *, 4> Block::phis() const {
+  SmallVector<PhiInst *, 4> Result;
+  for (Instruction *I : Insts) {
+    auto *Phi = dyn_cast<PhiInst>(I);
+    if (!Phi)
+      break;
+    Result.push_back(Phi);
+  }
+  return Result;
+}
+
+SmallVector<Instruction *, 8> Block::nonPhis() const {
+  SmallVector<Instruction *, 8> Result;
+  for (Instruction *I : Insts)
+    if (!isa<PhiInst>(I))
+      Result.push_back(I);
+  return Result;
+}
+
+unsigned Block::indexOfPred(const Block *P) const {
+  for (unsigned Idx = 0, E = Preds.size(); Idx != E; ++Idx)
+    if (Preds[Idx] == P)
+      return Idx;
+  assert(false && "block is not a predecessor");
+  return ~0u;
+}
+
+bool Block::hasPred(const Block *P) const {
+  for (const Block *Pred : Preds)
+    if (Pred == P)
+      return true;
+  return false;
+}
+
+void Block::removePred(unsigned Idx) {
+  assert(Idx < Preds.size() && "predecessor index out of range");
+  Preds.erase(Preds.begin() + Idx);
+  for (PhiInst *Phi : phis())
+    Phi->removeInput(Idx);
+}
+
+SmallVector<Block *, 2> Block::succs() const {
+  SmallVector<Block *, 2> Result;
+  Instruction *Term = getTerminator();
+  if (!Term)
+    return Result;
+  if (auto *If = dyn_cast<IfInst>(Term)) {
+    Result.push_back(If->getTrueSucc());
+    Result.push_back(If->getFalseSucc());
+  } else if (auto *Jump = dyn_cast<JumpInst>(Term)) {
+    Result.push_back(Jump->getTarget());
+  }
+  return Result;
+}

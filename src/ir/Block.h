@@ -1,0 +1,136 @@
+//===- ir/Block.h - Basic block --------------------------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks: an ordered list of instructions ending in one terminator,
+/// plus an explicit predecessor list kept aligned with phi inputs. Merge
+/// blocks (>= 2 predecessors) are DBDS's duplication targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_IR_BLOCK_H
+#define DBDS_IR_BLOCK_H
+
+#include "ir/Instruction.h"
+#include "support/SmallVector.h"
+
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+class Function;
+
+/// A basic block in the CFG.
+class Block {
+public:
+  Block(const Block &) = delete;
+  Block &operator=(const Block &) = delete;
+
+  unsigned getId() const { return Id; }
+  Function *getFunction() const { return Func; }
+
+  /// Printable label, "b<Id>".
+  std::string getName() const { return "b" + std::to_string(Id); }
+
+  // ---- Instruction list ----------------------------------------------
+
+  using iterator = std::vector<Instruction *>::const_iterator;
+  iterator begin() const { return Insts.begin(); }
+  iterator end() const { return Insts.end(); }
+
+  bool empty() const { return Insts.empty(); }
+  unsigned size() const { return static_cast<unsigned>(Insts.size()); }
+
+  Instruction *front() const {
+    assert(!empty() && "front() on empty block");
+    return Insts.front();
+  }
+
+  /// The block's terminator, or null if the block is still being built.
+  Instruction *getTerminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back();
+  }
+
+  /// Appends \p I to the block (before any existing terminator this is a
+  /// builder error; callers append terminators last).
+  void append(Instruction *I);
+
+  /// Inserts \p I at position \p Idx.
+  void insert(unsigned Idx, Instruction *I);
+
+  /// Inserts a phi at the end of the leading phi group.
+  void insertPhi(PhiInst *Phi);
+
+  /// Detaches \p I from the block (does not free it; the Function pool owns
+  /// storage). \p I must have no remaining users when it is a value.
+  void remove(Instruction *I);
+
+  /// Index of \p I in the instruction list.
+  unsigned indexOf(const Instruction *I) const;
+
+  /// Moves every instruction of this block to the end of \p Dest,
+  /// preserving order and operand links (used when merging straight-line
+  /// blocks). \p Dest must not have a terminator.
+  void transferAllTo(Block *Dest);
+
+  /// Moves the instructions from index \p FromIdx onward to the end of
+  /// \p Dest (used when splitting a block around a call site).
+  void transferTailTo(unsigned FromIdx, Block *Dest);
+
+  /// The leading phi instructions.
+  SmallVector<PhiInst *, 4> phis() const;
+
+  /// Instructions after the phi group, including the terminator.
+  SmallVector<Instruction *, 8> nonPhis() const;
+
+  // ---- CFG structure ---------------------------------------------------
+
+  ArrayRef<Block *> preds() const {
+    return ArrayRef<Block *>(Preds.begin(), Preds.size());
+  }
+
+  unsigned getNumPreds() const { return Preds.size(); }
+
+  bool isMerge() const { return Preds.size() >= 2; }
+
+  /// Index of \p P in the predecessor list. \p P must be a predecessor.
+  unsigned indexOfPred(const Block *P) const;
+
+  /// True if \p P occurs in the predecessor list.
+  bool hasPred(const Block *P) const;
+
+  /// Appends \p P as a predecessor. Callers must extend every phi.
+  void addPred(Block *P) { Preds.push_back(P); }
+
+  /// Removes predecessor \p Idx and drops input \p Idx from every phi.
+  void removePred(unsigned Idx);
+
+  /// Replaces predecessor \p Idx with \p NewPred (phis untouched: the value
+  /// flowing in is unchanged, only the edge source moved).
+  void replacePred(unsigned Idx, Block *NewPred) {
+    assert(Idx < Preds.size() && "predecessor index out of range");
+    Preds[Idx] = NewPred;
+  }
+
+  /// Successor blocks, from the terminator.
+  SmallVector<Block *, 2> succs() const;
+
+private:
+  friend class Function;
+  Block(Function *Func, unsigned Id) : Func(Func), Id(Id) {}
+
+  Function *Func;
+  unsigned Id;
+  std::vector<Instruction *> Insts;
+  SmallVector<Block *, 2> Preds;
+};
+
+} // namespace dbds
+
+#endif // DBDS_IR_BLOCK_H

@@ -1,0 +1,154 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent construction of IR: creates instructions in the owning function
+/// and appends them to the current insertion block. Keeps predecessor
+/// lists in sync when emitting terminators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_IR_IRBUILDER_H
+#define DBDS_IR_IRBUILDER_H
+
+#include "ir/Block.h"
+#include "ir/Function.h"
+
+namespace dbds {
+
+/// Builder appending instructions to a current block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  Function &getFunction() { return F; }
+
+  /// Moves the insertion point to \p B.
+  void setBlock(Block *B) { Current = B; }
+  Block *getBlock() const { return Current; }
+
+  Block *createBlock() { return F.createBlock(); }
+
+  // ---- Values ----------------------------------------------------------
+
+  ConstantInst *constInt(int64_t Value) { return F.constant(Value); }
+  ConstantInst *constNull() { return F.nullConstant(); }
+
+  ParamInst *param(unsigned Index) {
+    auto *P = F.create<ParamInst>(Index, F.getParamType(Index));
+    append(P);
+    return P;
+  }
+
+  BinaryInst *binary(Opcode Op, Instruction *LHS, Instruction *RHS) {
+    auto *I = F.create<BinaryInst>(Op, LHS, RHS);
+    append(I);
+    return I;
+  }
+
+  BinaryInst *add(Instruction *L, Instruction *R) {
+    return binary(Opcode::Add, L, R);
+  }
+  BinaryInst *sub(Instruction *L, Instruction *R) {
+    return binary(Opcode::Sub, L, R);
+  }
+  BinaryInst *mul(Instruction *L, Instruction *R) {
+    return binary(Opcode::Mul, L, R);
+  }
+  BinaryInst *div(Instruction *L, Instruction *R) {
+    return binary(Opcode::Div, L, R);
+  }
+  BinaryInst *rem(Instruction *L, Instruction *R) {
+    return binary(Opcode::Rem, L, R);
+  }
+  BinaryInst *shl(Instruction *L, Instruction *R) {
+    return binary(Opcode::Shl, L, R);
+  }
+  BinaryInst *shr(Instruction *L, Instruction *R) {
+    return binary(Opcode::Shr, L, R);
+  }
+
+  UnaryInst *neg(Instruction *V) {
+    auto *I = F.create<UnaryInst>(Opcode::Neg, V);
+    append(I);
+    return I;
+  }
+
+  CompareInst *cmp(Predicate Pred, Instruction *LHS, Instruction *RHS) {
+    auto *I = F.create<CompareInst>(Pred, LHS, RHS);
+    append(I);
+    return I;
+  }
+
+  PhiInst *phi(Type Ty) {
+    auto *P = F.create<PhiInst>(Ty);
+    Current->insertPhi(P);
+    return P;
+  }
+
+  NewInst *newObject(unsigned ClassId) {
+    auto *I = F.create<NewInst>(ClassId);
+    append(I);
+    return I;
+  }
+
+  LoadFieldInst *load(Instruction *Object, unsigned FieldIndex) {
+    auto *I = F.create<LoadFieldInst>(Object, FieldIndex);
+    append(I);
+    return I;
+  }
+
+  StoreFieldInst *store(Instruction *Object, unsigned FieldIndex,
+                        Instruction *Value) {
+    auto *I = F.create<StoreFieldInst>(Object, FieldIndex, Value);
+    append(I);
+    return I;
+  }
+
+  CallInst *call(unsigned CalleeId, ArrayRef<Instruction *> Args) {
+    auto *I = F.create<CallInst>(CalleeId, Args);
+    append(I);
+    return I;
+  }
+
+  // ---- Terminators (keep predecessor lists in sync) --------------------
+
+  IfInst *branch(Instruction *Cond, Block *TrueSucc, Block *FalseSucc,
+                 double TrueProbability = 0.5) {
+    auto *I = F.create<IfInst>(Cond, TrueSucc, FalseSucc);
+    I->setTrueProbability(TrueProbability);
+    append(I);
+    TrueSucc->addPred(Current);
+    FalseSucc->addPred(Current);
+    return I;
+  }
+
+  JumpInst *jump(Block *Target) {
+    auto *I = F.create<JumpInst>(Target);
+    append(I);
+    Target->addPred(Current);
+    return I;
+  }
+
+  ReturnInst *ret(Instruction *Value = nullptr) {
+    auto *I = F.create<ReturnInst>(Value);
+    append(I);
+    return I;
+  }
+
+private:
+  void append(Instruction *I) {
+    assert(Current && "no insertion block set");
+    Current->append(I);
+  }
+
+  Function &F;
+  Block *Current = nullptr;
+};
+
+} // namespace dbds
+
+#endif // DBDS_IR_IRBUILDER_H

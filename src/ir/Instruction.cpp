@@ -1,0 +1,169 @@
+//===- ir/Instruction.cpp - SSA instruction hierarchy --------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/Block.h"
+
+using namespace dbds;
+
+const char *dbds::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::Int:
+    return "int";
+  case Type::Obj:
+    return "obj";
+  }
+  assert(false && "unknown type");
+  return "?";
+}
+
+namespace {
+
+struct OpcodeInfo {
+  const char *Mnemonic;
+  uint32_t Cycles;
+  uint32_t Size;
+};
+
+constexpr OpcodeInfo OpcodeTable[NumOpcodes] = {
+#define HANDLE_INST(Op, Class, Mnemonic, Cycles, Size) {Mnemonic, Cycles, Size},
+#include "ir/Instructions.def"
+};
+
+} // namespace
+
+const char *dbds::opcodeMnemonic(Opcode Op) {
+  return OpcodeTable[static_cast<unsigned>(Op)].Mnemonic;
+}
+
+uint32_t dbds::opcodeCycles(Opcode Op) {
+  return OpcodeTable[static_cast<unsigned>(Op)].Cycles;
+}
+
+uint32_t dbds::opcodeSize(Opcode Op) {
+  return OpcodeTable[static_cast<unsigned>(Op)].Size;
+}
+
+const char *dbds::predicateName(Predicate Pred) {
+  switch (Pred) {
+  case Predicate::EQ:
+    return "eq";
+  case Predicate::NE:
+    return "ne";
+  case Predicate::LT:
+    return "lt";
+  case Predicate::LE:
+    return "le";
+  case Predicate::GT:
+    return "gt";
+  case Predicate::GE:
+    return "ge";
+  }
+  assert(false && "unknown predicate");
+  return "?";
+}
+
+Predicate dbds::swapPredicate(Predicate Pred) {
+  switch (Pred) {
+  case Predicate::EQ:
+    return Predicate::EQ;
+  case Predicate::NE:
+    return Predicate::NE;
+  case Predicate::LT:
+    return Predicate::GT;
+  case Predicate::LE:
+    return Predicate::GE;
+  case Predicate::GT:
+    return Predicate::LT;
+  case Predicate::GE:
+    return Predicate::LE;
+  }
+  assert(false && "unknown predicate");
+  return Pred;
+}
+
+Predicate dbds::negatePredicate(Predicate Pred) {
+  switch (Pred) {
+  case Predicate::EQ:
+    return Predicate::NE;
+  case Predicate::NE:
+    return Predicate::EQ;
+  case Predicate::LT:
+    return Predicate::GE;
+  case Predicate::LE:
+    return Predicate::GT;
+  case Predicate::GT:
+    return Predicate::LE;
+  case Predicate::GE:
+    return Predicate::LT;
+  }
+  assert(false && "unknown predicate");
+  return Pred;
+}
+
+Instruction::~Instruction() = default;
+
+void Instruction::removeUser(Instruction *User) {
+  for (unsigned I = 0, E = Users.size(); I != E; ++I) {
+    if (Users[I] == User) {
+      Users.erase(Users.begin() + I);
+      return;
+    }
+  }
+  assert(false && "removing a user that was never registered");
+}
+
+void Instruction::addOperand(Instruction *V) {
+  assert(V && "null operand");
+  Operands.push_back(V);
+  V->addUser(this);
+}
+
+void Instruction::removeOperand(unsigned Idx) {
+  assert(Idx < Operands.size() && "operand index out of range");
+  Operands[Idx]->removeUser(this);
+  Operands.erase(Operands.begin() + Idx);
+}
+
+void Instruction::setOperand(unsigned Idx, Instruction *V) {
+  assert(Idx < Operands.size() && "operand index out of range");
+  assert(V && "null operand");
+  if (Operands[Idx] == V)
+    return;
+  Operands[Idx]->removeUser(this);
+  Operands[Idx] = V;
+  V->addUser(this);
+}
+
+void Instruction::replaceAllUsesWith(Instruction *New) {
+  assert(New != this && "replacing a value with itself");
+  // Users is edited as we go; take a snapshot.
+  SmallVector<Instruction *, 8> Snapshot(Users.begin(), Users.end());
+  for (Instruction *User : Snapshot) {
+    for (unsigned I = 0, E = User->getNumOperands(); I != E; ++I) {
+      if (User->getOperand(I) == this) {
+        User->setOperand(I, New);
+        break; // setOperand removed exactly one Users entry for us.
+      }
+    }
+  }
+  assert(Users.empty() && "stale users after replaceAllUsesWith");
+}
+
+Instruction *PhiInst::getUniqueInput() const {
+  Instruction *Unique = nullptr;
+  for (Instruction *In : operands()) {
+    if (In == this)
+      continue;
+    if (Unique && Unique != In)
+      return nullptr;
+    Unique = In;
+  }
+  return Unique;
+}

@@ -1,0 +1,689 @@
+//===- ir/Parser.cpp - Textual IR input -----------------------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Three-stage parser: (1) split the source into per-line token vectors and
+// group them into functions and blocks; (2) build the CFG skeleton
+// (blocks, terminators' successor labels, predecessor lists) and create
+// empty phi shells; (3) materialize non-phi instructions in reverse post
+// order (so every operand is already created — defs dominate uses in valid
+// input) and finally wire phi inputs, aligned with predecessor order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Block.h"
+#include "ir/Function.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+using namespace dbds;
+
+namespace {
+
+struct Line {
+  unsigned Number = 0;
+  std::vector<std::string> Tokens;
+};
+
+/// Splits one source line into tokens. Punctuation characters are their own
+/// tokens; '%'-values, labels, numbers, and words are single tokens.
+std::vector<std::string> tokenize(const std::string &Text) {
+  std::vector<std::string> Tokens;
+  size_t I = 0, E = Text.size();
+  while (I < E) {
+    char C = Text[I];
+    if (isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '#') // comment to end of line
+      break;
+    if (C == ',' || C == '(' || C == ')' || C == '{' || C == '}' ||
+        C == '[' || C == ']' || C == '=' || C == ':' || C == '@') {
+      Tokens.push_back(std::string(1, C));
+      ++I;
+      continue;
+    }
+    size_t Start = I;
+    if (C == '%' || C == '!' || C == '-')
+      ++I;
+    while (I < E && (isalnum(static_cast<unsigned char>(Text[I])) ||
+                     Text[I] == '_' || Text[I] == '.' || Text[I] == '-'))
+      ++I;
+    Tokens.push_back(Text.substr(Start, I - Start));
+  }
+  return Tokens;
+}
+
+struct ParsedBlock {
+  std::string Label;
+  std::vector<Line> Insts;
+  Block *B = nullptr;
+};
+
+struct ParsedFunction {
+  std::string Name;
+  SmallVector<Type, 4> ParamTypes;
+  std::vector<ParsedBlock> Blocks;
+  unsigned HeaderLine = 0;
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Source(Source) {}
+
+  ParseResult run();
+
+private:
+  bool fail(unsigned LineNo, const std::string &Message) {
+    if (Error.empty())
+      Error = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  }
+
+  bool splitIntoFunctions(std::vector<ParsedFunction> &Funcs, Module &M);
+  bool buildFunction(ParsedFunction &PF, Function &F);
+  Instruction *createInstruction(const Line &L, Function &F, Block *B);
+  Instruction *resolveValue(const std::string &Token, unsigned LineNo);
+  Block *resolveLabel(const std::string &Token, unsigned LineNo);
+
+  const std::string &Source;
+  std::string Error;
+  std::unordered_map<std::string, Instruction *> ValueMap;
+  std::unordered_map<std::string, Block *> LabelMap;
+};
+
+bool Parser::splitIntoFunctions(std::vector<ParsedFunction> &Funcs,
+                                Module &M) {
+  std::vector<Line> Lines;
+  {
+    unsigned No = 0;
+    size_t Pos = 0;
+    while (Pos <= Source.size()) {
+      size_t NL = Source.find('\n', Pos);
+      std::string Text = Source.substr(
+          Pos, NL == std::string::npos ? std::string::npos : NL - Pos);
+      ++No;
+      auto Tokens = tokenize(Text);
+      if (!Tokens.empty())
+        Lines.push_back({No, std::move(Tokens)});
+      if (NL == std::string::npos)
+        break;
+      Pos = NL + 1;
+    }
+  }
+
+  ParsedFunction *Current = nullptr;
+  ParsedBlock *CurrentBlock = nullptr;
+  for (Line &L : Lines) {
+    const auto &T = L.Tokens;
+    if (T[0] == "class") {
+      if (Current)
+        return fail(L.Number, "class declaration inside a function");
+      if (T.size() != 3)
+        return fail(L.Number, "expected 'class <name> <numfields>'");
+      M.addClass(T[1], static_cast<unsigned>(atoll(T[2].c_str())));
+      continue;
+    }
+    if (T[0] == "func") {
+      if (Current)
+        return fail(L.Number, "nested function");
+      // func @ name ( type , type ) {
+      if (T.size() < 5 || T[1] != "@")
+        return fail(L.Number, "expected 'func @<name>(...) {'");
+      Funcs.push_back({});
+      Current = &Funcs.back();
+      Current->Name = T[2];
+      Current->HeaderLine = L.Number;
+      size_t I = 3;
+      if (I >= T.size() || T[I] != "(")
+        return fail(L.Number, "expected '(' after function name");
+      ++I;
+      while (I < T.size() && T[I] != ")") {
+        if (T[I] == ",") {
+          ++I;
+          continue;
+        }
+        if (T[I] == "int")
+          Current->ParamTypes.push_back(Type::Int);
+        else if (T[I] == "obj")
+          Current->ParamTypes.push_back(Type::Obj);
+        else
+          return fail(L.Number, "unknown parameter type '" + T[I] + "'");
+        ++I;
+      }
+      if (I + 1 >= T.size() || T[I] != ")" || T[I + 1] != "{")
+        return fail(L.Number, "expected ') {' in function header");
+      CurrentBlock = nullptr;
+      continue;
+    }
+    if (T[0] == "}") {
+      if (!Current)
+        return fail(L.Number, "'}' outside a function");
+      Current = nullptr;
+      CurrentBlock = nullptr;
+      continue;
+    }
+    if (!Current)
+      return fail(L.Number, "instruction outside a function");
+    if (T.size() >= 2 && T[1] == ":" && T[0][0] == 'b') {
+      Current->Blocks.push_back({});
+      CurrentBlock = &Current->Blocks.back();
+      CurrentBlock->Label = T[0];
+      continue;
+    }
+    if (!CurrentBlock)
+      return fail(L.Number, "instruction before the first block label");
+    CurrentBlock->Insts.push_back(std::move(L));
+  }
+  if (Current)
+    return fail(Lines.empty() ? 1 : Lines.back().Number,
+                "missing '}' at end of function");
+  return true;
+}
+
+Instruction *Parser::resolveValue(const std::string &Token, unsigned LineNo) {
+  if (Token.empty() || Token[0] != '%') {
+    fail(LineNo, "expected a value name, got '" + Token + "'");
+    return nullptr;
+  }
+  auto It = ValueMap.find(Token);
+  if (It == ValueMap.end()) {
+    fail(LineNo, "use of undefined value '" + Token + "'");
+    return nullptr;
+  }
+  return It->second;
+}
+
+Block *Parser::resolveLabel(const std::string &Token, unsigned LineNo) {
+  auto It = LabelMap.find(Token);
+  if (It == LabelMap.end()) {
+    fail(LineNo, "reference to unknown block '" + Token + "'");
+    return nullptr;
+  }
+  return It->second;
+}
+
+Instruction *Parser::createInstruction(const Line &L, Function &F, Block *B) {
+  const auto &T = L.Tokens;
+  std::string ResultName;
+  size_t I = 0;
+  if (T[0][0] == '%') {
+    if (T.size() < 3 || T[1] != "=") {
+      fail(L.Number, "expected '=' after result name");
+      return nullptr;
+    }
+    ResultName = T[0];
+    I = 2;
+  }
+  if (I >= T.size()) {
+    fail(L.Number, "missing opcode");
+    return nullptr;
+  }
+  const std::string &Op = T[I++];
+
+  auto intArg = [&](int64_t &Out) {
+    if (I >= T.size()) {
+      fail(L.Number, "missing integer argument");
+      return false;
+    }
+    Out = atoll(T[I++].c_str());
+    return true;
+  };
+  auto valueArg = [&](Instruction *&Out) {
+    if (I >= T.size()) {
+      fail(L.Number, "missing value argument");
+      return false;
+    }
+    Out = resolveValue(T[I++], L.Number);
+    return Out != nullptr;
+  };
+  auto comma = [&]() {
+    if (I < T.size() && T[I] == ",")
+      ++I;
+  };
+
+  Instruction *NI = nullptr;
+  if (Op == "const") {
+    if (I < T.size() && T[I] == "null") {
+      ++I;
+      NI = F.nullConstant();
+    } else {
+      int64_t V;
+      if (!intArg(V))
+        return nullptr;
+      NI = F.constant(V);
+    }
+    // Constants are uniqued and auto-inserted in the entry block; just
+    // record the name.
+    if (!ResultName.empty())
+      ValueMap[ResultName] = NI;
+    return NI;
+  }
+  if (Op == "param") {
+    int64_t Idx;
+    if (!intArg(Idx))
+      return nullptr;
+    if (Idx < 0 || static_cast<unsigned>(Idx) >= F.getNumParams()) {
+      fail(L.Number, "parameter index out of range");
+      return nullptr;
+    }
+    NI = F.create<ParamInst>(static_cast<unsigned>(Idx),
+                             F.getParamType(static_cast<unsigned>(Idx)));
+  } else if (Op == "add" || Op == "sub" || Op == "mul" || Op == "div" ||
+             Op == "rem" || Op == "and" || Op == "or" || Op == "xor" ||
+             Op == "shl" || Op == "shr") {
+    static const std::pair<const char *, Opcode> Map[] = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub}, {"mul", Opcode::Mul},
+        {"div", Opcode::Div}, {"rem", Opcode::Rem}, {"and", Opcode::And},
+        {"or", Opcode::Or},   {"xor", Opcode::Xor}, {"shl", Opcode::Shl},
+        {"shr", Opcode::Shr}};
+    Opcode Code = Opcode::Add;
+    for (const auto &Entry : Map)
+      if (Op == Entry.first)
+        Code = Entry.second;
+    Instruction *LHS, *RHS;
+    if (!valueArg(LHS))
+      return nullptr;
+    comma();
+    if (!valueArg(RHS))
+      return nullptr;
+    NI = F.create<BinaryInst>(Code, LHS, RHS);
+  } else if (Op == "neg" || Op == "not") {
+    Instruction *Val;
+    if (!valueArg(Val))
+      return nullptr;
+    NI = F.create<UnaryInst>(Op == "neg" ? Opcode::Neg : Opcode::Not, Val);
+  } else if (Op == "cmp") {
+    if (I >= T.size()) {
+      fail(L.Number, "missing comparison predicate");
+      return nullptr;
+    }
+    const std::string &PredName = T[I++];
+    Predicate Pred;
+    if (PredName == "eq")
+      Pred = Predicate::EQ;
+    else if (PredName == "ne")
+      Pred = Predicate::NE;
+    else if (PredName == "lt")
+      Pred = Predicate::LT;
+    else if (PredName == "le")
+      Pred = Predicate::LE;
+    else if (PredName == "gt")
+      Pred = Predicate::GT;
+    else if (PredName == "ge")
+      Pred = Predicate::GE;
+    else {
+      fail(L.Number, "unknown predicate '" + PredName + "'");
+      return nullptr;
+    }
+    Instruction *LHS, *RHS;
+    if (!valueArg(LHS))
+      return nullptr;
+    comma();
+    if (!valueArg(RHS))
+      return nullptr;
+    NI = F.create<CompareInst>(Pred, LHS, RHS);
+  } else if (Op == "new") {
+    int64_t ClassId;
+    if (!intArg(ClassId))
+      return nullptr;
+    NI = F.create<NewInst>(static_cast<unsigned>(ClassId));
+  } else if (Op == "load") {
+    Instruction *Obj;
+    if (!valueArg(Obj))
+      return nullptr;
+    comma();
+    int64_t Field;
+    if (!intArg(Field))
+      return nullptr;
+    NI = F.create<LoadFieldInst>(Obj, static_cast<unsigned>(Field));
+  } else if (Op == "store") {
+    Instruction *Obj;
+    if (!valueArg(Obj))
+      return nullptr;
+    comma();
+    int64_t Field;
+    if (!intArg(Field))
+      return nullptr;
+    comma();
+    Instruction *Val;
+    if (!valueArg(Val))
+      return nullptr;
+    NI = F.create<StoreFieldInst>(Obj, static_cast<unsigned>(Field), Val);
+  } else if (Op == "call") {
+    int64_t Callee;
+    if (!intArg(Callee))
+      return nullptr;
+    SmallVector<Instruction *, 4> Args;
+    if (I < T.size() && T[I] == "(") {
+      ++I;
+      while (I < T.size() && T[I] != ")") {
+        if (T[I] == ",") {
+          ++I;
+          continue;
+        }
+        Instruction *Arg = resolveValue(T[I++], L.Number);
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+      }
+      if (I >= T.size()) {
+        fail(L.Number, "unterminated call argument list");
+        return nullptr;
+      }
+      ++I; // ')'
+    }
+    NI = F.create<CallInst>(static_cast<unsigned>(Callee),
+                            ArrayRef<Instruction *>(Args.begin(),
+                                                    Args.size()));
+  } else if (Op == "invoke") {
+    // invoke @ name ( args )
+    if (I + 1 >= T.size() || T[I] != "@") {
+      fail(L.Number, "expected '@callee' after invoke");
+      return nullptr;
+    }
+    ++I;
+    std::string Callee = T[I++];
+    SmallVector<Instruction *, 4> Args;
+    if (I < T.size() && T[I] == "(") {
+      ++I;
+      while (I < T.size() && T[I] != ")") {
+        if (T[I] == ",") {
+          ++I;
+          continue;
+        }
+        Instruction *Arg = resolveValue(T[I++], L.Number);
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+      }
+      if (I >= T.size()) {
+        fail(L.Number, "unterminated invoke argument list");
+        return nullptr;
+      }
+      ++I; // ')'
+    }
+    NI = F.create<InvokeInst>(Callee, ArrayRef<Instruction *>(Args.begin(),
+                                                              Args.size()));
+  } else if (Op == "if") {
+    Instruction *Cond;
+    if (!valueArg(Cond))
+      return nullptr;
+    comma();
+    if (I >= T.size()) {
+      fail(L.Number, "missing true successor");
+      return nullptr;
+    }
+    Block *TrueSucc = resolveLabel(T[I++], L.Number);
+    if (!TrueSucc)
+      return nullptr;
+    comma();
+    if (I >= T.size()) {
+      fail(L.Number, "missing false successor");
+      return nullptr;
+    }
+    Block *FalseSucc = resolveLabel(T[I++], L.Number);
+    if (!FalseSucc)
+      return nullptr;
+    auto *If = F.create<IfInst>(Cond, TrueSucc, FalseSucc);
+    if (I < T.size() && T[I][0] == '!')
+      If->setTrueProbability(atof(T[I++].c_str() + 1));
+    NI = If;
+  } else if (Op == "jump") {
+    if (I >= T.size()) {
+      fail(L.Number, "missing jump target");
+      return nullptr;
+    }
+    Block *Target = resolveLabel(T[I++], L.Number);
+    if (!Target)
+      return nullptr;
+    NI = F.create<JumpInst>(Target);
+  } else if (Op == "ret") {
+    Instruction *Val = nullptr;
+    if (I < T.size() && T[I][0] == '%') {
+      if (!valueArg(Val))
+        return nullptr;
+    }
+    NI = F.create<ReturnInst>(Val);
+  } else {
+    fail(L.Number, "unknown opcode '" + Op + "'");
+    return nullptr;
+  }
+
+  B->append(NI);
+  if (!ResultName.empty())
+    ValueMap[ResultName] = NI;
+  return NI;
+}
+
+bool Parser::buildFunction(ParsedFunction &PF, Function &F) {
+  ValueMap.clear();
+  LabelMap.clear();
+
+  if (PF.Blocks.empty())
+    return fail(PF.HeaderLine, "function has no blocks");
+
+  // CFG skeleton.
+  for (ParsedBlock &PB : PF.Blocks) {
+    if (LabelMap.count(PB.Label))
+      return fail(PF.HeaderLine, "duplicate block label '" + PB.Label + "'");
+    PB.B = F.createBlock();
+    LabelMap[PB.Label] = PB.B;
+  }
+
+  // Predecessor lists: scan terminators (the last line of each block) for
+  // successor labels, in file order. Successor order within an If is
+  // true-then-false.
+  for (ParsedBlock &PB : PF.Blocks) {
+    if (PB.Insts.empty())
+      return fail(PF.HeaderLine, "block '" + PB.Label + "' is empty");
+    const auto &T = PB.Insts.back().Tokens;
+    auto addEdge = [&](const std::string &Label) -> bool {
+      Block *Succ = resolveLabel(Label, PB.Insts.back().Number);
+      if (!Succ)
+        return false;
+      Succ->addPred(PB.B);
+      return true;
+    };
+    size_t OpIdx = 0; // terminators have no result name
+    const std::string &Op = T[OpIdx];
+    if (Op == "if") {
+      // if %c , bT , bF [!p]
+      std::vector<std::string> Labels;
+      for (const std::string &Tok : T)
+        if (Tok.size() > 1 && Tok[0] == 'b' &&
+            isdigit(static_cast<unsigned char>(Tok[1])))
+          Labels.push_back(Tok);
+      if (Labels.size() != 2)
+        return fail(PB.Insts.back().Number, "if needs two successor labels");
+      if (!addEdge(Labels[0]) || !addEdge(Labels[1]))
+        return false;
+    } else if (Op == "jump") {
+      if (T.size() < 2)
+        return fail(PB.Insts.back().Number, "jump needs a target label");
+      if (!addEdge(T[1]))
+        return false;
+    } else if (Op != "ret") {
+      return fail(PB.Insts.back().Number,
+                  "block '" + PB.Label + "' does not end in a terminator");
+    }
+  }
+
+  // Phi shells, in line order, with recorded input pairs.
+  struct PendingPhi {
+    PhiInst *Phi;
+    Block *B;
+    unsigned LineNo;
+    std::vector<std::pair<std::string, std::string>> Inputs; // value, label
+  };
+  std::vector<PendingPhi> Phis;
+  for (ParsedBlock &PB : PF.Blocks) {
+    for (const Line &L : PB.Insts) {
+      const auto &T = L.Tokens;
+      if (T.size() < 3 || T[1] != "=" || T[2] != "phi")
+        continue;
+      size_t I = 3;
+      Type Ty = Type::Int;
+      if (I < T.size() && (T[I] == "int" || T[I] == "obj")) {
+        Ty = T[I] == "int" ? Type::Int : Type::Obj;
+        ++I;
+      }
+      auto *Phi = F.create<PhiInst>(Ty);
+      PB.B->append(Phi); // Phis come first in line order; checked below.
+      ValueMap[T[0]] = Phi;
+      PendingPhi Pending{Phi, PB.B, L.Number, {}};
+      // Parse [%v, bN] pairs.
+      while (I < T.size()) {
+        if (T[I] == "," || T[I] == "]") {
+          ++I;
+          continue;
+        }
+        if (T[I] == "[") {
+          if (I + 3 >= T.size())
+            return fail(L.Number, "malformed phi input");
+          std::string Val = T[I + 1];
+          std::string Sep = T[I + 2];
+          std::string Label = T[I + 3];
+          if (Sep != ",")
+            return fail(L.Number, "malformed phi input");
+          Pending.Inputs.push_back({Val, Label});
+          I += 4;
+          continue;
+        }
+        return fail(L.Number, "unexpected token '" + T[I] + "' in phi");
+      }
+      Phis.push_back(std::move(Pending));
+    }
+  }
+
+  // Non-phi instructions, blocks visited in reverse post order so operands
+  // exist before their uses.
+  {
+    std::unordered_map<Block *, ParsedBlock *> ByBlock;
+    for (ParsedBlock &PB : PF.Blocks)
+      ByBlock[PB.B] = &PB;
+
+    std::vector<Block *> Post;
+    std::unordered_map<Block *, unsigned> State;
+    std::vector<std::pair<Block *, unsigned>> Stack;
+    Block *Entry = PF.Blocks.front().B;
+    Stack.push_back({Entry, 0});
+    State[Entry] = 1;
+    // Successors are known from predecessor construction; recompute from
+    // the parsed terminator labels.
+    auto succLabels = [&](ParsedBlock *PB) {
+      std::vector<Block *> Result;
+      const auto &T = PB->Insts.back().Tokens;
+      if (T[0] == "jump") {
+        Result.push_back(LabelMap[T[1]]);
+      } else if (T[0] == "if") {
+        for (const std::string &Tok : T)
+          if (Tok.size() > 1 && Tok[0] == 'b' &&
+              isdigit(static_cast<unsigned char>(Tok[1])))
+            Result.push_back(LabelMap[Tok]);
+      }
+      return Result;
+    };
+    while (!Stack.empty()) {
+      auto [B, NextSucc] = Stack.back();
+      auto Succs = succLabels(ByBlock[B]);
+      if (NextSucc < Succs.size()) {
+        ++Stack.back().second;
+        Block *S = Succs[NextSucc];
+        if (State[S] == 0) {
+          State[S] = 1;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      Post.push_back(B);
+      Stack.pop_back();
+    }
+
+    for (auto It = Post.rbegin(); It != Post.rend(); ++It) {
+      ParsedBlock *PB = ByBlock[*It];
+      bool SeenNonPhi = false;
+      for (const Line &L : PB->Insts) {
+        const auto &T = L.Tokens;
+        bool IsPhi = T.size() > 2 && T[1] == "=" && T[2] == "phi";
+        if (IsPhi) {
+          if (SeenNonPhi)
+            return fail(L.Number, "phi after non-phi instruction");
+          continue;
+        }
+        SeenNonPhi = true;
+        if (!createInstruction(L, F, PB->B))
+          return false;
+      }
+    }
+
+    // Any block not in Post is unreachable from the entry.
+    if (Post.size() != PF.Blocks.size())
+      return fail(PF.HeaderLine, "function contains unreachable blocks");
+  }
+
+  // Phi inputs, aligned to the predecessor order we constructed.
+  for (PendingPhi &Pending : Phis) {
+    if (Pending.Inputs.size() != Pending.B->getNumPreds())
+      return fail(Pending.LineNo, "phi input count does not match "
+                                  "predecessor count");
+    for (Block *Pred : Pending.B->preds()) {
+      const std::string PredLabel = Pred->getName();
+      bool Found = false;
+      for (auto &[Val, Label] : Pending.Inputs) {
+        Block *LabelBlock = resolveLabel(Label, Pending.LineNo);
+        if (!LabelBlock)
+          return false;
+        if (LabelBlock == Pred && !Val.empty()) {
+          Instruction *In = resolveValue(Val, Pending.LineNo);
+          if (!In)
+            return false;
+          Pending.Phi->appendInput(In);
+          Val.clear(); // consume (a pred may appear twice)
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        return fail(Pending.LineNo,
+                    "phi has no input for predecessor " + PredLabel);
+    }
+  }
+
+  return true;
+}
+
+ParseResult Parser::run() {
+  ParseResult Result;
+  auto M = std::make_unique<Module>();
+  std::vector<ParsedFunction> Funcs;
+  if (!splitIntoFunctions(Funcs, *M)) {
+    Result.Error = Error;
+    return Result;
+  }
+  for (ParsedFunction &PF : Funcs) {
+    auto F = std::make_unique<Function>(PF.Name, PF.ParamTypes.size(),
+                                        PF.ParamTypes);
+    if (!buildFunction(PF, *F)) {
+      Result.Error = Error;
+      return Result;
+    }
+    M->addFunction(std::move(F));
+  }
+  Result.Mod = std::move(M);
+  return Result;
+}
+
+} // namespace
+
+ParseResult dbds::parseModule(const std::string &Source) {
+  return Parser(Source).run();
+}

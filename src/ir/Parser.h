@@ -1,0 +1,38 @@
+//===- ir/Parser.h - Textual IR input ---------------------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR format produced by ir/Printer.h back into a
+/// Module. Phi inputs are written with explicit predecessor labels, so a
+/// parsed function's phi/predecessor alignment is reconstructed exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_IR_PARSER_H
+#define DBDS_IR_PARSER_H
+
+#include <memory>
+#include <string>
+
+namespace dbds {
+
+class Module;
+
+/// Outcome of a parse: a module, or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Module> Mod;
+  std::string Error; ///< Empty on success; "line N: message" otherwise.
+
+  explicit operator bool() const { return Mod != nullptr; }
+};
+
+/// Parses \p Source into a module. On failure, returns a null module and a
+/// diagnostic naming the offending line.
+ParseResult parseModule(const std::string &Source);
+
+} // namespace dbds
+
+#endif // DBDS_IR_PARSER_H

@@ -1,0 +1,40 @@
+//===- ir/Printer.h - Textual IR output -------------------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints functions and modules in the textual IR format round-tripped by
+/// ir/Parser.h. Used by the examples, golden tests, and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_IR_PRINTER_H
+#define DBDS_IR_PRINTER_H
+
+#include <string>
+
+namespace dbds {
+
+class Block;
+class Function;
+class Instruction;
+class Module;
+
+/// Renders a single instruction (no trailing newline), e.g.
+/// "%3 = add %1, %2".
+std::string printInstruction(const Instruction *I);
+
+/// Renders one block including its label line.
+std::string printBlock(const Block *B);
+
+/// Renders a whole function.
+std::string printFunction(const Function *F);
+
+/// Renders a whole module (class table plus functions).
+std::string printModule(const Module *M);
+
+} // namespace dbds
+
+#endif // DBDS_IR_PRINTER_H

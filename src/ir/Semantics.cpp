@@ -1,0 +1,106 @@
+//===- ir/Semantics.cpp - Evaluation semantics of IR operations -----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Semantics.h"
+
+using namespace dbds;
+
+namespace {
+
+/// Wrapping arithmetic through unsigned to avoid UB on overflow.
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+} // namespace
+
+int64_t dbds::evalBinary(Opcode Op, int64_t LHS, int64_t RHS) {
+  switch (Op) {
+  case Opcode::Add:
+    return wrapAdd(LHS, RHS);
+  case Opcode::Sub:
+    return wrapSub(LHS, RHS);
+  case Opcode::Mul:
+    return wrapMul(LHS, RHS);
+  case Opcode::Div:
+    if (RHS == 0)
+      return 0;
+    if (LHS == INT64_MIN && RHS == -1)
+      return INT64_MIN; // wraps
+    return LHS / RHS;
+  case Opcode::Rem:
+    if (RHS == 0)
+      return 0;
+    if (LHS == INT64_MIN && RHS == -1)
+      return 0;
+    return LHS % RHS;
+  case Opcode::And:
+    return LHS & RHS;
+  case Opcode::Or:
+    return LHS | RHS;
+  case Opcode::Xor:
+    return LHS ^ RHS;
+  case Opcode::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(LHS)
+                                << (RHS & 63));
+  case Opcode::Shr:
+    return LHS >> (RHS & 63); // arithmetic shift
+  default:
+    assert(false && "not a binary opcode");
+    return 0;
+  }
+}
+
+int64_t dbds::evalUnary(Opcode Op, int64_t Value) {
+  switch (Op) {
+  case Opcode::Neg:
+    return wrapSub(0, Value);
+  case Opcode::Not:
+    return ~Value;
+  default:
+    assert(false && "not a unary opcode");
+    return 0;
+  }
+}
+
+int64_t dbds::evalCompare(Predicate Pred, int64_t LHS, int64_t RHS) {
+  switch (Pred) {
+  case Predicate::EQ:
+    return LHS == RHS;
+  case Predicate::NE:
+    return LHS != RHS;
+  case Predicate::LT:
+    return LHS < RHS;
+  case Predicate::LE:
+    return LHS <= RHS;
+  case Predicate::GT:
+    return LHS > RHS;
+  case Predicate::GE:
+    return LHS >= RHS;
+  }
+  assert(false && "unknown predicate");
+  return 0;
+}
+
+int64_t dbds::evalOpaqueCall(unsigned CalleeId, const int64_t *Args,
+                             unsigned NumArgs) {
+  uint64_t Hash = 0x9e3779b97f4a7c15ULL ^ CalleeId;
+  for (unsigned I = 0; I != NumArgs; ++I) {
+    Hash ^= static_cast<uint64_t>(Args[I]) + 0x9e3779b97f4a7c15ULL +
+            (Hash << 6) + (Hash >> 2);
+    Hash *= 0xbf58476d1ce4e5b9ULL;
+  }
+  return static_cast<int64_t>(Hash >> 8);
+}

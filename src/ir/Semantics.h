@@ -1,0 +1,43 @@
+//===- ir/Semantics.h - Evaluation semantics of IR operations --*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for arithmetic/comparison semantics. Both the
+/// constant folder (dbds::opts) and the interpreter (dbds::vm) evaluate
+/// through these functions, so optimization can never change a program's
+/// observable result. Integer arithmetic wraps (two's complement); division
+/// and remainder by zero are defined as 0 (no trap state exists in this
+/// IR, making Div/Rem pure and freely duplicable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_IR_SEMANTICS_H
+#define DBDS_IR_SEMANTICS_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+
+namespace dbds {
+
+/// Evaluates a binary arithmetic opcode on two integer values.
+int64_t evalBinary(Opcode Op, int64_t LHS, int64_t RHS);
+
+/// Evaluates a unary arithmetic opcode.
+int64_t evalUnary(Opcode Op, int64_t Value);
+
+/// Evaluates an integer comparison; returns 0 or 1.
+int64_t evalCompare(Predicate Pred, int64_t LHS, int64_t RHS);
+
+/// Deterministic stand-in semantics for opaque calls: a hash of the callee
+/// id and arguments. Optimizations never reason about this value; it only
+/// keeps program results comparable across optimization levels.
+int64_t evalOpaqueCall(unsigned CalleeId, const int64_t *Args,
+                       unsigned NumArgs);
+
+} // namespace dbds
+
+#endif // DBDS_IR_SEMANTICS_H

@@ -1,0 +1,213 @@
+//===- opts/Canonicalize.cpp - AC / action-step primitives ----------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Canonicalize.h"
+
+#include "ir/Semantics.h"
+
+using namespace dbds;
+
+Instruction *dbds::identityResolver(Instruction *I) { return I; }
+
+Stamp dbds::shallowStamp(Instruction *I) {
+  if (auto *C = dyn_cast<ConstantInst>(I)) {
+    if (C->isNull())
+      return Stamp::definitelyNull();
+    return Stamp::exact(C->getValue());
+  }
+  if (I->getOpcode() == Opcode::New)
+    return Stamp::nonNull();
+  return Stamp::top(I->getType());
+}
+
+bool dbds::isPowerOfTwo(int64_t Value) {
+  return Value >= 1 && (Value & (Value - 1)) == 0;
+}
+
+unsigned dbds::log2OfPowerOfTwo(int64_t Value) {
+  assert(isPowerOfTwo(Value) && "not a power of two");
+  unsigned Log = 0;
+  while (Value > 1) {
+    Value >>= 1;
+    ++Log;
+  }
+  return Log;
+}
+
+namespace {
+
+std::optional<int64_t> constantOf(Instruction *I) {
+  if (auto *C = dyn_cast<ConstantInst>(I))
+    if (!C->isNull())
+      return C->getValue();
+  return std::nullopt;
+}
+
+FoldOutcome existing(Instruction *I) { return {I, false}; }
+FoldOutcome fresh(Instruction *I) { return {I, true}; }
+
+FoldOutcome foldBinary(BinaryInst *Bin, const Resolver &Resolve,
+                       const StampLookup &Stamps, Function &F) {
+  Opcode Op = Bin->getOpcode();
+  Instruction *LHS = Resolve(Bin->getLHS());
+  Instruction *RHS = Resolve(Bin->getRHS());
+  auto LC = constantOf(LHS);
+  auto RC = constantOf(RHS);
+
+  // Constant folding: both operands known.
+  if (LC && RC)
+    return existing(F.constant(evalBinary(Op, *LC, *RC)));
+
+  // Normalize constants to the right for commutative operations so the
+  // identity checks below see them.
+  if (LC && !RC && Bin->isCommutative()) {
+    std::swap(LHS, RHS);
+    std::swap(LC, RC);
+  }
+
+  if (RC) {
+    int64_t C = *RC;
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+      if (C == 0)
+        return existing(LHS); // x +- 0 == x
+      break;
+    case Opcode::Mul:
+      if (C == 0)
+        return existing(F.constant(0));
+      if (C == 1)
+        return existing(LHS);
+      if (isPowerOfTwo(C)) // x * 2^k == x << k (wrapping both ways)
+        return fresh(F.create<BinaryInst>(
+            Opcode::Shl, LHS, F.constant(log2OfPowerOfTwo(C))));
+      break;
+    case Opcode::Div:
+      if (C == 1)
+        return existing(LHS);
+      // x / 2^k == x >> k only for non-negative x (signed division
+      // truncates toward zero). The §4.1 example: 32 cycles -> 1.
+      if (isPowerOfTwo(C) && C != 1 && Stamps(LHS).isInt() &&
+          Stamps(LHS).lo() >= 0)
+        return fresh(F.create<BinaryInst>(
+            Opcode::Shr, LHS, F.constant(log2OfPowerOfTwo(C))));
+      break;
+    case Opcode::Rem:
+      if (C == 1)
+        return existing(F.constant(0));
+      if (isPowerOfTwo(C) && Stamps(LHS).isInt() && Stamps(LHS).lo() >= 0)
+        return fresh(
+            F.create<BinaryInst>(Opcode::And, LHS, F.constant(C - 1)));
+      break;
+    case Opcode::And:
+      if (C == 0)
+        return existing(F.constant(0));
+      if (C == -1)
+        return existing(LHS);
+      break;
+    case Opcode::Or:
+      if (C == 0)
+        return existing(LHS);
+      if (C == -1)
+        return existing(F.constant(-1));
+      break;
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      if (C == 0)
+        return existing(LHS);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Same-operand identities.
+  if (LHS == RHS) {
+    switch (Op) {
+    case Opcode::Sub:
+    case Opcode::Xor:
+      return existing(F.constant(0));
+    case Opcode::And:
+    case Opcode::Or:
+      return existing(LHS);
+    default:
+      break;
+    }
+  }
+
+  // Range-based folding, e.g. (x & 1023) / 16 stays foldable downstream.
+  Stamp Result = binaryStamp(Op, Stamps(LHS), Stamps(RHS));
+  if (auto Known = Result.asConstant())
+    return existing(F.constant(*Known));
+
+  // If resolution changed an operand (phi -> input), materialize the
+  // rewritten operation so simulation can cost it and the optimizer can
+  // insert it.
+  if (LHS != Bin->getLHS() || RHS != Bin->getRHS())
+    return fresh(F.create<BinaryInst>(Op, LHS, RHS));
+  return {};
+}
+
+FoldOutcome foldUnary(UnaryInst *Un, const Resolver &Resolve, Function &F) {
+  Instruction *Val = Resolve(Un->getValue());
+  if (auto C = constantOf(Val))
+    return existing(F.constant(evalUnary(Un->getOpcode(), *C)));
+  if (Val != Un->getValue())
+    return fresh(F.create<UnaryInst>(Un->getOpcode(), Val));
+  return {};
+}
+
+FoldOutcome foldCompareInst(CompareInst *Cmp, const Resolver &Resolve,
+                            const StampLookup &Stamps, Function &F) {
+  Instruction *LHS = Resolve(Cmp->getLHS());
+  Instruction *RHS = Resolve(Cmp->getRHS());
+  if (LHS == RHS) {
+    // x ? x: EQ/LE/GE hold, NE/LT/GT do not.
+    Predicate P = Cmp->getPredicate();
+    bool Holds =
+        P == Predicate::EQ || P == Predicate::LE || P == Predicate::GE;
+    return existing(F.constant(Holds ? 1 : 0));
+  }
+  if (auto Known = foldCompare(Cmp->getPredicate(), Stamps(LHS), Stamps(RHS)))
+    return existing(F.constant(*Known ? 1 : 0));
+  if (LHS != Cmp->getLHS() || RHS != Cmp->getRHS())
+    return fresh(F.create<CompareInst>(Cmp->getPredicate(), LHS, RHS));
+  return {};
+}
+
+} // namespace
+
+FoldOutcome dbds::tryCanonicalize(Instruction *I, const Resolver &Resolve,
+                                  const StampLookup &Stamps, Function &F) {
+  switch (I->getOpcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    return foldBinary(cast<BinaryInst>(I), Resolve, Stamps, F);
+  case Opcode::Neg:
+  case Opcode::Not:
+    return foldUnary(cast<UnaryInst>(I), Resolve, F);
+  case Opcode::Cmp:
+    return foldCompareInst(cast<CompareInst>(I), Resolve, Stamps, F);
+  case Opcode::Phi: {
+    // Copy propagation: a phi whose inputs all agree is that value.
+    auto *Phi = cast<PhiInst>(I);
+    if (Instruction *Unique = Phi->getUniqueInput())
+      return existing(Unique);
+    return {};
+  }
+  default:
+    return {};
+  }
+}

@@ -1,0 +1,82 @@
+//===- opts/Canonicalize.h - AC / action-step primitives --------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The applicability-check (AC) / action-step split from the paper (§4.1,
+/// after Chang et al.): every local optimization is expressed as a pure
+/// function from an instruction (with operands seen through a resolver) to
+/// a replacement value. The action step never mutates existing IR — it
+/// either returns an existing value (constant, operand) or a fresh
+/// *detached* instruction. This is exactly what lets the DBDS simulation
+/// tier evaluate optimizations without performing them: the simulation
+/// passes a synonym-map resolver, the real phases pass identity.
+///
+/// Covered here: constant folding and strength reduction (division /
+/// remainder / multiplication by powers of two, algebraic identities) and
+/// stamp-based comparison folding. Conditional elimination, read
+/// elimination, and allocation sinking have their own traversals but reuse
+/// these primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_OPTS_CANONICALIZE_H
+#define DBDS_OPTS_CANONICALIZE_H
+
+#include "ir/Function.h"
+#include "opts/Stamp.h"
+
+#include <functional>
+
+namespace dbds {
+
+/// Maps an operand to the value to reason about. The DBDS simulation
+/// resolves phis to their per-predecessor inputs and already-folded
+/// instructions to their synonyms; real phases use the identity.
+using Resolver = std::function<Instruction *(Instruction *)>;
+
+/// Yields the best known stamp of a value *after resolution*.
+using StampLookup = std::function<Stamp(Instruction *)>;
+
+/// The identity resolver.
+Instruction *identityResolver(Instruction *I);
+
+/// A stamp lookup using only locally-obvious facts (constants are exact,
+/// everything else is top). CE and the simulation pass richer lookups.
+Stamp shallowStamp(Instruction *I);
+
+/// Result of one action step.
+struct FoldOutcome {
+  /// The replacement value, or null when no optimization applies (AC
+  /// failed). May be an existing instruction or a freshly created,
+  /// detached one.
+  Instruction *Replacement = nullptr;
+
+  /// True when Replacement was newly created and is not yet inserted into
+  /// a block (the caller must insert it or account for it in simulation).
+  bool IsNew = false;
+
+  explicit operator bool() const { return Replacement != nullptr; }
+};
+
+/// Constant folding + strength reduction + algebraic simplification for
+/// arithmetic, comparison, and phi instructions.
+///
+/// \p I is inspected with operands seen through \p Resolve; \p Stamps
+/// supplies value-range knowledge (strength-reducing a signed division
+/// requires a non-negative dividend). New instructions are created in \p F
+/// but left detached.
+FoldOutcome tryCanonicalize(Instruction *I, const Resolver &Resolve,
+                            const StampLookup &Stamps, Function &F);
+
+/// True if \p Value is a power of two (>= 1).
+bool isPowerOfTwo(int64_t Value);
+
+/// log2 of a power of two.
+unsigned log2OfPowerOfTwo(int64_t Value);
+
+} // namespace dbds
+
+#endif // DBDS_OPTS_CANONICALIZE_H

@@ -1,0 +1,44 @@
+//===- opts/Canonicalizer.cpp - Local folding phase ------------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "opts/Canonicalize.h"
+#include "opts/Phase.h"
+#include "opts/StampMap.h"
+
+using namespace dbds;
+
+Phase::~Phase() = default;
+
+bool Canonicalizer::run(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  StampMap Stamps;
+  auto Lookup = [&Stamps](Instruction *I) { return Stamps.get(I); };
+  while (LocalChange) {
+    LocalChange = false;
+    for (Block *B : F.blocks()) {
+      // Snapshot: folding edits the list.
+      SmallVector<Instruction *, 16> Insts(B->begin(), B->end());
+      for (Instruction *I : Insts) {
+        if (I->getBlock() != B)
+          continue; // already removed by an earlier fold this sweep
+        if (I->isTerminator())
+          continue;
+        FoldOutcome Outcome = tryCanonicalize(I, identityResolver, Lookup, F);
+        if (!Outcome)
+          continue;
+        Instruction *Repl = Outcome.Replacement;
+        if (Outcome.IsNew)
+          B->insert(B->indexOf(I), Repl);
+        I->replaceAllUsesWith(Repl);
+        B->remove(I);
+        LocalChange = Changed = true;
+      }
+    }
+  }
+  return Changed;
+}

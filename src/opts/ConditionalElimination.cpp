@@ -1,0 +1,101 @@
+//===- opts/ConditionalElimination.cpp - Branch-aware folding --------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Walks the dominator tree depth-first. Descending into a branch successor
+// that is dominated by the branch edge, the condition's truth value is
+// recorded and the compared operands' stamps are refined; instructions in
+// the subtree then fold against the refined stamps. This is the paper's
+// conditional-elimination opportunity (Listing 1/2): after duplication the
+// copied comparison sits in a refined scope and folds to a constant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "opts/Canonicalize.h"
+#include "opts/Phase.h"
+#include "opts/ScopedStamps.h"
+
+using namespace dbds;
+
+namespace {
+
+class CEDriver {
+public:
+  CEDriver(Function &F, const DominatorTree &DT)
+      : F(F), DT(DT), Scope(Stamps) {}
+
+  bool run() {
+    visit(F.getEntry());
+    return Changed;
+  }
+
+private:
+  void visit(Block *B) {
+    ScopedStamps::UndoLog Undo;
+
+    // Refinement from the dominating branch: applies when B is a branch
+    // successor whose only predecessor is the branching block.
+    if (Block *Idom = DT.getIdom(B)) {
+      if (B->getNumPreds() == 1 && B->preds()[0] == Idom) {
+        if (auto *If = dyn_cast<IfInst>(Idom->getTerminator())) {
+          if (If->getTrueSucc() == B)
+            Scope.refineByCondition(If->getCondition(), true, Undo);
+          else if (If->getFalseSucc() == B)
+            Scope.refineByCondition(If->getCondition(), false, Undo);
+        }
+      }
+    }
+
+    // Fold instructions against refined stamps.
+    auto Lookup = [this](Instruction *I) { return Scope.get(I); };
+    SmallVector<Instruction *, 16> Insts(B->begin(), B->end());
+    for (Instruction *I : Insts) {
+      if (I->getBlock() != B || I->isTerminator() || isa<PhiInst>(I))
+        continue;
+      FoldOutcome Outcome = tryCanonicalize(I, identityResolver, Lookup, F);
+      if (!Outcome)
+        continue;
+      // Refined ranges can enable rewrites plain canonicalization cannot
+      // see, e.g. x/8 -> x>>3 under a dominating x >= 0.
+      if (Outcome.IsNew)
+        B->insert(B->indexOf(I), Outcome.Replacement);
+      I->replaceAllUsesWith(Outcome.Replacement);
+      B->remove(I);
+      Changed = true;
+    }
+
+    // Replace a branch condition whose value the scope knows. SimplifyCFG
+    // folds the branch afterwards.
+    if (auto *If = dyn_cast<IfInst>(B->getTerminator())) {
+      Instruction *Cond = If->getCondition();
+      if (!isa<ConstantInst>(Cond)) {
+        if (auto Known = Scope.get(Cond).asConstant()) {
+          If->setOperand(0, F.constant(*Known));
+          Changed = true;
+        }
+      }
+    }
+
+    for (Block *Child : DT.children(B))
+      visit(Child);
+
+    Scope.undo(Undo);
+  }
+
+  Function &F;
+  const DominatorTree &DT;
+  StampMap Stamps;
+  ScopedStamps Scope;
+  bool Changed = false;
+};
+
+} // namespace
+
+bool ConditionalElimination::run(Function &F) {
+  DominatorTree DT(F);
+  CEDriver Driver(F, DT);
+  return Driver.run();
+}

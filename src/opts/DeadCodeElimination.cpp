@@ -1,0 +1,94 @@
+//===- opts/DeadCodeElimination.cpp - Mark-and-sweep DCE -------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Liveness roots are terminators, calls, and stores into objects that may
+// escape. A store into a non-escaping allocation is only a root if the
+// allocation itself becomes live (via a surviving load or escape); an
+// allocation kept alive by nothing but its own initializing stores dies
+// together with them — that is scalar replacement after partial escape
+// analysis (paper Listing 3/4): once duplication removes the phi escape,
+// the allocation sinks away here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/MemoryState.h"
+#include "opts/Phase.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace dbds;
+
+bool DeadCodeElimination::run(Function &F) {
+  std::unordered_set<Instruction *> Live;
+  std::vector<Instruction *> Worklist;
+
+  auto markLive = [&](Instruction *I) {
+    if (Live.insert(I).second)
+      Worklist.push_back(I);
+  };
+
+  // Initial roots. Stores into candidate-sinkable allocations are held
+  // back; they join the worklist only if their allocation becomes live.
+  std::vector<StoreFieldInst *> HeldBackStores;
+  for (Block *B : F.blocks()) {
+    for (Instruction *I : *B) {
+      if (I->isTerminator() || isa<CallInst, InvokeInst>(I)) {
+        markLive(I);
+        continue;
+      }
+      if (auto *Store = dyn_cast<StoreFieldInst>(I)) {
+        auto *New = dyn_cast<NewInst>(Store->getObject());
+        if (New && allocationDoesNotEscape(New)) {
+          HeldBackStores.push_back(Store);
+          continue;
+        }
+        markLive(Store);
+      }
+    }
+  }
+
+  // Propagate liveness through operands; re-arm held-back stores whose
+  // allocation became live.
+  while (true) {
+    while (!Worklist.empty()) {
+      Instruction *I = Worklist.back();
+      Worklist.pop_back();
+      for (Instruction *Op : I->operands())
+        markLive(Op);
+    }
+    bool Rearmed = false;
+    for (StoreFieldInst *Store : HeldBackStores) {
+      if (!Live.count(Store) && Live.count(Store->getObject())) {
+        markLive(Store);
+        Rearmed = true;
+      }
+    }
+    if (!Rearmed)
+      break;
+  }
+
+  // Sweep. Collect first (removal edits block lists), then detach; an
+  // unmarked instruction is never an operand of a marked one.
+  bool Changed = false;
+  for (Block *B : F.blocks()) {
+    SmallVector<Instruction *, 16> Dead;
+    for (Instruction *I : *B)
+      if (!Live.count(I))
+        Dead.push_back(I);
+    // Remove uses-last: later instructions use earlier ones.
+    for (auto It = Dead.end(); It != Dead.begin();) {
+      --It;
+      Instruction *I = *It;
+      // A dead value may still be listed as operand of other dead
+      // instructions; Block::remove detaches operands, so removing in
+      // reverse program order keeps use lists exact.
+      B->remove(I);
+      Changed = true;
+    }
+  }
+  return Changed;
+}

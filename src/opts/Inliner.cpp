@@ -1,0 +1,259 @@
+//===- opts/Inliner.cpp - Function inlining ---------------------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Per call site: split the invoking block around the invoke, clone the
+// callee's (reachable) blocks into the caller with parameters mapped to
+// the arguments, route every callee return into the continuation block
+// (joining return values with a phi when there are several), and replace
+// the invoke's uses with the returned value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Inliner.h"
+
+#include "analysis/DominatorTree.h"
+#include "ir/Block.h"
+
+#include <unordered_map>
+
+using namespace dbds;
+
+namespace {
+
+/// Clones the callee body into the caller. Returns the entry clone block;
+/// fills \p ReturnEdges with (cloned return block, returned value or null).
+Block *cloneCalleeInto(
+    Function &Caller, Function &Callee, ArrayRef<Instruction *> Args,
+    std::vector<std::pair<Block *, Instruction *>> &ReturnEdges) {
+  std::unordered_map<const Block *, Block *> BlockMap;
+  std::vector<Block *> RPO = computeRPO(Callee);
+  for (Block *B : RPO)
+    BlockMap[B] = Caller.createBlock();
+
+  std::unordered_map<const Instruction *, Instruction *> InstMap;
+  auto mapped = [&InstMap](Instruction *V) {
+    auto It = InstMap.find(V);
+    assert(It != InstMap.end() && "callee operand not cloned yet");
+    return It->second;
+  };
+
+  for (Block *B : RPO) {
+    Block *NB = BlockMap.at(B);
+    for (Instruction *I : *B) {
+      Instruction *NI = nullptr;
+      switch (I->getOpcode()) {
+      case Opcode::Constant: {
+        auto *C = cast<ConstantInst>(I);
+        NI = C->isNull() ? Caller.nullConstant()
+                         : Caller.constant(C->getValue());
+        InstMap[I] = NI;
+        continue; // uniqued into the caller entry; nothing to append
+      }
+      case Opcode::Param:
+        // Parameters become the call arguments.
+        InstMap[I] = Args[cast<ParamInst>(I)->getIndex()];
+        continue;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+        NI = Caller.create<BinaryInst>(I->getOpcode(),
+                                       mapped(I->getOperand(0)),
+                                       mapped(I->getOperand(1)));
+        break;
+      case Opcode::Neg:
+      case Opcode::Not:
+        NI = Caller.create<UnaryInst>(I->getOpcode(),
+                                      mapped(I->getOperand(0)));
+        break;
+      case Opcode::Cmp:
+        NI = Caller.create<CompareInst>(cast<CompareInst>(I)->getPredicate(),
+                                        mapped(I->getOperand(0)),
+                                        mapped(I->getOperand(1)));
+        break;
+      case Opcode::Phi:
+        NI = Caller.create<PhiInst>(I->getType()); // inputs in pass 2
+        break;
+      case Opcode::New:
+        NI = Caller.create<NewInst>(cast<NewInst>(I)->getClassId());
+        break;
+      case Opcode::LoadField:
+        NI = Caller.create<LoadFieldInst>(
+            mapped(I->getOperand(0)),
+            cast<LoadFieldInst>(I)->getFieldIndex());
+        break;
+      case Opcode::StoreField:
+        NI = Caller.create<StoreFieldInst>(
+            mapped(I->getOperand(0)),
+            cast<StoreFieldInst>(I)->getFieldIndex(),
+            mapped(I->getOperand(1)));
+        break;
+      case Opcode::Call: {
+        SmallVector<Instruction *, 4> CallArgs;
+        for (Instruction *Arg : I->operands())
+          CallArgs.push_back(mapped(Arg));
+        NI = Caller.create<CallInst>(
+            cast<CallInst>(I)->getCalleeId(),
+            ArrayRef<Instruction *>(CallArgs.begin(), CallArgs.size()));
+        break;
+      }
+      case Opcode::Invoke: {
+        SmallVector<Instruction *, 4> CallArgs;
+        for (Instruction *Arg : I->operands())
+          CallArgs.push_back(mapped(Arg));
+        NI = Caller.create<InvokeInst>(
+            cast<InvokeInst>(I)->getCalleeName(),
+            ArrayRef<Instruction *>(CallArgs.begin(), CallArgs.size()));
+        break;
+      }
+      case Opcode::If: {
+        auto *If = cast<IfInst>(I);
+        auto *NIf = Caller.create<IfInst>(mapped(If->getCondition()),
+                                          BlockMap.at(If->getTrueSucc()),
+                                          BlockMap.at(If->getFalseSucc()));
+        NIf->setTrueProbability(If->getTrueProbability());
+        NI = NIf;
+        break;
+      }
+      case Opcode::Jump:
+        NI = Caller.create<JumpInst>(
+            BlockMap.at(cast<JumpInst>(I)->getTarget()));
+        break;
+      case Opcode::Return: {
+        // Returns become edges into the continuation (wired by caller).
+        auto *Ret = cast<ReturnInst>(I);
+        ReturnEdges.push_back(
+            {NB, Ret->hasValue() ? mapped(Ret->getValue()) : nullptr});
+        InstMap[I] = nullptr;
+        continue; // terminator appended by the caller of this helper
+      }
+      }
+      assert(NI && "unhandled opcode while inlining");
+      InstMap[I] = NI;
+      NB->append(NI);
+    }
+  }
+
+  // Pass 2: predecessor lists and phi inputs (mirrors Function::clone).
+  for (Block *B : RPO) {
+    Block *NB = BlockMap.at(B);
+    for (Block *P : B->preds())
+      NB->addPred(BlockMap.at(P));
+    auto OldPhis = B->phis();
+    auto NewPhis = NB->phis();
+    assert(OldPhis.size() == NewPhis.size() && "phi count mismatch");
+    for (unsigned PhiIdx = 0; PhiIdx != OldPhis.size(); ++PhiIdx)
+      for (Instruction *In : OldPhis[PhiIdx]->operands())
+        NewPhis[PhiIdx]->appendInput(mapped(In));
+  }
+
+  return BlockMap.at(Callee.getEntry());
+}
+
+/// Inlines one invoke. Returns false when the site is ineligible.
+bool inlineOneSite(Function &Caller, InvokeInst *Invoke, const Module &M,
+                   const InlinerConfig &Config) {
+  Function *Callee = M.getFunction(Invoke->getCalleeName());
+  if (!Callee || Callee == &Caller)
+    return false; // unknown or directly recursive
+  if (Callee->getNumParams() != Invoke->getNumOperands())
+    return false; // malformed site
+  if (Callee->estimatedCodeSize() > Config.MaxCalleeSize)
+    return false;
+  if (Caller.estimatedCodeSize() + Callee->estimatedCodeSize() >
+      Config.MaxCallerSize)
+    return false;
+
+  Block *Site = Invoke->getBlock();
+  unsigned SiteIdx = Site->indexOf(Invoke);
+
+  // Split: everything after the invoke moves to the continuation; the old
+  // terminator's edges now originate from the continuation.
+  Block *Continuation = Caller.createBlock();
+  Site->transferTailTo(SiteIdx + 1, Continuation);
+  for (Block *Succ : Continuation->succs())
+    for (unsigned Idx = 0, E = Succ->getNumPreds(); Idx != E; ++Idx)
+      if (Succ->preds()[Idx] == Site)
+        Succ->replacePred(Idx, Continuation);
+
+  // Clone the callee; collect its return edges.
+  SmallVector<Instruction *, 4> Args(Invoke->operands().begin(),
+                                     Invoke->operands().end());
+  std::vector<std::pair<Block *, Instruction *>> ReturnEdges;
+  Block *CalleeEntry = cloneCalleeInto(
+      Caller, *Callee, ArrayRef<Instruction *>(Args.begin(), Args.size()),
+      ReturnEdges);
+  assert(!ReturnEdges.empty() && "callee without reachable return");
+
+  // Remove the invoke and enter the callee.
+  Instruction *ReturnValue = nullptr;
+  if (ReturnEdges.size() == 1 && ReturnEdges[0].second) {
+    ReturnValue = ReturnEdges[0].second;
+  } else if (ReturnEdges.size() > 1) {
+    auto *Phi = Caller.create<PhiInst>(Type::Int);
+    Continuation->insertPhi(Phi);
+    bool AllHaveValues = true;
+    for (auto &[RetBlock, Value] : ReturnEdges)
+      AllHaveValues &= Value != nullptr;
+    if (AllHaveValues) {
+      for (auto &[RetBlock, Value] : ReturnEdges)
+        Phi->appendInput(Value);
+      ReturnValue = Phi;
+    } else {
+      Continuation->remove(Phi);
+    }
+  }
+  if (!ReturnValue && Invoke->hasUsers())
+    ReturnValue = Caller.constant(0); // void-returning callee: invoke is 0
+
+  if (Invoke->hasUsers())
+    Invoke->replaceAllUsesWith(ReturnValue);
+  Site->remove(Invoke);
+  Site->append(Caller.create<JumpInst>(CalleeEntry));
+  CalleeEntry->addPred(Site);
+
+  // Wire every return edge into the continuation.
+  for (auto &[RetBlock, Value] : ReturnEdges) {
+    (void)Value;
+    RetBlock->append(Caller.create<JumpInst>(Continuation));
+    Continuation->addPred(RetBlock);
+  }
+  return true;
+}
+
+} // namespace
+
+unsigned dbds::inlineInvokes(Function &Caller, const Module &M,
+                             const InlinerConfig &Config) {
+  unsigned Inlined = 0;
+  // Each round snapshots the current call sites; sites introduced by an
+  // inlined body are handled by the next round (bounded nesting depth).
+  for (unsigned Round = 0; Round != Config.MaxRounds; ++Round) {
+    SmallVector<InvokeInst *, 8> Sites;
+    for (Block *B : Caller.blocks())
+      for (Instruction *I : *B)
+        if (auto *Invoke = dyn_cast<InvokeInst>(I))
+          Sites.push_back(Invoke);
+    if (Sites.empty())
+      break;
+    bool Progress = false;
+    for (InvokeInst *Site : Sites) {
+      if (inlineOneSite(Caller, Site, M, Config)) {
+        ++Inlined;
+        Progress = true;
+      }
+    }
+    if (!Progress)
+      break;
+  }
+  return Inlined;
+}

@@ -1,0 +1,42 @@
+//===- opts/Inliner.h - Function inlining ------------------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inlines direct invokes of module functions — the front-end step paper
+/// §5.1 lists before the high-level optimizations ("inlining and partial
+/// escape analysis"). Inlining is what feeds DBDS its richest merges: a
+/// callee's control flow lands inside the caller, where duplication can
+/// specialize it per call path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_OPTS_INLINER_H
+#define DBDS_OPTS_INLINER_H
+
+#include "ir/Function.h"
+
+namespace dbds {
+
+/// Inlining policy knobs.
+struct InlinerConfig {
+  /// Callees above this size estimate are not inlined.
+  uint64_t MaxCalleeSize = 256;
+  /// Stop growing the caller past this size estimate.
+  uint64_t MaxCallerSize = 16384;
+  /// Rounds of inlining (an inlined body may itself contain invokes).
+  unsigned MaxRounds = 3;
+};
+
+/// Inlines eligible invokes of \p M's functions into \p Caller:
+/// non-recursive direct calls to known functions within the size budget.
+/// Returns the number of call sites inlined. Leaves the caller
+/// verifier-clean.
+unsigned inlineInvokes(Function &Caller, const Module &M,
+                       const InlinerConfig &Config = {});
+
+} // namespace dbds
+
+#endif // DBDS_OPTS_INLINER_H

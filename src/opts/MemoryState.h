@@ -1,0 +1,77 @@
+//===- opts/MemoryState.h - Field availability map --------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory knowledge read elimination and the DBDS simulation tier
+/// track: which (object, field) locations hold which SSA value, plus the
+/// set of fresh (never-escaping) allocations whose fields are exactly
+/// known. Value-copyable so traversals can fork per dominator-tree child.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_OPTS_MEMORYSTATE_H
+#define DBDS_OPTS_MEMORYSTATE_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dbds {
+
+/// True if \p New never escapes: every use is a field access *on* it (not
+/// storing it anywhere, passing it, returning it, merging it in a phi).
+/// After duplication removes a phi use, this starts holding — the paper's
+/// partial-escape pattern (Listing 3).
+bool allocationDoesNotEscape(NewInst *New);
+
+/// A flow-sensitive (object, field) -> value map with freshness tracking.
+class MemoryState {
+public:
+  /// Forgets everything (used at merge points).
+  void clear();
+
+  /// Registers a fresh allocation: if it provably never escapes, its
+  /// \p NumFields fields are known to be zero and opaque calls cannot
+  /// touch it.
+  void recordAllocation(NewInst *New, unsigned NumFields);
+
+  /// Applies a store: kills may-alias entries, records the new value.
+  void recordStore(Instruction *Object, unsigned Field, Instruction *Value);
+
+  /// Records a performed load so later identical loads are redundant.
+  void recordLoad(LoadFieldInst *Load);
+
+  /// Records availability without any kill (reads do not invalidate).
+  void recordAvailable(Instruction *Object, unsigned Field,
+                       Instruction *Value);
+
+  /// The value known to live at (\p Object, \p Field), or null.
+  Instruction *lookup(Instruction *Object, unsigned Field) const;
+
+  /// Applies an opaque call: kills everything except fresh allocations.
+  void killForCall();
+
+  bool isFresh(Instruction *Object) const {
+    return Fresh.count(Object) != 0;
+  }
+
+private:
+  struct KeyHash {
+    size_t operator()(const std::pair<Instruction *, unsigned> &K) const {
+      return std::hash<Instruction *>()(K.first) * 31 + K.second;
+    }
+  };
+
+  std::unordered_map<std::pair<Instruction *, unsigned>, Instruction *,
+                     KeyHash>
+      Available;
+  std::unordered_set<Instruction *> Fresh;
+};
+
+} // namespace dbds
+
+#endif // DBDS_OPTS_MEMORYSTATE_H

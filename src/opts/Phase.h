@@ -1,0 +1,134 @@
+//===- opts/Phase.h - Optimization phases ------------------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimization phases of paper §2, each expressed over the AC /
+/// action-step primitives in opts/Canonicalize.h, plus the cleanup phases
+/// (DCE, CFG simplification) and the PhaseManager fixpoint driver. These
+/// are the "partial optimizations" DBDS applies after duplication and the
+/// full pipeline the backtracking baseline runs per candidate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_OPTS_PHASE_H
+#define DBDS_OPTS_PHASE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <vector>
+
+namespace dbds {
+
+class Module;
+
+/// An IR-to-IR transformation over one compilation unit.
+class Phase {
+public:
+  virtual ~Phase();
+
+  /// Human-readable phase name (diagnostics and timing).
+  virtual const char *name() const = 0;
+
+  /// Runs the phase. Returns true if the IR changed. Must leave the
+  /// function in a verifier-clean state.
+  virtual bool run(Function &F) = 0;
+};
+
+/// Constant folding, strength reduction, algebraic identities, and phi
+/// copy propagation (paper §2 "Constant Folding", §4.1 strength-reduction
+/// example). Local, iterates to an in-phase fixpoint.
+class Canonicalizer : public Phase {
+public:
+  const char *name() const override { return "canonicalize"; }
+  bool run(Function &F) override;
+};
+
+/// Conditional elimination (paper §2, after Stadler et al.): walks the
+/// dominator tree, refines stamps with dominating branch conditions, and
+/// folds comparisons (and any arithmetic the refined ranges decide).
+class ConditionalElimination : public Phase {
+public:
+  const char *name() const override { return "conditional-elimination"; }
+  bool run(Function &F) override;
+};
+
+/// Read elimination (paper §2): forwards stored/loaded field values within
+/// extended basic blocks along the dominator tree; merge blocks reset
+/// memory knowledge (duplication is exactly what turns partially redundant
+/// reads into fully redundant ones, Listing 5/6). Knows fresh allocations'
+/// fields are zero and keeps them alive across opaque calls.
+class ReadElimination : public Phase {
+public:
+  /// \p ClassTable supplies field counts for zero-initialized fresh
+  /// allocations; pass null to disable freshness reasoning.
+  explicit ReadElimination(const Module *ClassTable = nullptr)
+      : ClassTable(ClassTable) {}
+
+  const char *name() const override { return "read-elimination"; }
+  bool run(Function &F) override;
+
+private:
+  const Module *ClassTable;
+};
+
+/// Dominator-based value numbering (Briggs/Cooper/Simpson, the paper's
+/// [5]): replaces pure recomputations with equal values available in a
+/// dominator. Mops up the partial copies duplication leaves behind.
+class ValueNumbering : public Phase {
+public:
+  const char *name() const override { return "value-numbering"; }
+  bool run(Function &F) override;
+};
+
+/// Dead code elimination by mark-and-sweep, including allocation sinking /
+/// scalar replacement (paper §2 PEA): an allocation whose remaining uses
+/// are only stores into it is deleted together with those stores.
+class DeadCodeElimination : public Phase {
+public:
+  const char *name() const override { return "dce"; }
+  bool run(Function &F) override;
+};
+
+/// Control-flow cleanup: folds constant branches, prunes unreachable
+/// blocks, threads empty forwarding blocks, and merges straight-line block
+/// pairs. Collapsed merges are how a fully duplicated merge block
+/// disappears.
+class SimplifyCFG : public Phase {
+public:
+  const char *name() const override { return "simplify-cfg"; }
+  bool run(Function &F) override;
+};
+
+/// Runs a pipeline of phases to a fixpoint (bounded rounds), optionally
+/// verifying after every phase.
+class PhaseManager {
+public:
+  explicit PhaseManager(bool VerifyAfterEachPhase = true)
+      : Verify(VerifyAfterEachPhase) {}
+
+  /// Appends a phase to the pipeline.
+  void add(std::unique_ptr<Phase> P) { Phases.push_back(std::move(P)); }
+
+  /// Runs all phases repeatedly until none reports a change (at most
+  /// \p MaxRounds rounds). Returns true if anything changed.
+  bool run(Function &F, unsigned MaxRounds = 4);
+
+  /// The standard cleanup pipeline used after duplication and by the
+  /// baseline configuration: canonicalize, CE, read elimination, DCE,
+  /// simplify-cfg. \p ClassTable enables freshness reasoning in read
+  /// elimination.
+  static PhaseManager standardPipeline(bool Verify = true,
+                                       const Module *ClassTable = nullptr);
+
+private:
+  std::vector<std::unique_ptr<Phase>> Phases;
+  bool Verify;
+};
+
+} // namespace dbds
+
+#endif // DBDS_OPTS_PHASE_H

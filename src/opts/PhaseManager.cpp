@@ -1,0 +1,48 @@
+//===- opts/PhaseManager.cpp - Fixpoint pipeline driver --------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "opts/Phase.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dbds;
+
+bool PhaseManager::run(Function &F, unsigned MaxRounds) {
+  bool Changed = false;
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    bool RoundChanged = false;
+    for (const auto &P : Phases) {
+      bool PhaseChanged = P->run(F);
+      RoundChanged |= PhaseChanged;
+      if (Verify && PhaseChanged) {
+        std::string Error = verifyFunction(F);
+        if (!Error.empty()) {
+          fprintf(stderr, "verifier failed after %s on @%s: %s\n", P->name(),
+                  F.getName().c_str(), Error.c_str());
+          abort();
+        }
+      }
+    }
+    Changed |= RoundChanged;
+    if (!RoundChanged)
+      break;
+  }
+  return Changed;
+}
+
+PhaseManager PhaseManager::standardPipeline(bool Verify,
+                                            const Module *ClassTable) {
+  PhaseManager PM(Verify);
+  PM.add(std::make_unique<Canonicalizer>());
+  PM.add(std::make_unique<ValueNumbering>());
+  PM.add(std::make_unique<ConditionalElimination>());
+  PM.add(std::make_unique<ReadElimination>(ClassTable));
+  PM.add(std::make_unique<DeadCodeElimination>());
+  PM.add(std::make_unique<SimplifyCFG>());
+  return PM;
+}

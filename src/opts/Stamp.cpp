@@ -1,0 +1,245 @@
+//===- opts/Stamp.cpp - Value range / nullness lattice ---------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/Stamp.h"
+
+#include <algorithm>
+
+using namespace dbds;
+
+std::optional<Stamp> Stamp::meet(const Stamp &Other) const {
+  if (isInt() != Other.isInt())
+    return std::nullopt;
+  if (isInt()) {
+    int64_t NewLo = std::max(Lo, Other.Lo);
+    int64_t NewHi = std::min(Hi, Other.Hi);
+    if (NewLo > NewHi)
+      return std::nullopt;
+    return Stamp(NewLo, NewHi);
+  }
+  if (Null == Other.Null)
+    return *this;
+  if (Null == Nullness::Maybe)
+    return Other;
+  if (Other.Null == Nullness::Maybe)
+    return *this;
+  return std::nullopt; // Null meet NonNull
+}
+
+Stamp Stamp::join(const Stamp &Other) const {
+  assert(isInt() == Other.isInt() && "joining stamps of different kinds");
+  if (isInt())
+    return Stamp(std::min(Lo, Other.Lo), std::max(Hi, Other.Hi));
+  return Null == Other.Null ? *this : Stamp(Nullness::Maybe);
+}
+
+bool Stamp::operator==(const Stamp &Other) const {
+  if (Kind != Other.Kind)
+    return false;
+  if (isInt())
+    return Lo == Other.Lo && Hi == Other.Hi;
+  return Null == Other.Null;
+}
+
+namespace {
+
+/// 128-bit helpers: saturate a range computation to [INT64_MIN, INT64_MAX]
+/// or return the full range when the bounds cannot be represented.
+Stamp fromWide(__int128 Lo, __int128 Hi) {
+  constexpr __int128 Min = INT64_MIN, Max = INT64_MAX;
+  if (Lo < Min || Hi > Max)
+    return Stamp::top(Type::Int);
+  return Stamp::range(static_cast<int64_t>(Lo), static_cast<int64_t>(Hi));
+}
+
+} // namespace
+
+Stamp dbds::binaryStamp(Opcode Op, const Stamp &LHS, const Stamp &RHS) {
+  if (!LHS.isInt() || !RHS.isInt())
+    return Stamp::top(Type::Int);
+  __int128 LLo = LHS.lo(), LHi = LHS.hi();
+  __int128 RLo = RHS.lo(), RHi = RHS.hi();
+  switch (Op) {
+  case Opcode::Add:
+    return fromWide(LLo + RLo, LHi + RHi);
+  case Opcode::Sub:
+    return fromWide(LLo - RHi, LHi - RLo);
+  case Opcode::Mul: {
+    __int128 Products[4] = {LLo * RLo, LLo * RHi, LHi * RLo, LHi * RHi};
+    __int128 Lo = Products[0], Hi = Products[0];
+    for (__int128 P : Products) {
+      Lo = P < Lo ? P : Lo;
+      Hi = P > Hi ? P : Hi;
+    }
+    return fromWide(Lo, Hi);
+  }
+  case Opcode::Div:
+    // x/0 == 0 here, so 0 is always a possible result; with a positive
+    // divisor the magnitude never grows.
+    if (LHS.lo() >= 0 && RHS.lo() >= 0)
+      return Stamp::range(0, LHS.hi());
+    return Stamp::top(Type::Int);
+  case Opcode::Rem:
+    if (RHS.lo() >= 1) {
+      // |x rem y| < y and the sign follows x; x rem 0 == 0.
+      int64_t Bound = RHS.hi() - 1;
+      int64_t Lo = LHS.lo() >= 0 ? 0 : -Bound;
+      int64_t Hi = LHS.hi() <= 0 ? 0 : Bound;
+      return Stamp::range(std::min(Lo, Hi), std::max(Lo, Hi));
+    }
+    return Stamp::top(Type::Int);
+  case Opcode::And:
+    // Masking with any non-negative value clears the sign bit and cannot
+    // exceed that value, regardless of the other operand.
+    if (LHS.lo() >= 0 && RHS.lo() >= 0)
+      return Stamp::range(0, std::min(LHS.hi(), RHS.hi()));
+    if (RHS.lo() >= 0)
+      return Stamp::range(0, RHS.hi());
+    if (LHS.lo() >= 0)
+      return Stamp::range(0, LHS.hi());
+    return Stamp::top(Type::Int);
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+    return Stamp::top(Type::Int);
+  case Opcode::Shr:
+    if (RHS.lo() >= 0 && RHS.hi() <= 63) {
+      // Arithmetic shift of both bounds brackets the result.
+      int64_t A = LHS.lo() >> RHS.lo(), B = LHS.lo() >> RHS.hi();
+      int64_t C = LHS.hi() >> RHS.lo(), D = LHS.hi() >> RHS.hi();
+      return Stamp::range(std::min(std::min(A, B), std::min(C, D)),
+                          std::max(std::max(A, B), std::max(C, D)));
+    }
+    return Stamp::top(Type::Int);
+  default:
+    assert(false && "not a binary opcode");
+    return Stamp::top(Type::Int);
+  }
+}
+
+Stamp dbds::unaryStamp(Opcode Op, const Stamp &Value) {
+  if (!Value.isInt())
+    return Stamp::top(Type::Int);
+  switch (Op) {
+  case Opcode::Neg: {
+    __int128 Lo = -static_cast<__int128>(Value.hi());
+    __int128 Hi = -static_cast<__int128>(Value.lo());
+    return fromWide(Lo, Hi);
+  }
+  case Opcode::Not:
+    return Stamp::range(~Value.hi(), ~Value.lo());
+  default:
+    assert(false && "not a unary opcode");
+    return Stamp::top(Type::Int);
+  }
+}
+
+std::optional<bool> dbds::foldCompare(Predicate Pred, const Stamp &LHS,
+                                      const Stamp &RHS) {
+  if (LHS.isObj() || RHS.isObj()) {
+    // Object comparisons: only null-related facts fold.
+    if (!LHS.isObj() || !RHS.isObj())
+      return std::nullopt;
+    bool Decided;
+    if (LHS.isNull() && RHS.isNull())
+      Decided = true; // equal
+    else if ((LHS.isNull() && RHS.isNonNull()) ||
+             (LHS.isNonNull() && RHS.isNull()))
+      Decided = false; // unequal
+    else
+      return std::nullopt;
+    assert((Pred == Predicate::EQ || Pred == Predicate::NE) &&
+           "ordered comparison of objects");
+    return Pred == Predicate::EQ ? Decided : !Decided;
+  }
+  switch (Pred) {
+  case Predicate::EQ:
+    if (LHS.hi() < RHS.lo() || LHS.lo() > RHS.hi())
+      return false;
+    if (LHS.asConstant() && RHS.asConstant() &&
+        *LHS.asConstant() == *RHS.asConstant())
+      return true;
+    return std::nullopt;
+  case Predicate::NE: {
+    auto Inverse = foldCompare(Predicate::EQ, LHS, RHS);
+    if (Inverse)
+      return !*Inverse;
+    return std::nullopt;
+  }
+  case Predicate::LT:
+    if (LHS.hi() < RHS.lo())
+      return true;
+    if (LHS.lo() >= RHS.hi())
+      return false;
+    return std::nullopt;
+  case Predicate::LE:
+    if (LHS.hi() <= RHS.lo())
+      return true;
+    if (LHS.lo() > RHS.hi())
+      return false;
+    return std::nullopt;
+  case Predicate::GT:
+    return foldCompare(Predicate::LT, RHS, LHS);
+  case Predicate::GE:
+    return foldCompare(Predicate::LE, RHS, LHS);
+  }
+  assert(false && "unknown predicate");
+  return std::nullopt;
+}
+
+std::optional<Stamp> dbds::refineByCompare(Predicate Pred, const Stamp &Input,
+                                           const Stamp &Other, bool Holds) {
+  Predicate Effective = Holds ? Pred : negatePredicate(Pred);
+  if (Input.isObj()) {
+    if (!Other.isObj())
+      return Input;
+    switch (Effective) {
+    case Predicate::EQ:
+      if (Other.isNull())
+        return Stamp::definitelyNull().meet(Input);
+      if (Other.isNonNull())
+        return Stamp::nonNull().meet(Input);
+      return Input;
+    case Predicate::NE:
+      if (Other.isNull())
+        return Stamp::nonNull().meet(Input);
+      return Input;
+    default:
+      return Input;
+    }
+  }
+  if (!Other.isInt())
+    return Input;
+  switch (Effective) {
+  case Predicate::EQ:
+    return Input.meet(Other);
+  case Predicate::NE:
+    // Only shaves exact endpoint matches.
+    if (auto C = Other.asConstant()) {
+      if (Input.asConstant() && *Input.asConstant() == *C)
+        return std::nullopt;
+      if (Input.lo() == *C && Input.lo() < Input.hi())
+        return Stamp::range(Input.lo() + 1, Input.hi());
+      if (Input.hi() == *C && Input.lo() < Input.hi())
+        return Stamp::range(Input.lo(), Input.hi() - 1);
+    }
+    return Input;
+  case Predicate::LT:
+    if (Other.hi() == INT64_MIN)
+      return std::nullopt;
+    return Input.meet(Stamp::range(INT64_MIN, Other.hi() - 1));
+  case Predicate::LE:
+    return Input.meet(Stamp::range(INT64_MIN, Other.hi()));
+  case Predicate::GT:
+    if (Other.lo() == INT64_MAX)
+      return std::nullopt;
+    return Input.meet(Stamp::range(Other.lo() + 1, INT64_MAX));
+  case Predicate::GE:
+    return Input.meet(Stamp::range(Other.lo(), INT64_MAX));
+  }
+  assert(false && "unknown predicate");
+  return Input;
+}

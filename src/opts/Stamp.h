@@ -1,0 +1,114 @@
+//===- opts/Stamp.h - Value range / nullness lattice ------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stamps describe what a compiler knows about an SSA value: an integer
+/// range for Int values, a nullness state for Obj values. Conditional
+/// elimination (paper §2, Stadler et al.) refines stamps along dominating
+/// branch edges and folds comparisons whose operand stamps are decisive —
+/// both in the real CE phase and inside the DBDS simulation tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_OPTS_STAMP_H
+#define DBDS_OPTS_STAMP_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace dbds {
+
+/// Knowledge about one SSA value.
+class Stamp {
+public:
+  /// Unrestricted stamp for a value of type \p Ty.
+  static Stamp top(Type Ty) {
+    if (Ty == Type::Obj)
+      return Stamp(Nullness::Maybe);
+    return Stamp(INT64_MIN, INT64_MAX);
+  }
+
+  /// Integer range [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  static Stamp range(int64_t Lo, int64_t Hi) { return Stamp(Lo, Hi); }
+
+  /// Exactly the integer \p Value.
+  static Stamp exact(int64_t Value) { return Stamp(Value, Value); }
+
+  /// Object stamps.
+  static Stamp definitelyNull() { return Stamp(Nullness::Null); }
+  static Stamp nonNull() { return Stamp(Nullness::NonNull); }
+  static Stamp maybeNull() { return Stamp(Nullness::Maybe); }
+
+  bool isInt() const { return Kind == StampKind::Int; }
+  bool isObj() const { return Kind == StampKind::Obj; }
+
+  int64_t lo() const {
+    assert(isInt() && "range of a non-integer stamp");
+    return Lo;
+  }
+  int64_t hi() const {
+    assert(isInt() && "range of a non-integer stamp");
+    return Hi;
+  }
+
+  /// The single value this stamp allows, if any.
+  std::optional<int64_t> asConstant() const {
+    if (isInt() && Lo == Hi)
+      return Lo;
+    return std::nullopt;
+  }
+
+  bool isNull() const { return isObj() && Null == Nullness::Null; }
+  bool isNonNull() const { return isObj() && Null == Nullness::NonNull; }
+
+  /// Meet (intersection of knowledge): the stamp describing values allowed
+  /// by both. Returns nullopt when the intersection is empty (dead code).
+  std::optional<Stamp> meet(const Stamp &Other) const;
+
+  /// Join (union of knowledge): the stamp describing values allowed by
+  /// either. Used at merges (phi stamps).
+  Stamp join(const Stamp &Other) const;
+
+  bool operator==(const Stamp &Other) const;
+
+private:
+  enum class StampKind : uint8_t { Int, Obj };
+  enum class Nullness : uint8_t { Null, NonNull, Maybe };
+
+  Stamp(int64_t Lo, int64_t Hi) : Kind(StampKind::Int), Lo(Lo), Hi(Hi) {
+    assert(Lo <= Hi && "empty range stamp");
+  }
+  explicit Stamp(Nullness N) : Kind(StampKind::Obj), Null(N) {}
+
+  StampKind Kind;
+  int64_t Lo = 0, Hi = 0;
+  Nullness Null = Nullness::Maybe;
+};
+
+/// Forward transfer function: the stamp of `Op(LHS, RHS)` given operand
+/// stamps (conservative; saturates on potential overflow).
+Stamp binaryStamp(Opcode Op, const Stamp &LHS, const Stamp &RHS);
+
+/// Forward transfer function for unary arithmetic.
+Stamp unaryStamp(Opcode Op, const Stamp &Value);
+
+/// Tries to decide `Pred(LHS, RHS)` from operand stamps; nullopt when the
+/// stamps are not decisive.
+std::optional<bool> foldCompare(Predicate Pred, const Stamp &LHS,
+                                const Stamp &RHS);
+
+/// The refinement of \p Input assuming `Pred(x, Other)` evaluates to
+/// \p Holds, where \p Input is x's current stamp and \p Other the other
+/// operand's stamp. Returns \p Input when nothing can be learned, nullopt
+/// when the assumption is contradictory (branch is dead).
+std::optional<Stamp> refineByCompare(Predicate Pred, const Stamp &Input,
+                                     const Stamp &Other, bool Holds);
+
+} // namespace dbds
+
+#endif // DBDS_OPTS_STAMP_H

@@ -1,0 +1,68 @@
+//===- opts/StampMap.cpp - On-demand forward stamp computation ------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opts/StampMap.h"
+
+#include "opts/Canonicalize.h"
+
+using namespace dbds;
+
+Stamp StampMap::get(Instruction *I) {
+  auto Hit = Memo.find(I);
+  if (Hit != Memo.end())
+    return Hit->second;
+  if (Pending.count(I))
+    return Stamp::top(I->getType()); // break phi cycles conservatively
+
+  Pending.emplace(I, State::InProgress);
+  Stamp Result = Stamp::top(I->getType());
+  switch (I->getOpcode()) {
+  case Opcode::Constant:
+  case Opcode::New:
+    Result = shallowStamp(I);
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    Result = binaryStamp(I->getOpcode(), get(I->getOperand(0)),
+                         get(I->getOperand(1)));
+    break;
+  case Opcode::Neg:
+  case Opcode::Not:
+    Result = unaryStamp(I->getOpcode(), get(I->getOperand(0)));
+    break;
+  case Opcode::Cmp:
+    Result = Stamp::range(0, 1);
+    break;
+  case Opcode::Phi: {
+    auto *Phi = cast<PhiInst>(I);
+    bool First = true;
+    Stamp Joined = Result;
+    for (Instruction *In : Phi->operands()) {
+      if (In == Phi)
+        continue;
+      Stamp S = get(In);
+      Joined = First ? S : Joined.join(S);
+      First = false;
+    }
+    if (!First)
+      Result = Joined;
+    break;
+  }
+  default:
+    break;
+  }
+  Pending.erase(I);
+  Memo.emplace(I, Result);
+  return Result;
+}

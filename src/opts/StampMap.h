@@ -1,0 +1,38 @@
+//===- opts/StampMap.h - On-demand forward stamp computation ----*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoized, on-demand forward stamps for SSA values (no control-flow
+/// refinement — conditional elimination layers refinement on top). Phi
+/// cycles are broken by assuming top for in-progress values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_OPTS_STAMPMAP_H
+#define DBDS_OPTS_STAMPMAP_H
+
+#include "opts/Stamp.h"
+
+#include <unordered_map>
+
+namespace dbds {
+
+/// Whole-function stamp oracle. Stamps describe value semantics, so memoized
+/// entries stay valid across use-rewriting transformations.
+class StampMap {
+public:
+  /// The best known stamp of \p I.
+  Stamp get(Instruction *I);
+
+private:
+  enum class State : uint8_t { InProgress };
+  std::unordered_map<Instruction *, Stamp> Memo;
+  std::unordered_map<Instruction *, State> Pending;
+};
+
+} // namespace dbds
+
+#endif // DBDS_OPTS_STAMPMAP_H

@@ -1,0 +1,138 @@
+//===- opts/ValueNumbering.cpp - Dominator-based value numbering ----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Dominator-based value numbering after Briggs, Cooper & Simpson (the
+// paper's reference [5] for the dominator-tree traversals DBDS builds
+// on): a scoped hash table over the dominator tree replaces a pure
+// instruction with an equal-valued instruction computed in a dominator.
+// Duplication creates exactly such pairs — the copies that do not fold
+// completely often recompute values the predecessor already has — so this
+// phase runs in the standard cleanup pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "opts/Phase.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace dbds;
+
+namespace {
+
+/// Structural key of a pure instruction: opcode, operands, and the
+/// per-class immediate (predicate, field, ...). Commutative operations
+/// are normalized by operand pointer order.
+struct ValueKey {
+  Opcode Op;
+  uint32_t Extra;
+  Instruction *LHS;
+  Instruction *RHS;
+
+  bool operator==(const ValueKey &Other) const {
+    return Op == Other.Op && Extra == Other.Extra && LHS == Other.LHS &&
+           RHS == Other.RHS;
+  }
+};
+
+struct ValueKeyHash {
+  size_t operator()(const ValueKey &K) const {
+    size_t Hash = static_cast<size_t>(K.Op) * 0x9e3779b9;
+    Hash ^= K.Extra + (Hash << 6);
+    Hash ^= std::hash<Instruction *>()(K.LHS) + (Hash << 6);
+    Hash ^= std::hash<Instruction *>()(K.RHS) + (Hash << 6);
+    return Hash;
+  }
+};
+
+/// Builds the key for \p I, or nullopt when the instruction is not
+/// value-numberable (memory, control flow, identity-carrying ops).
+std::optional<ValueKey> keyOf(Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr: {
+    auto *Bin = cast<BinaryInst>(I);
+    Instruction *LHS = Bin->getLHS(), *RHS = Bin->getRHS();
+    if (Bin->isCommutative() && RHS < LHS)
+      std::swap(LHS, RHS);
+    return ValueKey{I->getOpcode(), 0, LHS, RHS};
+  }
+  case Opcode::Neg:
+  case Opcode::Not:
+    return ValueKey{I->getOpcode(), 0, I->getOperand(0), nullptr};
+  case Opcode::Cmp: {
+    auto *Cmp = cast<CompareInst>(I);
+    return ValueKey{Opcode::Cmp,
+                    static_cast<uint32_t>(Cmp->getPredicate()),
+                    Cmp->getLHS(), Cmp->getRHS()};
+  }
+  default:
+    // Constants are uniqued already; params are unique per index but
+    // never duplicated; loads/stores/calls/allocations carry identity or
+    // memory state; phis are position-dependent.
+    return std::nullopt;
+  }
+}
+
+class VNDriver {
+public:
+  VNDriver(Function &F, const DominatorTree &DT) : F(F), DT(DT) {}
+
+  bool run() {
+    visit(F.getEntry());
+    return Changed;
+  }
+
+private:
+  void visit(Block *B) {
+    std::vector<ValueKey> Inserted;
+    SmallVector<Instruction *, 16> Insts(B->begin(), B->end());
+    for (Instruction *I : Insts) {
+      if (I->getBlock() != B)
+        continue;
+      auto Key = keyOf(I);
+      if (!Key)
+        continue;
+      auto It = Available.find(*Key);
+      if (It != Available.end()) {
+        // An equal value is available in a dominator (or earlier in this
+        // block): reuse it.
+        I->replaceAllUsesWith(It->second);
+        B->remove(I);
+        Changed = true;
+        continue;
+      }
+      Available.emplace(*Key, I);
+      Inserted.push_back(*Key);
+    }
+    for (Block *Child : DT.children(B))
+      visit(Child);
+    for (const ValueKey &Key : Inserted)
+      Available.erase(Key);
+  }
+
+  Function &F;
+  const DominatorTree &DT;
+  std::unordered_map<ValueKey, Instruction *, ValueKeyHash> Available;
+  bool Changed = false;
+};
+
+} // namespace
+
+bool ValueNumbering::run(Function &F) {
+  DominatorTree DT(F);
+  VNDriver Driver(F, DT);
+  return Driver.run();
+}

@@ -1,0 +1,90 @@
+//===- support/ArrayRef.h - Non-owning array view ---------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A constant, non-owning view over contiguous memory, in the style of
+/// llvm::ArrayRef. Cheap to copy; never stores beyond the call it is
+/// passed to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_ARRAYREF_H
+#define DBDS_SUPPORT_ARRAYREF_H
+
+#include "support/SmallVector.h"
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace dbds {
+
+/// A constant reference to an array: a pointer and a length.
+template <typename T> class ArrayRef {
+public:
+  using iterator = const T *;
+  using value_type = T;
+
+  ArrayRef() = default;
+  ArrayRef(const T *Data, size_t Length) : Data(Data), Length(Length) {}
+  ArrayRef(const std::vector<T> &Vec) : Data(Vec.data()), Length(Vec.size()) {}
+  ArrayRef(const SmallVectorImpl<T> &Vec)
+      : Data(Vec.begin()), Length(Vec.size()) {}
+  /// From an initializer list. Like llvm::ArrayRef, this is only safe when
+  /// the ArrayRef is consumed within the full-expression (the usual
+  /// call-argument pattern).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  ArrayRef(std::initializer_list<T> IL)
+      : Data(IL.begin()), Length(IL.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  template <size_t N> ArrayRef(const T (&Arr)[N]) : Data(Arr), Length(N) {}
+
+  iterator begin() const { return Data; }
+  iterator end() const { return Data + Length; }
+
+  size_t size() const { return Length; }
+  bool empty() const { return Length == 0; }
+
+  const T &operator[](size_t Idx) const {
+    assert(Idx < Length && "ArrayRef index out of range");
+    return Data[Idx];
+  }
+
+  const T &front() const {
+    assert(!empty() && "front() on empty ArrayRef");
+    return Data[0];
+  }
+  const T &back() const {
+    assert(!empty() && "back() on empty ArrayRef");
+    return Data[Length - 1];
+  }
+
+  /// Returns the sub-array [Start, Start+N).
+  ArrayRef<T> slice(size_t Start, size_t N) const {
+    assert(Start + N <= Length && "slice() out of range");
+    return ArrayRef<T>(Data + Start, N);
+  }
+
+  /// Returns the sub-array starting at \p Start through the end.
+  ArrayRef<T> drop_front(size_t Start = 1) const {
+    assert(Start <= Length && "drop_front() out of range");
+    return ArrayRef<T>(Data + Start, Length - Start);
+  }
+
+private:
+  const T *Data = nullptr;
+  size_t Length = 0;
+};
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_ARRAYREF_H

@@ -1,0 +1,269 @@
+//===- support/SmallVector.h - Vector with inline storage -------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector that stores its first N elements inline, avoiding heap traffic
+/// for the short operand/predecessor lists that dominate compiler workloads.
+/// API subset of llvm::SmallVector; `SmallVectorImpl<T>` is the size-erased
+/// base usable in interfaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_SMALLVECTOR_H
+#define DBDS_SUPPORT_SMALLVECTOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace dbds {
+
+/// Size-erased base class holding the begin/size/capacity triple and all
+/// operations that do not depend on the inline element count.
+template <typename T> class SmallVectorImpl {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+  using size_type = unsigned;
+
+  SmallVectorImpl(const SmallVectorImpl &) = delete;
+
+  iterator begin() { return Begin; }
+  const_iterator begin() const { return Begin; }
+  iterator end() { return Begin + Size; }
+  const_iterator end() const { return Begin + Size; }
+
+  size_type size() const { return Size; }
+  size_type capacity() const { return Capacity; }
+  bool empty() const { return Size == 0; }
+
+  T &operator[](size_type Idx) {
+    assert(Idx < Size && "SmallVector index out of range");
+    return Begin[Idx];
+  }
+  const T &operator[](size_type Idx) const {
+    assert(Idx < Size && "SmallVector index out of range");
+    return Begin[Idx];
+  }
+
+  T &front() {
+    assert(!empty() && "front() on empty SmallVector");
+    return Begin[0];
+  }
+  const T &front() const {
+    assert(!empty() && "front() on empty SmallVector");
+    return Begin[0];
+  }
+  T &back() {
+    assert(!empty() && "back() on empty SmallVector");
+    return Begin[Size - 1];
+  }
+  const T &back() const {
+    assert(!empty() && "back() on empty SmallVector");
+    return Begin[Size - 1];
+  }
+
+  void push_back(const T &Elt) {
+    if (Size == Capacity)
+      grow(Size + 1);
+    new (Begin + Size) T(Elt);
+    ++Size;
+  }
+
+  void push_back(T &&Elt) {
+    if (Size == Capacity)
+      grow(Size + 1);
+    new (Begin + Size) T(std::move(Elt));
+    ++Size;
+  }
+
+  template <typename... ArgTypes> T &emplace_back(ArgTypes &&...Args) {
+    if (Size == Capacity)
+      grow(Size + 1);
+    T *Slot = new (Begin + Size) T(std::forward<ArgTypes>(Args)...);
+    ++Size;
+    return *Slot;
+  }
+
+  void pop_back() {
+    assert(!empty() && "pop_back() on empty SmallVector");
+    --Size;
+    Begin[Size].~T();
+  }
+
+  void clear() {
+    destroyRange(Begin, Begin + Size);
+    Size = 0;
+  }
+
+  void reserve(size_type N) {
+    if (N > Capacity)
+      grow(N);
+  }
+
+  void resize(size_type N) {
+    if (N < Size) {
+      destroyRange(Begin + N, Begin + Size);
+      Size = N;
+      return;
+    }
+    reserve(N);
+    for (size_type I = Size; I < N; ++I)
+      new (Begin + I) T();
+    Size = N;
+  }
+
+  void resize(size_type N, const T &Fill) {
+    if (N < Size) {
+      destroyRange(Begin + N, Begin + Size);
+      Size = N;
+      return;
+    }
+    reserve(N);
+    for (size_type I = Size; I < N; ++I)
+      new (Begin + I) T(Fill);
+    Size = N;
+  }
+
+  /// Appends the half-open range [First, Last).
+  template <typename ItTy> void append(ItTy First, ItTy Last) {
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  void assign(std::initializer_list<T> IL) {
+    clear();
+    append(IL.begin(), IL.end());
+  }
+
+  /// Erases the element at \p Pos, shifting the tail left. Returns the
+  /// iterator to the element that followed the erased one.
+  iterator erase(iterator Pos) {
+    assert(Pos >= begin() && Pos < end() && "erase() iterator out of range");
+    std::move(Pos + 1, end(), Pos);
+    pop_back();
+    return Pos;
+  }
+
+  /// Inserts \p Elt before \p Pos. Returns the iterator to the inserted
+  /// element.
+  iterator insert(iterator Pos, const T &Elt) {
+    size_type Idx = static_cast<size_type>(Pos - begin());
+    assert(Idx <= Size && "insert() iterator out of range");
+    push_back(Elt);
+    std::rotate(begin() + Idx, end() - 1, end());
+    return begin() + Idx;
+  }
+
+  SmallVectorImpl &operator=(const SmallVectorImpl &RHS) {
+    if (this == &RHS)
+      return *this;
+    clear();
+    append(RHS.begin(), RHS.end());
+    return *this;
+  }
+
+  bool operator==(const SmallVectorImpl &RHS) const {
+    return Size == RHS.Size && std::equal(begin(), end(), RHS.begin());
+  }
+
+protected:
+  SmallVectorImpl(T *InlineStorage, size_type InlineCapacity)
+      : Begin(InlineStorage), Capacity(InlineCapacity),
+        Inline(InlineStorage) {}
+
+  ~SmallVectorImpl() {
+    destroyRange(Begin, Begin + Size);
+    if (Begin != Inline)
+      free(Begin);
+  }
+
+  static void destroyRange(T *First, T *Last) {
+    for (; First != Last; ++First)
+      First->~T();
+  }
+
+  void grow(size_type MinCapacity) {
+    size_type NewCapacity = std::max(MinCapacity, Capacity ? 2 * Capacity : 4u);
+    T *NewBegin = static_cast<T *>(malloc(NewCapacity * sizeof(T)));
+    assert(NewBegin && "SmallVector allocation failed");
+    for (size_type I = 0; I < Size; ++I) {
+      new (NewBegin + I) T(std::move(Begin[I]));
+      Begin[I].~T();
+    }
+    if (Begin != Inline)
+      free(Begin);
+    Begin = NewBegin;
+    Capacity = NewCapacity;
+  }
+
+  T *Begin;
+  size_type Size = 0;
+  size_type Capacity;
+  T *Inline;
+};
+
+/// Vector with \p N elements of inline storage.
+template <typename T, unsigned N = 4>
+class SmallVector : public SmallVectorImpl<T> {
+public:
+  SmallVector() : SmallVectorImpl<T>(inlineStorage(), N) {}
+
+  SmallVector(std::initializer_list<T> IL)
+      : SmallVectorImpl<T>(inlineStorage(), N) {
+    this->append(IL.begin(), IL.end());
+  }
+
+  template <typename ItTy>
+  SmallVector(ItTy First, ItTy Last) : SmallVectorImpl<T>(inlineStorage(), N) {
+    this->append(First, Last);
+  }
+
+  SmallVector(const SmallVector &RHS) : SmallVectorImpl<T>(inlineStorage(), N) {
+    this->append(RHS.begin(), RHS.end());
+  }
+
+  SmallVector(const SmallVectorImpl<T> &RHS)
+      : SmallVectorImpl<T>(inlineStorage(), N) {
+    this->append(RHS.begin(), RHS.end());
+  }
+
+  SmallVector(SmallVector &&RHS) : SmallVectorImpl<T>(inlineStorage(), N) {
+    for (T &Elt : RHS)
+      this->push_back(std::move(Elt));
+    RHS.clear();
+  }
+
+  SmallVector &operator=(const SmallVector &RHS) {
+    SmallVectorImpl<T>::operator=(RHS);
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&RHS) {
+    if (this == &RHS)
+      return *this;
+    this->clear();
+    for (T &Elt : RHS)
+      this->push_back(std::move(Elt));
+    RHS.clear();
+    return *this;
+  }
+
+private:
+  T *inlineStorage() { return reinterpret_cast<T *>(Storage); }
+
+  alignas(T) char Storage[N * sizeof(T)];
+};
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_SMALLVECTOR_H

@@ -1,0 +1,48 @@
+//===- support/Statistics.cpp - Named counters and summaries -------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace dbds;
+
+double dbds::geometricMean(ArrayRef<double> Values) {
+  if (Values.empty())
+    return 1.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double dbds::arithmeticMean(ArrayRef<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double dbds::minimum(ArrayRef<double> Values) {
+  assert(!Values.empty() && "minimum of empty set");
+  double Min = Values.front();
+  for (double V : Values)
+    Min = V < Min ? V : Min;
+  return Min;
+}
+
+double dbds::maximum(ArrayRef<double> Values) {
+  assert(!Values.empty() && "maximum of empty set");
+  double Max = Values.front();
+  for (double V : Values)
+    Max = V > Max ? V : Max;
+  return Max;
+}

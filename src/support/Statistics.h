@@ -1,0 +1,36 @@
+//===- support/Statistics.h - Named counters and summaries -----*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregate statistics helpers: geometric mean and simple summaries used
+/// throughout the benchmark harness (the paper reports geometric means for
+/// each suite, Figures 5-8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_STATISTICS_H
+#define DBDS_SUPPORT_STATISTICS_H
+
+#include "support/ArrayRef.h"
+
+#include <cstdint>
+
+namespace dbds {
+
+/// Geometric mean of a set of strictly positive ratios. Returns 1.0 for an
+/// empty input.
+double geometricMean(ArrayRef<double> Values);
+
+/// Arithmetic mean. Returns 0.0 for an empty input.
+double arithmeticMean(ArrayRef<double> Values);
+
+/// Minimum / maximum of a non-empty set.
+double minimum(ArrayRef<double> Values);
+double maximum(ArrayRef<double> Values);
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_STATISTICS_H

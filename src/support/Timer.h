@@ -1,0 +1,63 @@
+//===- support/Timer.h - Wall-clock timing utilities ------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight wall-clock timers used to measure compile time, mirroring
+/// Graal's in-compiler timing statements (paper §6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_TIMER_H
+#define DBDS_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace dbds {
+
+/// Accumulating nanosecond timer. start()/stop() pairs may be nested across
+/// calls; total() reports the accumulated time.
+class Timer {
+public:
+  void start() { Begin = Clock::now(); }
+
+  void stop() {
+    AccumulatedNs +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Begin)
+            .count();
+  }
+
+  /// Total accumulated time in nanoseconds.
+  uint64_t totalNs() const { return AccumulatedNs; }
+
+  /// Total accumulated time in milliseconds.
+  double totalMs() const { return static_cast<double>(AccumulatedNs) / 1e6; }
+
+  void reset() { AccumulatedNs = 0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin;
+  uint64_t AccumulatedNs = 0;
+};
+
+/// RAII region timer: accumulates the lifetime of the scope into a Timer.
+class TimerScope {
+public:
+  explicit TimerScope(Timer &T) : T(T) { T.start(); }
+  ~TimerScope() { T.stop(); }
+
+  TimerScope(const TimerScope &) = delete;
+  TimerScope &operator=(const TimerScope &) = delete;
+
+private:
+  Timer &T;
+};
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_TIMER_H

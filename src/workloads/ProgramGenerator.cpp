@@ -1,0 +1,406 @@
+//===- workloads/ProgramGenerator.cpp - Synthetic IR programs -------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Each generated function is a (optionally looped) chain of "segments".
+// A segment is a diamond — condition, two branch blocks, merge — whose
+// merge block carries one opportunity pattern:
+//
+//   ConstantFold      phi(x, const); merge computes phi OP const
+//   ConditionalElim   phi(x&7, 13); merge re-tests phi > 12 (Listing 1)
+//   PartialEscape     phi(new C with stored field, shared object); merge
+//                     loads the field (Listing 3)
+//   ReadElim          one branch already loads o.f; merge re-loads o.f
+//                     (Listing 5)
+//   StrengthReduction phi(2, masked value); merge divides by phi
+//                     (Figure 3: 32-cycle div -> 1-cycle shift)
+//   Noise             phi of two computed values; nothing foldable
+//
+// All integer values flow into a wrapping accumulator that the function
+// returns, so every optimization error changes the observable result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ProgramGenerator.h"
+
+#include "analysis/Verifier.h"
+#include "ir/IRBuilder.h"
+#include "support/RNG.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dbds;
+
+namespace {
+
+enum class PatternKind {
+  ConstantFold,
+  ConditionalElim,
+  PartialEscape,
+  ReadElim,
+  StrengthReduction,
+  Noise,
+};
+
+class FunctionGenerator {
+public:
+  FunctionGenerator(Module &M, const GeneratorConfig &Config, RNG &Rand,
+                    unsigned SharedClass, unsigned BoxClass)
+      : M(M), Config(Config), Rand(Rand), SharedClass(SharedClass),
+        BoxClass(BoxClass) {}
+
+  std::unique_ptr<Function> generate(const std::string &Name) {
+    auto F = std::make_unique<Function>(Name, Config.NumParams);
+    IRBuilder B(*F);
+    Block *Entry = B.createBlock();
+    B.setBlock(Entry);
+
+    // Parameters and a handful of derived entry values.
+    for (unsigned I = 0; I != Config.NumParams; ++I)
+      Scope.push_back(B.param(I));
+    // Non-negative value for division patterns (stamp [0, 1023]).
+    MaskedValue = B.binary(Opcode::And, pick(B), B.constInt(1023));
+    Scope.push_back(MaskedValue);
+
+    // A shared heap object for read-elimination patterns.
+    SharedObject = B.newObject(SharedClass);
+    B.store(SharedObject, 0, pick(B));
+    B.store(SharedObject, 1, B.constInt(0));
+
+    Instruction *InitialAcc = pick(B);
+
+    if (Config.WrapInLoop)
+      return generateLoop(std::move(F), B, InitialAcc);
+    Instruction *Acc = InitialAcc;
+    for (unsigned Seg = 0; Seg != Config.SegmentsPerFunction; ++Seg)
+      Acc = emitSegment(B, Acc, /*Counter=*/nullptr);
+    B.ret(Acc);
+    return F;
+  }
+
+private:
+  std::unique_ptr<Function> generateLoop(std::unique_ptr<Function> F,
+                                         IRBuilder &B,
+                                         Instruction *InitialAcc) {
+    Instruction *Limit = B.add(
+        B.binary(Opcode::And, Scope[0], B.constInt(31)),
+        B.constInt(Config.LoopIterationBase));
+    Instruction *Zero = B.constInt(0);
+
+    Block *Header = B.createBlock();
+    Block *Body = B.createBlock();
+    Block *Exit = B.createBlock();
+    B.jump(Header);
+
+    B.setBlock(Header);
+    PhiInst *IPhi = B.phi(Type::Int);
+    PhiInst *AccPhi = B.phi(Type::Int);
+    IPhi->appendInput(Zero);
+    AccPhi->appendInput(InitialAcc);
+    Instruction *Cond = B.cmp(Predicate::LT, IPhi, Limit);
+    B.branch(Cond, Body, Exit, 0.9);
+
+    // Loop-carried values join the scope for the body.
+    unsigned ScopeMark = Scope.size();
+    Scope.push_back(IPhi);
+    B.setBlock(Body);
+    Instruction *Acc = AccPhi;
+    for (unsigned Seg = 0; Seg != Config.SegmentsPerFunction; ++Seg)
+      Acc = emitSegment(B, Acc, IPhi);
+    Instruction *INext = B.add(IPhi, B.constInt(1));
+    B.jump(Header);
+    IPhi->appendInput(INext);
+    AccPhi->appendInput(Acc);
+    Scope.resize(ScopeMark);
+
+    B.setBlock(Exit);
+    Instruction *Cold = AccPhi;
+    for (unsigned Seg = 0; Seg != Config.ColdSegments; ++Seg)
+      Cold = emitSegment(B, Cold, /*Counter=*/nullptr);
+    B.ret(Cold);
+    return F;
+  }
+
+  /// A value from the dominating scope.
+  Instruction *pick(IRBuilder &B) {
+    if (Scope.empty())
+      return B.constInt(static_cast<int64_t>(Rand.nextRange(1, 64)));
+    return Scope[Rand.nextBelow(Scope.size())];
+  }
+
+  /// A short chain of plain arithmetic over the scope.
+  Instruction *noiseValue(IRBuilder &B, Instruction *Seed) {
+    static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                 Opcode::Xor, Opcode::And, Opcode::Or};
+    Instruction *V = Seed ? Seed : pick(B);
+    for (unsigned I = 0; I != Config.NoiseOpsPerBlock; ++I) {
+      Opcode Op = Ops[Rand.nextBelow(6)];
+      Instruction *Other =
+          Rand.nextBool(0.5)
+              ? pick(B)
+              : static_cast<Instruction *>(
+                    B.getFunction().constant(Rand.nextRange(1, 255)));
+      V = B.binary(Op, V, Other);
+    }
+    return V;
+  }
+
+  PatternKind choosePattern() {
+    const OpportunityMix &Mix = Config.Mix;
+    double Weights[6] = {Mix.ConstantFold,      Mix.ConditionalElim,
+                         Mix.PartialEscape,     Mix.ReadElim,
+                         Mix.StrengthReduction, Mix.Noise};
+    double Total = 0.0;
+    for (double W : Weights)
+      Total += W;
+    if (Total <= 0.0)
+      return PatternKind::Noise;
+    double Roll = Rand.nextDouble() * Total;
+    for (unsigned I = 0; I != 6; ++I) {
+      if (Roll < Weights[I])
+        return static_cast<PatternKind>(I);
+      Roll -= Weights[I];
+    }
+    return PatternKind::Noise;
+  }
+
+  /// A data-dependent branch condition with the configured skew.
+  Instruction *branchCondition(IRBuilder &B, Instruction *Counter) {
+    Instruction *Base = Counter ? Counter : pick(B);
+    Instruction *Mixed = B.add(
+        B.mul(Base, B.constInt(Rand.nextRange(3, 17) | 1)), pick(B));
+    Instruction *Masked = B.binary(Opcode::And, Mixed, B.constInt(15));
+    int64_t Threshold =
+        static_cast<int64_t>(Config.BranchSkew * 16.0 + 0.5);
+    if (Threshold < 1)
+      Threshold = 1;
+    if (Threshold > 15)
+      Threshold = 15;
+    return B.cmp(Predicate::LT, Masked, B.constInt(Threshold));
+  }
+
+  /// A two-merge chain (paper §8's path shape): an outer split where one
+  /// arm runs an inner diamond whose merge m1 jumps straight into the
+  /// outer merge m2. The constant folding of `use` is only reachable by
+  /// duplicating over BOTH merges.
+  Instruction *emitChainedSegment(IRBuilder &B, Instruction *Acc,
+                                  Instruction *Counter) {
+    Block *ArmA = B.createBlock();
+    Block *ArmB = B.createBlock();
+    Block *InnerThen = B.createBlock();
+    Block *InnerElse = B.createBlock();
+    Block *M1 = B.createBlock();
+    Block *M2 = B.createBlock();
+
+    Instruction *OuterCond = branchCondition(B, Counter);
+    B.branch(OuterCond, ArmA, ArmB, Config.BranchSkew);
+
+    B.setBlock(ArmA);
+    Instruction *VA = noiseValue(B, Counter);
+    B.jump(M2);
+
+    B.setBlock(ArmB);
+    Instruction *InnerCond = branchCondition(B, Counter);
+    B.branch(InnerCond, InnerThen, InnerElse, 0.5);
+    B.setBlock(InnerThen);
+    Instruction *V1 = noiseValue(B, Counter);
+    B.jump(M1);
+    B.setBlock(InnerElse);
+    Instruction *V2 = B.constInt(Rand.nextRange(0, 9));
+    B.jump(M1);
+
+    B.setBlock(M1);
+    PhiInst *P1 = B.phi(Type::Int);
+    P1->appendInput(V1);
+    P1->appendInput(V2);
+    B.jump(M2);
+
+    B.setBlock(M2);
+    PhiInst *P2 = B.phi(Type::Int);
+    P2->appendInput(VA); // from ArmA
+    P2->appendInput(P1); // from M1
+    Instruction *Use = B.add(P2, B.constInt(Rand.nextRange(1, 99)));
+    Instruction *Payload = Use;
+    for (unsigned I = 0; I != Config.MergeNoiseOps; ++I)
+      Payload = B.binary(I % 2 ? Opcode::Xor : Opcode::Add, Payload,
+                         pick(B));
+    return B.add(Acc, Payload);
+  }
+
+  /// Emits one diamond segment and returns the new accumulator value.
+  Instruction *emitSegment(IRBuilder &B, Instruction *Acc,
+                           Instruction *Counter) {
+    if (Rand.nextBool(Config.ChainedMergeRate))
+      return emitChainedSegment(B, Acc, Counter);
+    PatternKind Kind = choosePattern();
+    Block *Then = B.createBlock();
+    Block *Else = B.createBlock();
+    Block *Merge = B.createBlock();
+    Instruction *Cond = branchCondition(B, Counter);
+    B.branch(Cond, Then, Else, Config.BranchSkew);
+
+    Instruction *ThenVal = nullptr, *ElseVal = nullptr;
+    Type PhiTy = Type::Int;
+
+    // Then branch.
+    B.setBlock(Then);
+    switch (Kind) {
+    case PatternKind::ConstantFold:
+    case PatternKind::Noise:
+      ThenVal = noiseValue(B, Counter);
+      break;
+    case PatternKind::ConditionalElim:
+      // Range [0, 7]: provably <= 12 in the re-test.
+      ThenVal = B.binary(Opcode::And, noiseValue(B, Counter),
+                         B.constInt(7));
+      break;
+    case PatternKind::PartialEscape: {
+      PhiTy = Type::Obj;
+      auto *Boxed = B.newObject(BoxClass);
+      B.store(Boxed, 0, noiseValue(B, Counter));
+      ThenVal = Boxed;
+      break;
+    }
+    case PatternKind::ReadElim: {
+      // Listing 5's Read1: the true branch already reads o.f0.
+      Instruction *Loaded = B.load(SharedObject, 0);
+      B.store(SharedObject, 1, Loaded);
+      ThenVal = Loaded;
+      break;
+    }
+    case PatternKind::StrengthReduction:
+      ThenVal = B.constInt(1ll << Rand.nextRange(1, 4));
+      break;
+    }
+    if (Kind != PatternKind::PartialEscape && Rand.nextBool(Config.CallRate))
+      B.store(SharedObject, 1, B.call(static_cast<unsigned>(
+                                          Rand.nextBelow(8)),
+                                      {ThenVal}));
+    B.jump(Merge);
+
+    // Else branch.
+    B.setBlock(Else);
+    switch (Kind) {
+    case PatternKind::ConstantFold:
+      ElseVal = B.constInt(Rand.nextRange(0, 9));
+      break;
+    case PatternKind::Noise:
+      ElseVal = noiseValue(B, nullptr);
+      break;
+    case PatternKind::ConditionalElim:
+      ElseVal = B.constInt(13); // Listing 1's p = 13
+      break;
+    case PatternKind::PartialEscape:
+      ElseVal = SharedObject;
+      break;
+    case PatternKind::ReadElim:
+      B.store(SharedObject, 1, B.constInt(0));
+      ElseVal = B.constInt(0);
+      break;
+    case PatternKind::StrengthReduction:
+      ElseVal = B.add(MaskedValue, B.constInt(1)); // in [1, 1024]
+      break;
+    }
+    B.jump(Merge);
+
+    // Merge block: the phi plus the pattern's optimizable use.
+    B.setBlock(Merge);
+    PhiInst *Phi = B.phi(PhiTy);
+    Phi->appendInput(ThenVal);
+    Phi->appendInput(ElseVal);
+
+    Instruction *Use = nullptr;
+    switch (Kind) {
+    case PatternKind::ConstantFold:
+      Use = B.add(Phi, B.constInt(Rand.nextRange(1, 99)));
+      break;
+    case PatternKind::Noise:
+      Use = Phi;
+      break;
+    case PatternKind::ConditionalElim: {
+      // Listing 1: if (p > 12) after the merge.
+      Block *InnerThen = B.createBlock();
+      Block *InnerElse = B.createBlock();
+      Block *InnerMerge = B.createBlock();
+      Instruction *ReTest = B.cmp(Predicate::GT, Phi, B.constInt(12));
+      B.branch(ReTest, InnerThen, InnerElse, 0.5);
+      B.setBlock(InnerThen);
+      Instruction *A = B.constInt(12);
+      B.jump(InnerMerge);
+      B.setBlock(InnerElse);
+      Instruction *Bv = B.add(Phi, B.constInt(1));
+      B.jump(InnerMerge);
+      B.setBlock(InnerMerge);
+      PhiInst *Inner = B.phi(Type::Int);
+      Inner->appendInput(A);
+      Inner->appendInput(Bv);
+      Use = Inner;
+      break;
+    }
+    case PatternKind::PartialEscape:
+      Use = B.load(Phi, 0); // Listing 3's return p.x
+      break;
+    case PatternKind::ReadElim:
+      Use = B.load(SharedObject, 0); // Listing 5's Read2
+      break;
+    case PatternKind::StrengthReduction:
+      Use = B.div(MaskedValue, Phi); // Figure 3's x / phi
+      break;
+    }
+    // Non-foldable payload: the copied merge code that does NOT optimize
+    // away, so duplication has a real code-size cost to trade off.
+    Instruction *Payload = Use->getType() == Type::Int ? Use : pick(B);
+    for (unsigned I = 0; I != Config.MergeNoiseOps; ++I) {
+      static const Opcode Ops[] = {Opcode::Add, Opcode::Xor, Opcode::Sub,
+                                   Opcode::Or};
+      Payload = B.binary(Ops[Rand.nextBelow(4)], Payload, pick(B));
+    }
+    return B.add(Acc, Payload);
+  }
+
+  Module &M;
+  const GeneratorConfig &Config;
+  RNG &Rand;
+  unsigned SharedClass, BoxClass;
+  std::vector<Instruction *> Scope;
+  Instruction *MaskedValue = nullptr;
+  Instruction *SharedObject = nullptr;
+};
+
+} // namespace
+
+GeneratedWorkload dbds::generateWorkload(const GeneratorConfig &Config) {
+  GeneratedWorkload W;
+  W.Mod = std::make_unique<Module>();
+  unsigned SharedClass = W.Mod->addClass("Shared", 2);
+  unsigned BoxClass = W.Mod->addClass("Box", 1);
+
+  RNG Rand(Config.Seed);
+  for (unsigned FIdx = 0; FIdx != Config.NumFunctions; ++FIdx) {
+    FunctionGenerator Gen(*W.Mod, Config, Rand, SharedClass, BoxClass);
+    auto F = Gen.generate("f" + std::to_string(FIdx));
+    std::string Error = verifyFunction(*F);
+    if (!Error.empty()) {
+      fprintf(stderr, "generated function is invalid: %s\n", Error.c_str());
+      abort();
+    }
+    W.Mod->addFunction(std::move(F));
+
+    auto makeInputs = [&](unsigned Count) {
+      std::vector<std::vector<int64_t>> Tuples;
+      for (unsigned T = 0; T != Count; ++T) {
+        std::vector<int64_t> Args;
+        for (unsigned P = 0; P != Config.NumParams; ++P)
+          Args.push_back(Rand.nextRange(0, 1 << 20));
+        Tuples.push_back(std::move(Args));
+      }
+      return Tuples;
+    };
+    W.TrainInputs.push_back(makeInputs(3));
+    W.EvalInputs.push_back(makeInputs(5));
+  }
+  return W;
+}

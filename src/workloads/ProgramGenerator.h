@@ -1,0 +1,83 @@
+//===- workloads/ProgramGenerator.h - Synthetic IR programs -----*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seeded generator of SSA programs whose merge blocks
+/// carry configurable mixes of the five duplication-enabled optimization
+/// opportunities from paper §2 (constant folding, conditional elimination,
+/// partial escape, read elimination, strength reduction) plus plain noise.
+/// These programs stand in for the paper's benchmark suites (DESIGN.md
+/// §2): the suites differ precisely in how often their hot merges carry
+/// foldable phi-dependent work, which is what the mix knobs control.
+///
+/// The generator is also the engine of the property-based test suite: any
+/// generated program must produce identical results and strictly
+/// non-increasing dynamic cycles under every optimization configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_WORKLOADS_PROGRAMGENERATOR_H
+#define DBDS_WORKLOADS_PROGRAMGENERATOR_H
+
+#include "ir/Function.h"
+
+#include <memory>
+
+namespace dbds {
+
+/// Relative weights of the opportunity patterns a generated function's
+/// merges carry. Weights need not sum to 1; they are normalized.
+struct OpportunityMix {
+  double ConstantFold = 1.0;
+  double ConditionalElim = 1.0;
+  double PartialEscape = 1.0;
+  double ReadElim = 1.0;
+  double StrengthReduction = 1.0;
+  double Noise = 1.0; ///< Merges with no optimization opportunity at all.
+};
+
+/// Shape knobs of one generated compilation unit.
+struct GeneratorConfig {
+  uint64_t Seed = 1;
+  unsigned NumFunctions = 8;
+  unsigned NumParams = 4;           ///< Integer parameters per function.
+  unsigned SegmentsPerFunction = 6; ///< Merge (diamond) patterns chained.
+  /// Merge patterns emitted after the loop, executed once per call. Cold
+  /// code is where the paper's trade-off tier earns its keep: duplicating
+  /// it costs code size for almost no cycles, so DBDS declines what
+  /// dupalot takes.
+  unsigned ColdSegments = 10;
+  unsigned NoiseOpsPerBlock = 2;    ///< Plain arithmetic per branch block.
+  /// Non-foldable arithmetic in every merge block. This is what makes
+  /// duplication cost code size: the foldable pattern is only part of the
+  /// copied code, as in real programs.
+  unsigned MergeNoiseOps = 10;
+  unsigned LoopIterationBase = 24;  ///< Loop trip count scale.
+  bool WrapInLoop = true;           ///< Put the diamond chain in a loop.
+  double BranchSkew = 0.75;         ///< How lopsided generated branches are.
+  double CallRate = 0.1;            ///< Chance of an opaque call per segment.
+  /// Chance a segment is a two-merge chain (an inner diamond's merge that
+  /// jumps straight into an outer merge). These are the §8 path-duplication
+  /// opportunities: the fold is only visible across both merges.
+  double ChainedMergeRate = 0.1;
+  OpportunityMix Mix;
+};
+
+/// A generated workload: a module plus deterministic training and
+/// evaluation inputs for each function.
+struct GeneratedWorkload {
+  std::unique_ptr<Module> Mod;
+  /// Argument tuples per function (indexed like Mod->functions()).
+  std::vector<std::vector<std::vector<int64_t>>> TrainInputs;
+  std::vector<std::vector<std::vector<int64_t>>> EvalInputs;
+};
+
+/// Generates a workload from \p Config. Deterministic in Config.Seed.
+GeneratedWorkload generateWorkload(const GeneratorConfig &Config);
+
+} // namespace dbds
+
+#endif // DBDS_WORKLOADS_PROGRAMGENERATOR_H

@@ -1,0 +1,177 @@
+//===- workloads/Runner.cpp - Benchmark measurement harness ----------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runner.h"
+
+#include "dbds/DBDSPhase.h"
+#include "opts/Phase.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include "vm/Interpreter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dbds;
+
+const char *dbds::runConfigName(RunConfig Config) {
+  switch (Config) {
+  case RunConfig::Baseline:
+    return "baseline";
+  case RunConfig::DBDS:
+    return "dbds";
+  case RunConfig::DupALot:
+    return "dupalot";
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t hashCombine(uint64_t Hash, uint64_t Value) {
+  Hash ^= Value + 0x9e3779b97f4a7c15ULL + (Hash << 6) + (Hash >> 2);
+  return Hash * 0xbf58476d1ce4e5b9ULL;
+}
+
+ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config) {
+  // Regenerate from the seed: each configuration optimizes an identical
+  // program (block/instruction pointers differ; semantics do not).
+  GeneratedWorkload W = generateWorkload(Spec.Config);
+  ConfigMeasurement Out;
+  Interpreter Interp(*W.Mod);
+  // Peak performance is measured with instruction-cache pressure: code
+  // growth beyond ~192 size units per unit costs extra cycles per block
+  // transition (DESIGN.md §2; this is what lets unbounded duplication
+  // regress, as the paper observes for octane raytrace).
+  Interp.enableCodeSizePenalty(/*Threshold=*/192, /*Step=*/160, /*Cap=*/1u << 20);
+
+  auto Functions = W.Mod->functions();
+  for (unsigned FIdx = 0; FIdx != Functions.size(); ++FIdx) {
+    Function &F = *Functions[FIdx];
+
+    // Profile on training inputs (the JIT's interpreter tier).
+    ProfileSummary Profile;
+    for (const auto &Args : W.TrainInputs[FIdx]) {
+      Interp.reset();
+      ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24,
+                                     &Profile);
+      if (!R.Ok) {
+        fprintf(stderr, "training run did not terminate on %s/%s\n",
+                Spec.Name.c_str(), F.getName().c_str());
+        abort();
+      }
+    }
+    applyProfile(F, Profile);
+
+    // Compile (timed).
+    Timer CompileTimer;
+    {
+      TimerScope Scope(CompileTimer);
+      PhaseManager Pipeline =
+          PhaseManager::standardPipeline(/*Verify=*/false, W.Mod.get());
+      Pipeline.run(F);
+      if (Config != RunConfig::Baseline) {
+        DBDSConfig DC;
+        DC.UseTradeoff = Config == RunConfig::DBDS;
+        DC.ClassTable = W.Mod.get();
+        DC.Verify = false;
+        DBDSResult R = runDBDS(F, DC);
+        Out.Duplications += R.DuplicationsPerformed;
+      }
+    }
+    Out.CompileTimeMs += CompileTimer.totalMs();
+    Out.CodeSize += F.estimatedCodeSize();
+
+    // Peak performance: dynamic cost-model cycles on evaluation inputs.
+    for (const auto &Args : W.EvalInputs[FIdx]) {
+      Interp.reset();
+      ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24);
+      if (!R.Ok) {
+        fprintf(stderr, "evaluation run did not terminate on %s/%s\n",
+                Spec.Name.c_str(), F.getName().c_str());
+        abort();
+      }
+      Out.DynamicCycles += R.DynamicCycles;
+      Out.ResultHash = hashCombine(
+          Out.ResultHash,
+          R.HasResult && !R.Result.IsObject
+              ? static_cast<uint64_t>(R.Result.Scalar)
+              : 0);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec) {
+  BenchmarkMeasurement M;
+  M.Name = Spec.Name;
+  M.Baseline = measureConfig(Spec, RunConfig::Baseline);
+  M.DBDS = measureConfig(Spec, RunConfig::DBDS);
+  M.DupALot = measureConfig(Spec, RunConfig::DupALot);
+
+  // Correctness gate: optimization must not change program results.
+  if (M.Baseline.ResultHash != M.DBDS.ResultHash ||
+      M.Baseline.ResultHash != M.DupALot.ResultHash) {
+    fprintf(stderr, "MISCOMPILE on benchmark %s: result hashes differ\n",
+            Spec.Name.c_str());
+    abort();
+  }
+  return M;
+}
+
+std::vector<BenchmarkMeasurement> dbds::measureSuite(const SuiteSpec &Suite) {
+  std::vector<BenchmarkMeasurement> Rows;
+  Rows.reserve(Suite.Benchmarks.size());
+  for (const BenchmarkSpec &Spec : Suite.Benchmarks)
+    Rows.push_back(measureBenchmark(Spec));
+  return Rows;
+}
+
+std::string
+dbds::formatSuiteReport(const std::string &SuiteName,
+                        const std::vector<BenchmarkMeasurement> &Rows) {
+  std::string Out;
+  char Line[256];
+  snprintf(Line, sizeof(Line),
+           "=== %s: peak performance / compile time / code size "
+           "(vs. baseline, %%) ===\n",
+           SuiteName.c_str());
+  Out += Line;
+  snprintf(Line, sizeof(Line), "%-14s | %21s | %21s\n", "benchmark",
+           "DBDS  peak    ct    cs", "dupalot peak   ct    cs");
+  Out += Line;
+
+  std::vector<double> DPeak, DCt, DCs, APeak, ACt, ACs;
+  for (const BenchmarkMeasurement &M : Rows) {
+    double Dp = M.peakImprovementPercent(M.DBDS);
+    double Dt = M.compileTimeIncreasePercent(M.DBDS);
+    double Ds = M.codeSizeIncreasePercent(M.DBDS);
+    double Ap = M.peakImprovementPercent(M.DupALot);
+    double At = M.compileTimeIncreasePercent(M.DupALot);
+    double As = M.codeSizeIncreasePercent(M.DupALot);
+    snprintf(Line, sizeof(Line),
+             "%-14s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+             M.Name.c_str(), Dp, Dt, Ds, Ap, At, As);
+    Out += Line;
+    DPeak.push_back(1.0 + Dp / 100.0);
+    DCt.push_back(1.0 + Dt / 100.0);
+    DCs.push_back(1.0 + Ds / 100.0);
+    APeak.push_back(1.0 + Ap / 100.0);
+    ACt.push_back(1.0 + At / 100.0);
+    ACs.push_back(1.0 + As / 100.0);
+  }
+  auto Geo = [](std::vector<double> &V) {
+    return (geometricMean(ArrayRef<double>(V)) - 1.0) * 100.0;
+  };
+  snprintf(Line, sizeof(Line),
+           "%-14s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+           "geomean", Geo(DPeak), Geo(DCt), Geo(DCs), Geo(APeak), Geo(ACt),
+           Geo(ACs));
+  Out += Line;
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- workloads/Runner.h - Benchmark measurement harness -------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one benchmark under the paper's three configurations — baseline
+/// (DBDS disabled), dbds, and dupalot (simulation without trade-off) —
+/// and measures the three §6.1 metrics: peak performance (dynamic
+/// cost-model cycles on evaluation inputs; lower is faster), compile time
+/// (wall clock of the optimization pipeline), and code size (static size
+/// estimate after optimization). Every run cross-checks program results
+/// across configurations, so the harness doubles as an end-to-end
+/// correctness test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_WORKLOADS_RUNNER_H
+#define DBDS_WORKLOADS_RUNNER_H
+
+#include "workloads/Suites.h"
+
+#include <string>
+
+namespace dbds {
+
+/// The three configurations of §6.1.
+enum class RunConfig { Baseline, DBDS, DupALot };
+
+const char *runConfigName(RunConfig Config);
+
+/// Raw measurements of one benchmark under one configuration.
+struct ConfigMeasurement {
+  uint64_t DynamicCycles = 0; ///< Peak performance proxy (lower = faster).
+  double CompileTimeMs = 0.0;
+  uint64_t CodeSize = 0;
+  unsigned Duplications = 0;
+  uint64_t ResultHash = 0; ///< Hash of all program results (correctness).
+};
+
+/// One benchmark's results across all three configurations.
+struct BenchmarkMeasurement {
+  std::string Name;
+  ConfigMeasurement Baseline, DBDS, DupALot;
+
+  /// Peak performance delta of \p C vs baseline in percent (positive =
+  /// faster, as the paper reports it).
+  double peakImprovementPercent(const ConfigMeasurement &C) const {
+    return (static_cast<double>(Baseline.DynamicCycles) /
+                static_cast<double>(C.DynamicCycles) -
+            1.0) *
+           100.0;
+  }
+  /// Compile-time increase vs baseline in percent.
+  double compileTimeIncreasePercent(const ConfigMeasurement &C) const {
+    return (C.CompileTimeMs / Baseline.CompileTimeMs - 1.0) * 100.0;
+  }
+  /// Code-size increase vs baseline in percent.
+  double codeSizeIncreasePercent(const ConfigMeasurement &C) const {
+    return (static_cast<double>(C.CodeSize) /
+                static_cast<double>(Baseline.CodeSize) -
+            1.0) *
+           100.0;
+  }
+};
+
+/// Generates, profiles, compiles, and measures one benchmark under all
+/// three configurations. Aborts if the configurations' program results
+/// disagree (optimization would be unsound).
+BenchmarkMeasurement measureBenchmark(const BenchmarkSpec &Spec);
+
+/// Measures a whole suite.
+std::vector<BenchmarkMeasurement> measureSuite(const SuiteSpec &Suite);
+
+/// Renders one suite's results in the layout of the paper's per-figure
+/// tables: one row per benchmark plus the geometric-mean footer.
+std::string formatSuiteReport(const std::string &SuiteName,
+                              const std::vector<BenchmarkMeasurement> &Rows);
+
+} // namespace dbds
+
+#endif // DBDS_WORKLOADS_RUNNER_H

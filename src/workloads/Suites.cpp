@@ -1,0 +1,186 @@
+//===- workloads/Suites.cpp - Named benchmark suites -----------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suites.h"
+
+using namespace dbds;
+
+namespace {
+
+/// Stable per-name seed so adding benchmarks never reshuffles others.
+uint64_t seedOf(const std::string &SuiteName, const std::string &Bench) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (char C : SuiteName + "/" + Bench) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+BenchmarkSpec make(const std::string &Suite, const std::string &Name,
+                   OpportunityMix Mix, unsigned Functions, unsigned Segments,
+                   double Skew, double CallRate = 0.1) {
+  GeneratorConfig Config;
+  Config.Seed = seedOf(Suite, Name);
+  Config.NumFunctions = Functions;
+  Config.SegmentsPerFunction = Segments;
+  Config.BranchSkew = Skew;
+  Config.CallRate = CallRate;
+  Config.Mix = Mix;
+  return {Name, Config};
+}
+
+/// DaCapo-style: mostly noise, occasional opportunities, heavier units.
+OpportunityMix dacapoMix(double Opportunity) {
+  OpportunityMix Mix;
+  Mix.ConstantFold = Opportunity;
+  Mix.ConditionalElim = Opportunity;
+  Mix.PartialEscape = Opportunity * 0.5;
+  Mix.ReadElim = Opportunity;
+  Mix.StrengthReduction = Opportunity * 0.3;
+  Mix.Noise = 4.0;
+  return Mix;
+}
+
+/// Scala-style: boxing and type checks — escape + read-elim heavy.
+OpportunityMix scalaMix(double Opportunity) {
+  OpportunityMix Mix;
+  Mix.ConstantFold = Opportunity * 0.7;
+  Mix.ConditionalElim = Opportunity;
+  Mix.PartialEscape = Opportunity * 1.5;
+  Mix.ReadElim = Opportunity * 1.3;
+  Mix.StrengthReduction = Opportunity * 0.2;
+  Mix.Noise = 3.0;
+  return Mix;
+}
+
+/// Micro-benchmark-style: opportunity saturated (§6.2: "elimination of
+/// redundant type checks and opportunities for escape analysis").
+OpportunityMix microMix(double Escape, double Checks) {
+  OpportunityMix Mix;
+  Mix.ConstantFold = 1.0;
+  Mix.ConditionalElim = Checks;
+  Mix.PartialEscape = Escape;
+  Mix.ReadElim = 1.0;
+  Mix.StrengthReduction = 0.6;
+  Mix.Noise = 1.0;
+  return Mix;
+}
+
+/// Octane-style: partial-evaluated dynamic language code — condition
+/// chains everywhere.
+OpportunityMix octaneMix(double Conditions, double Allocs) {
+  OpportunityMix Mix;
+  Mix.ConstantFold = 1.2;
+  Mix.ConditionalElim = Conditions;
+  Mix.PartialEscape = Allocs;
+  Mix.ReadElim = 0.8;
+  Mix.StrengthReduction = 0.4;
+  Mix.Noise = 1.6;
+  return Mix;
+}
+
+/// Octane raytrace is the paper's cautionary tale: duplicating every
+/// opportunity makes it 15% *slower* than baseline (§6.2). Its profile
+/// here: lots of cold allocation-flavoured merges with heavy non-foldable
+/// payload, so unbounded duplication bloats the unit deep into
+/// instruction-cache pressure for almost no cycle savings.
+BenchmarkSpec raytraceSpec(const std::string &Suite) {
+  OpportunityMix Mix;
+  Mix.ConstantFold = 3.0; // many tiny-benefit merges: dupalot bait
+  Mix.ConditionalElim = 0.5;
+  Mix.PartialEscape = 0.3;
+  Mix.ReadElim = 1.0;
+  Mix.StrengthReduction = 0.1;
+  Mix.Noise = 2.0;
+  BenchmarkSpec Spec = make(Suite, "raytrace", Mix, 8, 4, 0.6, 0.25);
+  Spec.Config.ColdSegments = 36;
+  Spec.Config.MergeNoiseOps = 20;
+  return Spec;
+}
+
+} // namespace
+
+SuiteSpec dbds::javaDaCapoSuite() {
+  const std::string S = "java-dacapo";
+  SuiteSpec Suite{S, {}};
+  Suite.Benchmarks = {
+      make(S, "avrora", dacapoMix(0.5), 10, 6, 0.7),
+      make(S, "batik", dacapoMix(0.6), 9, 5, 0.75),
+      make(S, "fop", dacapoMix(0.7), 9, 6, 0.7),
+      make(S, "h2", dacapoMix(0.5), 12, 7, 0.8),
+      make(S, "jython", dacapoMix(1.2), 12, 7, 0.75), // §6.2: +3%
+      make(S, "luindex", dacapoMix(1.4), 10, 6, 0.8), // §6.2: +4%
+      make(S, "lusearch", dacapoMix(0.8), 10, 6, 0.8),
+      make(S, "pmd", dacapoMix(0.7), 11, 6, 0.7),
+      make(S, "sunflow", dacapoMix(0.6), 10, 7, 0.75),
+      make(S, "xalan", dacapoMix(0.6), 11, 6, 0.7),
+  };
+  return Suite;
+}
+
+SuiteSpec dbds::scalaDaCapoSuite() {
+  const std::string S = "scala-dacapo";
+  SuiteSpec Suite{S, {}};
+  Suite.Benchmarks = {
+      make(S, "actors", scalaMix(1.0), 10, 6, 0.75),
+      make(S, "apparat", scalaMix(0.8), 10, 6, 0.7),
+      make(S, "factorie", scalaMix(1.6), 10, 7, 0.8), // math-heavy: big wins
+      make(S, "kiama", scalaMix(1.0), 9, 5, 0.7),
+      make(S, "scalac", scalaMix(0.9), 13, 7, 0.7),
+      make(S, "scaladoc", scalaMix(0.8), 12, 6, 0.7),
+      make(S, "scalap", scalaMix(1.1), 9, 5, 0.75),
+      make(S, "scalariform", scalaMix(1.0), 10, 6, 0.75),
+      make(S, "scalatest", scalaMix(0.7), 10, 6, 0.7),
+      make(S, "scalaxb", scalaMix(1.5), 10, 6, 0.8),
+      make(S, "specs", scalaMix(0.9), 10, 6, 0.7),
+      make(S, "tmt", scalaMix(1.2), 11, 7, 0.8),
+  };
+  return Suite;
+}
+
+SuiteSpec dbds::microSuite() {
+  const std::string S = "micro";
+  SuiteSpec Suite{S, {}};
+  Suite.Benchmarks = {
+      make(S, "akkaPP", microMix(1.2, 1.2), 6, 5, 0.8, 0.25),
+      make(S, "bufdecode", microMix(0.8, 2.2), 6, 6, 0.85),
+      make(S, "charcount", microMix(0.6, 1.8), 5, 5, 0.9),
+      make(S, "charhist", microMix(0.8, 1.6), 5, 6, 0.9),
+      make(S, "chisquare", microMix(2.4, 1.0), 6, 6, 0.85), // boxing-heavy
+      make(S, "groupbyrem", microMix(1.6, 1.2), 6, 6, 0.85),
+      make(S, "kmeanCPCA", microMix(2.0, 1.4), 6, 7, 0.9), // §6.2: up to 40%
+      make(S, "streamPerson", microMix(2.6, 1.2), 6, 6, 0.9),
+      make(S, "wordcount", microMix(1.2, 1.6), 6, 6, 0.85),
+  };
+  return Suite;
+}
+
+SuiteSpec dbds::octaneSuite() {
+  const std::string S = "octane";
+  SuiteSpec Suite{S, {}};
+  Suite.Benchmarks = {
+      make(S, "box2d", octaneMix(1.6, 1.0), 10, 6, 0.8),
+      make(S, "code-load", octaneMix(0.6, 0.4), 14, 5, 0.7),
+      make(S, "deltablue", octaneMix(2.0, 1.4), 9, 6, 0.85),
+      make(S, "earley-boyer", octaneMix(1.8, 1.2), 11, 7, 0.8),
+      make(S, "gameboy", octaneMix(1.4, 0.8), 10, 6, 0.8),
+      make(S, "mandreel", octaneMix(1.0, 0.6), 12, 7, 0.75),
+      make(S, "navier-stokes", octaneMix(1.2, 0.6), 8, 7, 0.9),
+      make(S, "pdfjs", octaneMix(1.2, 0.8), 12, 6, 0.75),
+      raytraceSpec(S), // the §6.2 outlier: dupalot regresses vs baseline
+      make(S, "regexp", octaneMix(1.0, 0.6), 9, 5, 0.7),
+      make(S, "richards", octaneMix(1.8, 1.0), 8, 6, 0.85),
+      make(S, "splay", octaneMix(1.4, 1.2), 9, 6, 0.8),
+      make(S, "typescript", octaneMix(1.2, 0.8), 14, 6, 0.7),
+      make(S, "zlib", octaneMix(1.0, 0.4), 10, 7, 0.85),
+  };
+  return Suite;
+}
+
+std::vector<SuiteSpec> dbds::allSuites() {
+  return {javaDaCapoSuite(), scalaDaCapoSuite(), microSuite(), octaneSuite()};
+}

@@ -1,0 +1,54 @@
+//===- workloads/Suites.h - Named benchmark suites ---------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One named synthetic workload per benchmark of the paper's four suites
+/// (§6.1): Java DaCapo (Figure 5), Scala DaCapo (Figure 6), the Java/Scala
+/// micro-benchmarks (Figure 7), and JavaScript Octane on Graal JS
+/// (Figure 8). Each suite has a characteristic opportunity mix (DESIGN.md
+/// §2): DaCapo-like workloads are noise-heavy with moderate opportunity
+/// density; Scala adds type-check/boxing traffic (read-elim + escape
+/// heavy); the micro suite is opportunity-saturated (streams and lambdas:
+/// escape analysis + redundant checks); Octane functions come from a
+/// partial evaluator and carry long condition chains (CE heavy) with a few
+/// allocation-heavy outliers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_WORKLOADS_SUITES_H
+#define DBDS_WORKLOADS_SUITES_H
+
+#include "workloads/ProgramGenerator.h"
+
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+/// A named benchmark: its generator configuration.
+struct BenchmarkSpec {
+  std::string Name;
+  GeneratorConfig Config;
+};
+
+/// A named suite of benchmarks.
+struct SuiteSpec {
+  std::string Name;
+  std::vector<BenchmarkSpec> Benchmarks;
+};
+
+/// The four suites of the paper's evaluation.
+SuiteSpec javaDaCapoSuite();  ///< Figure 5 (10 benchmarks).
+SuiteSpec scalaDaCapoSuite(); ///< Figure 6 (12 benchmarks).
+SuiteSpec microSuite();       ///< Figure 7 (9 benchmarks).
+SuiteSpec octaneSuite();      ///< Figure 8 (14 benchmarks).
+
+/// All four suites.
+std::vector<SuiteSpec> allSuites();
+
+} // namespace dbds
+
+#endif // DBDS_WORKLOADS_SUITES_H

@@ -1,0 +1,147 @@
+//===- tests/PaperExamples.h - The paper's example programs -----*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The running examples of the paper, in textual IR, shared by the unit,
+/// integration, and property tests: Figure 1 (constant folding), Listing 1
+/// (conditional elimination), Listing 3 (partial escape), Listing 5 (read
+/// elimination), and Figure 3's program f (strength reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TESTS_PAPEREXAMPLES_H
+#define DBDS_TESTS_PAPEREXAMPLES_H
+
+namespace dbds {
+namespace paper {
+
+/// Figure 1: int foo(int x) { int phi = x > 0 ? x : 0; return 2 + phi; }
+inline const char *Figure1 = R"(
+func @foo(int) {
+b0:
+  %p = param 0
+  %zero = const 0
+  %c = cmp gt %p, %zero
+  if %c, b1, b2 !0.5
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  %phi = phi int [%p, b1], [%zero, b2]
+  %two = const 2
+  %sum = add %two, %phi
+  ret %sum
+}
+)";
+
+/// Listing 1: p = i > 0 ? i : 13; if (p > 12) return 12; return i;
+inline const char *Listing1 = R"(
+func @foo(int) {
+b0:
+  %i = param 0
+  %zero = const 0
+  %c = cmp gt %i, %zero
+  if %c, b1, b2 !0.5
+b1:
+  jump b3
+b2:
+  %c13 = const 13
+  jump b3
+b3:
+  %p = phi int [%i, b1], [%c13, b2]
+  %c12 = const 12
+  %c2 = cmp gt %p, %c12
+  if %c2, b4, b5 !0.5
+b4:
+  ret %c12
+b5:
+  ret %i
+}
+)";
+
+/// Listing 3: A p = (a == null) ? new A(0) : a; return p.x;
+/// (class A with one field; field initialized to the second parameter to
+/// make the store explicit.)
+inline const char *Listing3 = R"(
+class A 1
+
+func @foo(obj, int) {
+b0:
+  %a = param 0
+  %x = param 1
+  %null = const null
+  %c = cmp eq %a, %null
+  if %c, b1, b2 !0.5
+b1:
+  %new = new 0
+  store %new, 0, %x
+  jump b3
+b2:
+  jump b3
+b3:
+  %p = phi obj [%new, b1], [%a, b2]
+  %f = load %p, 0
+  ret %f
+}
+)";
+
+/// Listing 5: if (i > 0) { s = a.x; } else { s = 0; } return a.x;
+/// ("s" is modeled as a second field of the object.)
+inline const char *Listing5 = R"(
+class A 2
+
+func @foo(obj, int) {
+b0:
+  %a = param 0
+  %i = param 1
+  %zero = const 0
+  %c = cmp gt %i, %zero
+  if %c, b1, b2 !0.5
+b1:
+  %r1 = load %a, 0
+  store %a, 1, %r1
+  jump b3
+b2:
+  store %a, 1, %zero
+  jump b3
+b3:
+  %r2 = load %a, 0
+  ret %r2
+}
+)";
+
+/// Figure 3's program f: return x / (a > b ? phi-input : 2). The paper's
+/// division-by-phi with a constant 2 on one branch; the dividend is masked
+/// non-negative so x / 2 -> x >> 1 is sound (CS = 32 - 1 = 31).
+inline const char *Figure3 = R"(
+func @f(int, int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %xr = param 2
+  %mask = const 1023
+  %x = and %xr, %mask
+  %c = cmp gt %a, %b
+  if %c, b1, b2 !0.5
+b1:
+  %one = const 1
+  %y = add %x, %one
+  jump b3
+b2:
+  %two = const 2
+  jump b3
+b3:
+  %phi = phi int [%y, b1], [%two, b2]
+  %div = div %x, %phi
+  ret %div
+}
+)";
+
+} // namespace paper
+} // namespace dbds
+
+#endif // DBDS_TESTS_PAPEREXAMPLES_H

@@ -1,0 +1,307 @@
+//===- tests/inliner_test.cpp - Invokes and the §5.1 inliner ---------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "dbds/DBDSPhase.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Inliner.h"
+#include "opts/Phase.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace dbds;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const char *Source) {
+  ParseResult R = parseModule(Source);
+  EXPECT_TRUE(R) << R.Error;
+  if (R) {
+    for (Function *F : R.Mod->functions())
+      EXPECT_EQ(verifyFunction(*F), "");
+  }
+  return std::move(R.Mod);
+}
+
+unsigned countOpcode(Function &F, Opcode Op) {
+  unsigned Count = 0;
+  for (Block *B : F.blocks())
+    for (Instruction *I : *B)
+      Count += I->getOpcode() == Op ? 1 : 0;
+  return Count;
+}
+
+const char *TwoFunctions = R"(
+func @double(int) {
+b0:
+  %x = param 0
+  %two = const 2
+  %r = mul %x, %two
+  ret %r
+}
+
+func @main(int) {
+b0:
+  %a = param 0
+  %d = invoke @double(%a)
+  %one = const 1
+  %r = add %d, %one
+  ret %r
+}
+)";
+
+TEST(InvokeTest, ParsesPrintsAndInterprets) {
+  auto M = parseOk(TwoFunctions);
+  ASSERT_TRUE(M);
+  std::string Printed = printModule(M.get());
+  EXPECT_NE(Printed.find("invoke @double("), std::string::npos);
+
+  ParseResult Again = parseModule(Printed);
+  ASSERT_TRUE(Again) << Again.Error;
+
+  Interpreter Interp(*M);
+  ExecutionResult R =
+      Interp.run(*M->getFunction("main"), ArrayRef<int64_t>({10}));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Result.Scalar, 21);
+}
+
+TEST(InvokeTest, RecursionIsBoundedByFuel) {
+  auto M = parseOk(R"(
+func @loop(int) {
+b0:
+  %x = param 0
+  %r = invoke @loop(%x)
+  ret %r
+}
+)");
+  ASSERT_TRUE(M);
+  Interpreter Interp(*M);
+  ExecutionResult R =
+      Interp.run(*M->getFunction("loop"), ArrayRef<int64_t>({1}), 100000);
+  EXPECT_FALSE(R.Ok); // depth limit / fuel, not a crash
+}
+
+TEST(InvokeTest, CloneAndDuplicationPreserveInvokes) {
+  auto M = parseOk(TwoFunctions);
+  ASSERT_TRUE(M);
+  Function *Main = M->getFunction("main");
+  auto Clone = Main->clone();
+  EXPECT_EQ(verifyFunction(*Clone), "");
+  EXPECT_EQ(countOpcode(*Clone, Opcode::Invoke), 1u);
+}
+
+TEST(InlinerTest, InlinesStraightLineCallee) {
+  auto M = parseOk(TwoFunctions);
+  ASSERT_TRUE(M);
+  Function *Main = M->getFunction("main");
+  unsigned Inlined = inlineInvokes(*Main, *M);
+  EXPECT_EQ(Inlined, 1u);
+  ASSERT_EQ(verifyFunction(*Main), "");
+  EXPECT_EQ(countOpcode(*Main, Opcode::Invoke), 0u);
+
+  Interpreter Interp(*M);
+  EXPECT_EQ(Interp.run(*Main, ArrayRef<int64_t>({10})).Result.Scalar, 21);
+  // After inlining, no call overhead remains and the body can fold: run
+  // the pipeline and re-check.
+  PhaseManager PM = PhaseManager::standardPipeline(true, M.get());
+  PM.run(*Main);
+  EXPECT_EQ(Interp.run(*Main, ArrayRef<int64_t>({10})).Result.Scalar, 21);
+}
+
+TEST(InlinerTest, InlinesBranchyCalleeWithMultipleReturns) {
+  auto M = parseOk(R"(
+func @max(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %c = cmp gt %a, %b
+  if %c, b1, b2 !0.5
+b1:
+  ret %a
+b2:
+  ret %b
+}
+
+func @main(int, int) {
+b0:
+  %x = param 0
+  %y = param 1
+  %m = invoke @max(%x, %y)
+  %one = const 1
+  %r = add %m, %one
+  ret %r
+}
+)");
+  ASSERT_TRUE(M);
+  Function *Main = M->getFunction("main");
+  Interpreter Interp(*M);
+  int64_t R1 = Interp.run(*Main, ArrayRef<int64_t>({3, 9})).Result.Scalar;
+  int64_t R2 = Interp.run(*Main, ArrayRef<int64_t>({9, 3})).Result.Scalar;
+
+  EXPECT_EQ(inlineInvokes(*Main, *M), 1u);
+  ASSERT_EQ(verifyFunction(*Main), "");
+  // The continuation now has a return-value phi fed by both return paths.
+  EXPECT_EQ(Interp.run(*Main, ArrayRef<int64_t>({3, 9})).Result.Scalar, R1);
+  EXPECT_EQ(Interp.run(*Main, ArrayRef<int64_t>({9, 3})).Result.Scalar, R2);
+}
+
+TEST(InlinerTest, InlinesLoopingCallee) {
+  auto M = parseOk(R"(
+func @sum(int) {
+b0:
+  %n = param 0
+  %z = const 0
+  jump b1
+b1:
+  %i = phi int [%z, b0], [%inext, b2]
+  %acc = phi int [%z, b0], [%accnext, b2]
+  %c = cmp lt %i, %n
+  if %c, b2, b3 !0.9
+b2:
+  %accnext = add %acc, %i
+  %one = const 1
+  %inext = add %i, %one
+  jump b1
+b3:
+  ret %acc
+}
+
+func @main(int) {
+b0:
+  %x = param 0
+  %s = invoke @sum(%x)
+  %s2 = invoke @sum(%s)
+  %r = add %s, %s2
+  ret %r
+}
+)");
+  ASSERT_TRUE(M);
+  Function *Main = M->getFunction("main");
+  Interpreter Interp(*M);
+  int64_t Before = Interp.run(*Main, ArrayRef<int64_t>({6})).Result.Scalar;
+
+  EXPECT_EQ(inlineInvokes(*Main, *M), 2u);
+  ASSERT_EQ(verifyFunction(*Main), "");
+  EXPECT_EQ(countOpcode(*Main, Opcode::Invoke), 0u);
+  EXPECT_EQ(Interp.run(*Main, ArrayRef<int64_t>({6})).Result.Scalar, Before);
+}
+
+TEST(InlinerTest, RespectsSizeLimits) {
+  auto M = parseOk(TwoFunctions);
+  ASSERT_TRUE(M);
+  Function *Main = M->getFunction("main");
+  InlinerConfig Config;
+  Config.MaxCalleeSize = 1; // nothing fits
+  EXPECT_EQ(inlineInvokes(*Main, *M, Config), 0u);
+  EXPECT_EQ(countOpcode(*Main, Opcode::Invoke), 1u);
+}
+
+TEST(InlinerTest, SkipsRecursiveAndUnknownCallees) {
+  auto M = parseOk(R"(
+func @self(int) {
+b0:
+  %x = param 0
+  %r = invoke @self(%x)
+  %r2 = invoke @nothere(%x)
+  %t = add %r, %r2
+  ret %t
+}
+)");
+  ASSERT_TRUE(M);
+  Function *F = M->getFunction("self");
+  EXPECT_EQ(inlineInvokes(*F, *M), 0u);
+  EXPECT_EQ(countOpcode(*F, Opcode::Invoke), 2u);
+}
+
+TEST(InlinerTest, NestedInvokesInlineAcrossRounds) {
+  auto M = parseOk(R"(
+func @inc(int) {
+b0:
+  %x = param 0
+  %one = const 1
+  %r = add %x, %one
+  ret %r
+}
+
+func @inc2(int) {
+b0:
+  %x = param 0
+  %a = invoke @inc(%x)
+  %b = invoke @inc(%a)
+  ret %b
+}
+
+func @main(int) {
+b0:
+  %x = param 0
+  %r = invoke @inc2(%x)
+  ret %r
+}
+)");
+  ASSERT_TRUE(M);
+  Function *Main = M->getFunction("main");
+  unsigned Inlined = inlineInvokes(*Main, *M);
+  EXPECT_EQ(Inlined, 3u); // inc2, then its two incs next round
+  ASSERT_EQ(verifyFunction(*Main), "");
+  EXPECT_EQ(countOpcode(*Main, Opcode::Invoke), 0u);
+  Interpreter Interp(*M);
+  EXPECT_EQ(Interp.run(*Main, ArrayRef<int64_t>({40})).Result.Scalar, 42);
+}
+
+TEST(InlinerTest, InliningFeedsDBDS) {
+  // The §5.1 pipeline ordering: inlining lands a branchy callee inside
+  // the caller; duplication then specializes the call-path constant.
+  auto M = parseOk(R"(
+func @clamp(int) {
+b0:
+  %x = param 0
+  %z = const 0
+  %c = cmp lt %x, %z
+  if %c, b1, b2 !0.5
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  %r = phi int [%z, b1], [%x, b2]
+  ret %r
+}
+
+func @main(int) {
+b0:
+  %x = param 0
+  %mask = const 255
+  %pos = and %x, %mask
+  %v = invoke @clamp(%pos)
+  %one = const 1
+  %r = add %v, %one
+  ret %r
+}
+)");
+  ASSERT_TRUE(M);
+  Function *Main = M->getFunction("main");
+  Interpreter Interp(*M);
+  int64_t Before = Interp.run(*Main, ArrayRef<int64_t>({77})).Result.Scalar;
+
+  EXPECT_EQ(inlineInvokes(*Main, *M), 1u);
+  PhaseManager PM = PhaseManager::standardPipeline(true, M.get());
+  PM.run(*Main);
+  DBDSConfig Config;
+  Config.ClassTable = M.get();
+  runDBDS(*Main, Config);
+  ASSERT_EQ(verifyFunction(*Main), "");
+  EXPECT_EQ(Interp.run(*Main, ArrayRef<int64_t>({77})).Result.Scalar,
+            Before);
+  // The inlined clamp's branch folds away entirely: pos is provably
+  // non-negative ([0,255]), so CE kills the x < 0 test.
+  EXPECT_EQ(countOpcode(*Main, Opcode::If), 0u);
+  EXPECT_EQ(countOpcode(*Main, Opcode::Phi), 0u);
+}
+
+} // namespace

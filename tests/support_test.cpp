@@ -1,0 +1,250 @@
+//===- tests/support_test.cpp - Support library unit tests -----------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArrayRef.h"
+#include "support/Casting.h"
+#include "support/RNG.h"
+#include "support/SmallVector.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace dbds;
+
+namespace {
+
+// ---- SmallVector ---------------------------------------------------------
+
+TEST(SmallVectorTest, StaysInlineBelowCapacity) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I != 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V.capacity(), 4u); // still inline
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(SmallVectorTest, GrowsToHeapPreservingElements) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I != 100; ++I)
+    V.push_back(I * 3);
+  EXPECT_EQ(V.size(), 100u);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(V[I], I * 3);
+}
+
+TEST(SmallVectorTest, HandlesNonTrivialElementTypes) {
+  SmallVector<std::string, 2> V;
+  for (int I = 0; I != 20; ++I)
+    V.push_back("element-" + std::to_string(I));
+  EXPECT_EQ(V[19], "element-19");
+  V.pop_back();
+  EXPECT_EQ(V.size(), 19u);
+  EXPECT_EQ(V.back(), "element-18");
+}
+
+TEST(SmallVectorTest, EraseShiftsTail) {
+  SmallVector<int, 4> V = {1, 2, 3, 4, 5};
+  V.erase(V.begin() + 1);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[1], 3);
+  EXPECT_EQ(V[3], 5);
+}
+
+TEST(SmallVectorTest, InsertAtPosition) {
+  SmallVector<int, 4> V = {1, 2, 4};
+  auto It = V.insert(V.begin() + 2, 3);
+  EXPECT_EQ(*It, 3);
+  EXPECT_EQ(V.size(), 4u);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(V[I], I + 1);
+  V.insert(V.begin(), 0);
+  EXPECT_EQ(V[0], 0);
+  V.insert(V.end(), 5);
+  EXPECT_EQ(V.back(), 5);
+}
+
+TEST(SmallVectorTest, CopyAndMoveSemantics) {
+  SmallVector<std::string, 2> A;
+  for (int I = 0; I != 8; ++I)
+    A.push_back(std::to_string(I));
+  SmallVector<std::string, 2> B(A);
+  EXPECT_EQ(A, B);
+  SmallVector<std::string, 2> C(std::move(A));
+  EXPECT_EQ(C, B);
+  EXPECT_TRUE(A.empty());
+  SmallVector<std::string, 2> D;
+  D = std::move(C);
+  EXPECT_EQ(D, B);
+}
+
+TEST(SmallVectorTest, ResizeUpAndDown) {
+  SmallVector<int, 4> V;
+  V.resize(10, 7);
+  EXPECT_EQ(V.size(), 10u);
+  EXPECT_EQ(V[9], 7);
+  V.resize(3);
+  EXPECT_EQ(V.size(), 3u);
+  V.resize(5);
+  EXPECT_EQ(V[4], 0); // value-initialized
+}
+
+TEST(SmallVectorTest, ReserveDoesNotChangeSize) {
+  SmallVector<int, 2> V = {1, 2};
+  V.reserve(100);
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_GE(V.capacity(), 100u);
+  EXPECT_EQ(V[1], 2);
+}
+
+TEST(SmallVectorTest, SelfReferencePushBackGrowthIsSafe) {
+  // push_back of an element of the vector itself while growing.
+  SmallVector<std::string, 1> V;
+  V.push_back("long-enough-to-heap-allocate-string-content");
+  for (int I = 0; I != 10; ++I)
+    V.push_back(std::string(V[0])); // explicit copy: defined behaviour
+  EXPECT_EQ(V.size(), 11u);
+  EXPECT_EQ(V[10], V[0]);
+}
+
+// ---- ArrayRef -------------------------------------------------------------
+
+TEST(ArrayRefTest, ViewsContainersWithoutCopying) {
+  std::vector<int> Vec = {1, 2, 3};
+  ArrayRef<int> Ref(Vec);
+  EXPECT_EQ(Ref.size(), 3u);
+  EXPECT_EQ(Ref[2], 3);
+  EXPECT_EQ(Ref.front(), 1);
+  EXPECT_EQ(Ref.back(), 3);
+  SmallVector<int, 2> SV = {9, 8};
+  ArrayRef<int> Ref2(SV);
+  EXPECT_EQ(Ref2[0], 9);
+}
+
+TEST(ArrayRefTest, SliceAndDropFront) {
+  int Data[] = {0, 1, 2, 3, 4};
+  ArrayRef<int> Ref(Data);
+  EXPECT_EQ(Ref.slice(1, 3).size(), 3u);
+  EXPECT_EQ(Ref.slice(1, 3)[0], 1);
+  EXPECT_EQ(Ref.drop_front(2)[0], 2);
+  EXPECT_TRUE(Ref.slice(5, 0).empty());
+}
+
+// ---- RNG -------------------------------------------------------------------
+
+TEST(RNGTest, DeterministicPerSeed) {
+  RNG A(42), B(42), C(43);
+  bool Differs = false;
+  for (int I = 0; I != 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    Differs |= VA != C.next();
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RNGTest, NextBelowStaysInRange) {
+  RNG R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RNGTest, NextRangeIsInclusive) {
+  RNG R(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RNGTest, NextDoubleInUnitInterval) {
+  RNG R(99);
+  double Sum = 0;
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+    Sum += D;
+  }
+  EXPECT_NEAR(Sum / 1000, 0.5, 0.05); // roughly uniform
+}
+
+TEST(RNGTest, NextBoolRespectsProbability) {
+  RNG R(5);
+  int True = 0;
+  for (int I = 0; I != 4000; ++I)
+    True += R.nextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(True) / 4000, 0.25, 0.03);
+}
+
+// ---- Statistics ------------------------------------------------------------
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean({2.0, 2.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean(ArrayRef<double>()), 1.0);
+  EXPECT_NEAR(geometricMean({1.1, 0.9}), 0.99498743710662, 1e-12);
+}
+
+TEST(StatisticsTest, ArithmeticMeanAndExtremes) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(arithmeticMean(ArrayRef<double>()), 0.0);
+  EXPECT_DOUBLE_EQ(minimum({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(maximum({3.0, 1.0, 2.0}), 3.0);
+}
+
+// ---- Casting ----------------------------------------------------------------
+
+TEST(CastingTest, IsaCastDynCastOverInstructions) {
+  Function F("t", 1);
+  Block *B = F.createBlock();
+  IRBuilder Builder(F);
+  Builder.setBlock(B);
+  Instruction *P = Builder.param(0);
+  Instruction *Sum = Builder.add(P, P);
+  Instruction *Cmp = Builder.cmp(Predicate::LT, P, Sum);
+
+  EXPECT_TRUE(isa<ParamInst>(P));
+  EXPECT_FALSE(isa<BinaryInst>(P));
+  EXPECT_TRUE(isa<BinaryInst>(Sum));
+  EXPECT_TRUE((isa<BinaryInst, CompareInst>(Cmp))); // variadic isa
+  EXPECT_EQ(cast<CompareInst>(Cmp)->getPredicate(), Predicate::LT);
+  EXPECT_EQ(dyn_cast<BinaryInst>(Cmp), nullptr);
+  EXPECT_NE(dyn_cast<BinaryInst>(Sum), nullptr);
+  EXPECT_FALSE(isa_and_present<BinaryInst>((Instruction *)nullptr));
+  EXPECT_EQ(dyn_cast_if_present<BinaryInst>((Instruction *)nullptr),
+            nullptr);
+}
+
+// ---- Timer -------------------------------------------------------------------
+
+TEST(TimerTest, AccumulatesAcrossScopes) {
+  Timer T;
+  { TimerScope S(T); }
+  uint64_t First = T.totalNs();
+  { TimerScope S(T); }
+  EXPECT_GE(T.totalNs(), First);
+  T.reset();
+  EXPECT_EQ(T.totalNs(), 0u);
+  EXPECT_DOUBLE_EQ(T.totalMs(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+//===- tests/vm_test.cpp - Interpreter and profiling ------------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "vm/Interpreter.h"
+
+#include "PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace dbds;
+
+namespace {
+
+TEST(InterpreterTest, Figure1ComputesTwoPlusPhi) {
+  ParseResult R = parseModule(paper::Figure1);
+  ASSERT_TRUE(R) << R.Error;
+  Interpreter Interp(*R.Mod);
+  Function *F = R.Mod->functions()[0];
+
+  ExecutionResult Pos = Interp.run(*F, ArrayRef<int64_t>({5}));
+  ASSERT_TRUE(Pos.Ok);
+  EXPECT_EQ(Pos.Result.Scalar, 7); // 2 + 5
+
+  ExecutionResult Neg = Interp.run(*F, ArrayRef<int64_t>({-3}));
+  ASSERT_TRUE(Neg.Ok);
+  EXPECT_EQ(Neg.Result.Scalar, 2); // 2 + 0
+}
+
+TEST(InterpreterTest, Listing1ReimplementsTheSource) {
+  ParseResult R = parseModule(paper::Listing1);
+  ASSERT_TRUE(R) << R.Error;
+  Interpreter Interp(*R.Mod);
+  Function *F = R.Mod->functions()[0];
+  auto foo = [&](int64_t I) {
+    ExecutionResult E = Interp.run(*F, ArrayRef<int64_t>({I}));
+    EXPECT_TRUE(E.Ok);
+    return E.Result.Scalar;
+  };
+  // Reference semantics from the paper's Java code.
+  EXPECT_EQ(foo(20), 12); // i > 0, p = 20 > 12 -> 12
+  EXPECT_EQ(foo(5), 5);   // i > 0, p = 5 <= 12 -> i
+  EXPECT_EQ(foo(-7), 12); // i <= 0, p = 13 > 12 -> 12
+}
+
+TEST(InterpreterTest, Listing3LoadsThroughPhi) {
+  ParseResult R = parseModule(paper::Listing3);
+  ASSERT_TRUE(R) << R.Error;
+  Interpreter Interp(*R.Mod);
+  Function *F = R.Mod->functions()[0];
+
+  // a == null: allocates A(x) and returns its field.
+  {
+    RuntimeValue Args[2] = {RuntimeValue::null(), RuntimeValue::ofInt(42)};
+    ExecutionResult E = Interp.run(*F, ArrayRef<RuntimeValue>(Args, 2));
+    ASSERT_TRUE(E.Ok);
+    EXPECT_EQ(E.Result.Scalar, 42);
+  }
+  // a != null: returns a.x.
+  {
+    Interp.reset();
+    RuntimeValue Obj = Interp.allocate(0);
+    Interp.writeField(Obj, 0, 99);
+    RuntimeValue Args[2] = {Obj, RuntimeValue::ofInt(42)};
+    ExecutionResult E = Interp.run(*F, ArrayRef<RuntimeValue>(Args, 2));
+    ASSERT_TRUE(E.Ok);
+    EXPECT_EQ(E.Result.Scalar, 99);
+  }
+}
+
+TEST(InterpreterTest, DynamicCyclesFollowTheCostModel) {
+  // A straight-line function: param(0) + div(32) + ret(1) = 33 cycles.
+  ParseResult R = parseModule(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %q = div %a, %b
+  ret %q
+}
+)");
+  ASSERT_TRUE(R) << R.Error;
+  Interpreter Interp(*R.Mod);
+  ExecutionResult E =
+      Interp.run(*R.Mod->functions()[0], ArrayRef<int64_t>({100, 3}));
+  ASSERT_TRUE(E.Ok);
+  EXPECT_EQ(E.Result.Scalar, 33);
+  EXPECT_EQ(E.DynamicCycles, 0u + 0 + 32 + 1); // params free, div 32, ret 1
+}
+
+TEST(InterpreterTest, FuelBoundsInfiniteLoops) {
+  ParseResult R = parseModule(R"(
+func @f() {
+b0:
+  jump b1
+b1:
+  jump b1
+}
+)");
+  ASSERT_TRUE(R) << R.Error;
+  ExecutionResult E = Interpreter(*R.Mod).run(
+      *R.Mod->functions()[0], ArrayRef<int64_t>(), /*Fuel=*/1000);
+  EXPECT_FALSE(E.Ok);
+  EXPECT_GE(E.Steps, 1000u);
+}
+
+TEST(InterpreterTest, LoopPhisUseParallelCopySemantics) {
+  // Swap-like loop: (a, b) <- (b, a) three times.
+  ParseResult R = parseModule(R"(
+func @f(int, int) {
+b0:
+  %a0 = param 0
+  %b0 = param 1
+  %zero = const 0
+  jump b1
+b1:
+  %i = phi int [%zero, b0], [%inext, b2]
+  %a = phi int [%a0, b0], [%b, b2]
+  %b = phi int [%b0, b0], [%a, b2]
+  %three = const 3
+  %c = cmp lt %i, %three
+  if %c, b2, b3 !0.75
+b2:
+  %one = const 1
+  %inext = add %i, %one
+  jump b1
+b3:
+  ret %a
+}
+)");
+  ASSERT_TRUE(R) << R.Error;
+  ExecutionResult E = Interpreter(*R.Mod).run(*R.Mod->functions()[0],
+                                              ArrayRef<int64_t>({10, 20}));
+  ASSERT_TRUE(E.Ok);
+  EXPECT_EQ(E.Result.Scalar, 20); // swapped an odd number of times
+}
+
+TEST(ProfilerTest, BranchProbabilitiesFromExecution) {
+  ParseResult R = parseModule(paper::Listing1);
+  ASSERT_TRUE(R) << R.Error;
+  Function *F = R.Mod->functions()[0];
+  Interpreter Interp(*R.Mod);
+  ProfileSummary Profile;
+  // 3 positive, 1 negative input: first branch 75% taken.
+  for (int64_t I : {5, 6, 7, -1})
+    Interp.run(*F, ArrayRef<int64_t>({I}), 1u << 20, &Profile);
+  applyProfile(*F, Profile);
+  auto *If = cast<IfInst>(F->getEntry()->getTerminator());
+  EXPECT_DOUBLE_EQ(If->getTrueProbability(), 0.75);
+}
+
+TEST(ProfilerTest, BlockCountsAccumulate) {
+  ParseResult R = parseModule(paper::Figure1);
+  ASSERT_TRUE(R) << R.Error;
+  Function *F = R.Mod->functions()[0];
+  Interpreter Interp(*R.Mod);
+  ProfileSummary Profile;
+  Interp.run(*F, ArrayRef<int64_t>({5}), 1u << 20, &Profile);
+  Interp.run(*F, ArrayRef<int64_t>({5}), 1u << 20, &Profile);
+  EXPECT_EQ(Profile.BlockCounts.at(F->getEntry()), 2u);
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===- tests/vn_test.cpp - Dominator-based value numbering ------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "dbds/DBDSPhase.h"
+#include "ir/Parser.h"
+#include "opts/Phase.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace dbds;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> Mod;
+  Function *F;
+};
+
+Parsed parse(const std::string &Source) {
+  ParseResult R = parseModule(Source);
+  EXPECT_TRUE(R) << R.Error;
+  Parsed P;
+  P.F = R.Mod->functions()[0];
+  P.Mod = std::move(R.Mod);
+  return P;
+}
+
+unsigned countOpcode(Function &F, Opcode Op) {
+  unsigned Count = 0;
+  for (Block *B : F.blocks())
+    for (Instruction *I : *B)
+      Count += I->getOpcode() == Op ? 1 : 0;
+  return Count;
+}
+
+TEST(ValueNumberingTest, RemovesRecomputationInSameBlock) {
+  Parsed P = parse(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %x = add %a, %b
+  %y = add %a, %b
+  %r = mul %x, %y
+  ret %r
+}
+)");
+  ValueNumbering VN;
+  EXPECT_TRUE(VN.run(*P.F));
+  ASSERT_EQ(verifyFunction(*P.F), "");
+  EXPECT_EQ(countOpcode(*P.F, Opcode::Add), 1u);
+  Interpreter Interp(*P.Mod);
+  EXPECT_EQ(Interp.run(*P.F, ArrayRef<int64_t>({3, 4})).Result.Scalar, 49);
+}
+
+TEST(ValueNumberingTest, CommutativeOperandsNormalize) {
+  Parsed P = parse(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %x = add %a, %b
+  %y = add %b, %a
+  %r = sub %x, %y
+  ret %r
+}
+)");
+  ValueNumbering VN;
+  EXPECT_TRUE(VN.run(*P.F));
+  // add(a,b) == add(b,a); then x - x. The canonicalizer finishes the job.
+  EXPECT_EQ(countOpcode(*P.F, Opcode::Add), 1u);
+  Canonicalizer Canon;
+  Canon.run(*P.F);
+  Interpreter Interp(*P.Mod);
+  EXPECT_EQ(Interp.run(*P.F, ArrayRef<int64_t>({9, 2})).Result.Scalar, 0);
+}
+
+TEST(ValueNumberingTest, NonCommutativeOperandsDoNotNormalize) {
+  Parsed P = parse(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %x = sub %a, %b
+  %y = sub %b, %a
+  %r = add %x, %y
+  ret %r
+}
+)");
+  ValueNumbering VN;
+  VN.run(*P.F);
+  EXPECT_EQ(countOpcode(*P.F, Opcode::Sub), 2u); // both survive
+}
+
+TEST(ValueNumberingTest, ReusesValueFromDominator) {
+  Parsed P = parse(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %x = mul %a, %b
+  %z = const 0
+  %c = cmp gt %x, %z
+  if %c, b1, b2 !0.5
+b1:
+  %y = mul %a, %b
+  ret %y
+b2:
+  ret %z
+}
+)");
+  ValueNumbering VN;
+  EXPECT_TRUE(VN.run(*P.F));
+  ASSERT_EQ(verifyFunction(*P.F), "");
+  EXPECT_EQ(countOpcode(*P.F, Opcode::Mul), 1u);
+}
+
+TEST(ValueNumberingTest, DoesNotReuseAcrossSiblingBranches) {
+  // The compute in b1 does not dominate b2: both must survive.
+  Parsed P = parse(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %z = const 0
+  %c = cmp gt %a, %z
+  if %c, b1, b2 !0.5
+b1:
+  %x = mul %a, %b
+  ret %x
+b2:
+  %y = mul %a, %b
+  ret %y
+}
+)");
+  ValueNumbering VN;
+  VN.run(*P.F);
+  EXPECT_EQ(countOpcode(*P.F, Opcode::Mul), 2u);
+}
+
+TEST(ValueNumberingTest, ComparesNumberByPredicate) {
+  Parsed P = parse(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %c1 = cmp lt %a, %b
+  %c2 = cmp lt %a, %b
+  %c3 = cmp gt %a, %b
+  %t = add %c1, %c2
+  %r = add %t, %c3
+  ret %r
+}
+)");
+  ValueNumbering VN;
+  EXPECT_TRUE(VN.run(*P.F));
+  EXPECT_EQ(countOpcode(*P.F, Opcode::Cmp), 2u); // lt deduped, gt kept
+}
+
+TEST(ValueNumberingTest, MemoryOperationsAreNotNumbered) {
+  // Two identical loads may see different memory (that is read
+  // elimination's job, with proper kill analysis).
+  Parsed P = parse(R"(
+class A 1
+
+func @f(obj, int) {
+b0:
+  %a = param 0
+  %v = param 1
+  %l1 = load %a, 0
+  %x = call 1(%v)
+  %l2 = load %a, 0
+  %t = add %l1, %l2
+  %r = add %t, %x
+  ret %r
+}
+)");
+  ValueNumbering VN;
+  VN.run(*P.F);
+  EXPECT_EQ(countOpcode(*P.F, Opcode::LoadField), 2u);
+}
+
+TEST(ValueNumberingTest, CleansUpAfterDuplicationInPipeline) {
+  // After duplication, copies recompute values available in the
+  // predecessor; the pipeline's VN pass must collapse them.
+  Parsed P = parse(R"(
+func @f(int, int) {
+b0:
+  %a = param 0
+  %b = param 1
+  %x = mul %a, %b
+  %z = const 0
+  %c = cmp gt %a, %z
+  if %c, b1, b2 !0.5
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  %phi = phi int [%a, b1], [%z, b2]
+  %y = mul %a, %b
+  %t = add %y, %phi
+  ret %t
+}
+)");
+  Interpreter Interp(*P.Mod);
+  int64_t R1 = Interp.run(*P.F, ArrayRef<int64_t>({3, 4})).Result.Scalar;
+  DBDSConfig Config;
+  Config.ClassTable = P.Mod.get();
+  runDBDS(*P.F, Config);
+  ASSERT_EQ(verifyFunction(*P.F), "");
+  // The duplicated mul(a,b) copies all collapse onto the dominating one.
+  EXPECT_EQ(countOpcode(*P.F, Opcode::Mul), 1u);
+  EXPECT_EQ(Interp.run(*P.F, ArrayRef<int64_t>({3, 4})).Result.Scalar, R1);
+}
+
+} // namespace
