@@ -7,16 +7,21 @@
 // Command-line driver over the textual IR format:
 //
 //   irtool <file.ir> [--config=baseline|dbds|dupalot] [--candidates]
-//          [--run f:arg1,arg2,...] [--dot]
+//          [--run f:arg1,arg2,...] [--dot] [--fail-fast]
 //
 // Parses the module, optionally prints the simulation tier's candidate
 // list, optimizes every function under the chosen configuration, prints
 // the result, and optionally interprets a function on given arguments.
 // `--config=baseline` runs only the standard cleanup pipeline.
 //
+// Phases run transactionally: a phase whose output fails verification is
+// rolled back and quarantined, and compilation continues. `--fail-fast`
+// restores the old abort-on-first-failure behavior for debugging.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DotExport.h"
+#include "support/Diagnostics.h"
 #include "dbds/DBDSPhase.h"
 #include "dbds/Simulator.h"
 #include "ir/Parser.h"
@@ -49,7 +54,7 @@ std::string readFile(const char *Path) {
 int usage(const char *Prog) {
   fprintf(stderr,
           "usage: %s <file.ir> [--config=baseline|dbds|dupalot] "
-          "[--candidates] [--run func:arg1,arg2,...]\n",
+          "[--candidates] [--run func:arg1,arg2,...] [--fail-fast]\n",
           Prog);
   return 2;
 }
@@ -64,6 +69,7 @@ int main(int Argc, char **Argv) {
   std::string ConfigName = "dbds";
   bool ShowCandidates = false;
   bool EmitDot = false;
+  bool FailFast = false;
   std::string RunSpec;
   for (int I = 1; I != Argc; ++I) {
     if (strncmp(Argv[I], "--config=", 9) == 0)
@@ -72,6 +78,8 @@ int main(int Argc, char **Argv) {
       ShowCandidates = true;
     else if (strcmp(Argv[I], "--dot") == 0)
       EmitDot = true;
+    else if (strcmp(Argv[I], "--fail-fast") == 0)
+      FailFast = true;
     else if (strncmp(Argv[I], "--run", 5) == 0 && I + 1 < Argc &&
              Argv[I][5] == '\0')
       RunSpec = Argv[++I];
@@ -96,6 +104,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  DiagnosticEngine Diags;
   for (Function *F : R.Mod->functions()) {
     if (ShowCandidates) {
       SimulationStats Stats;
@@ -109,16 +118,22 @@ int main(int Argc, char **Argv) {
                static_cast<long long>(C.SizeCost));
     }
     PhaseManager PM = PhaseManager::standardPipeline(true, R.Mod.get());
+    PM.setFailFast(FailFast);
+    PM.setDiagnostics(&Diags);
     PM.run(*F);
     if (ConfigName != "baseline") {
       DBDSConfig Config;
       Config.ClassTable = R.Mod.get();
       Config.UseTradeoff = ConfigName != "dupalot";
+      Config.FailFast = FailFast;
+      Config.Diags = &Diags;
       DBDSResult Result = runDBDS(*F, Config);
       printf("# @%s: %u duplications (%s)\n", F->getName().c_str(),
              Result.DuplicationsPerformed, ConfigName.c_str());
     }
   }
+  if (!Diags.empty())
+    fprintf(stderr, "%s", Diags.render().c_str());
   if (EmitDot) {
     DotOptions Options;
     Options.ShowDominatorTree = true;

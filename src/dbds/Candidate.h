@@ -19,6 +19,9 @@
 
 namespace dbds {
 
+class CompileBudget;
+class DiagnosticEngine;
+class FaultInjector;
 class Module;
 
 /// One simulated predecessor->merge duplication and its discovered
@@ -96,6 +99,23 @@ struct DBDSConfig {
 
   /// Verify the IR after every mutation (tests keep this on).
   bool Verify = true;
+
+  /// When true, a verifier failure aborts the process (legacy behavior).
+  /// Otherwise the failing duplication round is rolled back to its
+  /// pre-round snapshot and DBDS stops for this function, leaving the last
+  /// known-good IR in place.
+  bool FailFast = false;
+
+  /// Optional sink for rollback/budget diagnostics (not owned).
+  DiagnosticEngine *Diags = nullptr;
+
+  /// Optional deterministic fault source exercising the rollback path
+  /// (not owned; only consulted when Verify is set).
+  FaultInjector *Injector = nullptr;
+
+  /// Optional per-function wall-clock budget (not owned). When it expires,
+  /// DBDS stops duplicating and records DegradationLevel::NoDBDS.
+  CompileBudget *Budget = nullptr;
 };
 
 /// The trade-off function of §5.4:

@@ -12,6 +12,9 @@
 #include "dbds/Duplicator.h"
 #include "dbds/Simulator.h"
 #include "opts/Phase.h"
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -22,13 +25,18 @@ using namespace dbds;
 
 namespace {
 
-void verifyOrDie(Function &F, const char *When) {
+/// Post-mutation check in the transactional protocol: returns the verifier
+/// diagnostic ("" = clean), letting the caller roll back, or aborts
+/// directly under fail-fast.
+std::string checkAfterMutation(Function &F, const char *When,
+                               const DBDSConfig &Config) {
   std::string Error = verifyFunction(F);
-  if (!Error.empty()) {
+  if (!Error.empty() && Config.FailFast) {
     fprintf(stderr, "verifier failed %s on @%s: %s\n", When,
             F.getName().c_str(), Error.c_str());
     abort();
   }
+  return Error;
 }
 
 /// Revalidates a candidate against the current CFG (earlier duplications
@@ -53,14 +61,39 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
   uint64_t InitialSize = F.estimatedCodeSize();
   PhaseManager Cleanup =
       PhaseManager::standardPipeline(Config.Verify, Config.ClassTable);
+  Cleanup.setFailFast(Config.FailFast);
+  Cleanup.setDiagnostics(Config.Diags);
+  Cleanup.setBudget(Config.Budget);
+
+  // Transactional mode: each duplication round runs against a pre-round
+  // snapshot; a verifier failure rolls the whole round back and stops DBDS
+  // for this function (the speculative phase is optional — paper §3).
+  const bool Transactional = Config.Verify && !Config.FailFast;
 
   // §5.2: "subsequent iterations of DBDS will consider new merges first
   // and only expand to already visited ones if there is sufficient budget
   // left" — merges seen in earlier iterations rank behind fresh ones.
   std::unordered_set<unsigned> VisitedMerges;
 
+  auto budgetExpired = [&Result, &Config, &F]() {
+    if (!Config.Budget || !Config.Budget->expired())
+      return false;
+    Config.Budget->degradeTo(DegradationLevel::NoDBDS);
+    if (!Result.BudgetExpired && Config.Diags)
+      Config.Diags->note("dbds", F.getName(),
+                         "compile budget exhausted; dropping duplication");
+    Result.BudgetExpired = true;
+    return true;
+  };
+
   for (unsigned Iter = 0; Iter != Config.MaxIterations; ++Iter) {
+    if (budgetExpired())
+      break;
     ++Result.IterationsRun;
+
+    std::unique_ptr<Function> RoundSnapshot;
+    if (Transactional)
+      RoundSnapshot = F.clone();
 
     // Tier 1: simulation (with path continuation when the §8 extension is
     // enabled).
@@ -91,7 +124,41 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     // Tier 3: optimization.
     double IterationBenefit = 0.0;
     bool Changed = false;
+    bool RolledBack = false;
+    const unsigned DupsBeforeRound = Result.DuplicationsPerformed;
+
+    // Verifies the IR after a duplication; under the transactional
+    // protocol a failure restores the pre-round snapshot and stops DBDS
+    // for this function.
+    auto verifyOrRollback = [&](const char *When) {
+      if (!Config.Verify)
+        return true;
+      // Fault injection point: deterministically corrupt the IR right
+      // after a duplication to exercise the rollback machinery.
+      if (Config.Injector &&
+          Config.Injector->at("dbds-duplicate") == FaultKind::CorruptIR)
+        corruptFunctionIR(F, Config.Injector->entropy());
+      std::string Error = checkAfterMutation(F, When, Config);
+      if (Error.empty())
+        return true;
+      F.restoreFrom(*RoundSnapshot);
+      assert(verifyFunction(F).empty() &&
+             "rollback restored an invalid snapshot");
+      // The snapshot predates the whole round: un-count this round's
+      // duplications, they no longer exist in the IR.
+      Result.DuplicationsPerformed = DupsBeforeRound;
+      ++Result.RollbacksPerformed;
+      RolledBack = true;
+      if (Config.Diags)
+        Config.Diags->warning("dbds", F.getName(),
+                              std::string("duplication round rolled back (") +
+                                  When + "): " + Error);
+      return false;
+    };
+
     for (const DuplicationCandidate &C : Candidates) {
+      if (budgetExpired())
+        break;
       Block *M = nullptr, *P = nullptr;
       if (!candidateStillValid(F, C, M, P))
         continue;
@@ -106,8 +173,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
           continue;
       }
       duplicateIntoPredecessor(F, M, P);
-      if (Config.Verify)
-        verifyOrDie(F, "after duplication");
+      if (!verifyOrRollback("after duplication"))
+        break;
       ++Result.DuplicationsPerformed;
 
       // §8 extension: continue the duplication along the simulated path.
@@ -122,8 +189,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
         if (M2 && canDuplicateInto(M2, P) && DT.isReachable(M2) &&
             !LI.isLoopHeader(M2)) {
           duplicateIntoPredecessor(F, M2, P);
-          if (Config.Verify)
-            verifyOrDie(F, "after path duplication");
+          if (!verifyOrRollback("after path duplication"))
+            break;
           ++Result.DuplicationsPerformed;
         }
       }
@@ -131,10 +198,13 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
       IterationBenefit += C.benefit();
       Changed = true;
     }
+    if (RolledBack)
+      return Result; // Last known-good IR is in place; DBDS is done here.
     Result.TotalBenefit += IterationBenefit;
 
-    // Follow-up optimizations on the duplicated code.
-    if (Changed)
+    // Follow-up optimizations on the duplicated code (skipped once the
+    // budget is gone: duplicated-but-uncleaned IR is still valid).
+    if (Changed && !Result.BudgetExpired)
       Cleanup.run(F);
 
     if (!Changed || IterationBenefit < Config.MinIterationBenefit)

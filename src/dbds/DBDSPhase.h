@@ -29,6 +29,12 @@ struct DBDSResult {
   unsigned DuplicationsPerformed = 0;
   unsigned IterationsRun = 0;
   double TotalBenefit = 0.0; ///< Sum of chosen candidates' benefit.
+  /// Duplication rounds that failed verification and were rolled back to
+  /// their pre-round snapshot (DBDS then stops for the function).
+  unsigned RollbacksPerformed = 0;
+  /// True when the compile budget expired and DBDS stopped early (the
+  /// budget, if any, is degraded to DegradationLevel::NoDBDS).
+  bool BudgetExpired = false;
 };
 
 /// Runs the DBDS algorithm on \p F with \p Config. The dupalot

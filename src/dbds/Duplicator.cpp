@@ -7,6 +7,7 @@
 #include "dbds/Duplicator.h"
 
 #include "analysis/DominatorTree.h"
+#include "support/ErrorHandling.h"
 
 #include <unordered_map>
 
@@ -90,8 +91,7 @@ Instruction *cloneWithMapping(
                                                 : nullptr);
   }
   default:
-    assert(false && "unexpected opcode in merge block duplication");
-    return nullptr;
+    dbds_unreachable("unexpected opcode in merge block duplication");
   }
 }
 
@@ -122,8 +122,7 @@ void reconstructSSA(Function &F, const DominatorTree &DT, Block *M, Block *P,
       if (It != DefAt.end())
         return It->second;
     }
-    assert(false && "use not reached by any definition");
-    return nullptr;
+    dbds_unreachable("use not reached by any definition");
   };
 
   // Route existing uses. Snapshot: rewriting edits the user list.

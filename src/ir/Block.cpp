@@ -8,6 +8,8 @@
 
 #include "ir/Function.h"
 
+#include "support/ErrorHandling.h"
+
 #include <algorithm>
 
 using namespace dbds;
@@ -70,8 +72,7 @@ unsigned Block::indexOf(const Instruction *I) const {
   for (unsigned Idx = 0, E = size(); Idx != E; ++Idx)
     if (Insts[Idx] == I)
       return Idx;
-  assert(false && "instruction not in this block");
-  return ~0u;
+  dbds_unreachable("instruction not in this block");
 }
 
 SmallVector<PhiInst *, 4> Block::phis() const {
@@ -97,8 +98,7 @@ unsigned Block::indexOfPred(const Block *P) const {
   for (unsigned Idx = 0, E = Preds.size(); Idx != E; ++Idx)
     if (Preds[Idx] == P)
       return Idx;
-  assert(false && "block is not a predecessor");
-  return ~0u;
+  dbds_unreachable("block is not a predecessor");
 }
 
 bool Block::hasPred(const Block *P) const {

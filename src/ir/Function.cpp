@@ -127,6 +127,29 @@ std::unique_ptr<Function> Function::clone() const {
   for (unsigned I = 0; I != NumParams; ++I)
     Params.push_back(ParamTypes[I]);
   auto NewF = std::make_unique<Function>(Name, NumParams, std::move(Params));
+  cloneBodyInto(*NewF);
+  return NewF;
+}
+
+void Function::restoreFrom(const Function &Snapshot) {
+  assert(Name == Snapshot.Name && "restoring from a different function");
+  assert(NumParams == Snapshot.NumParams && "signature mismatch in restore");
+  // Dismantle the current body. Instruction destructors do not chase their
+  // operand/user pointers, so wholesale pool destruction is safe even with
+  // arbitrary (possibly corrupted) cross-links.
+  Blocks.clear();
+  Pool.clear();
+  IntConstants.clear();
+  NullConst = nullptr;
+  NextBlockId = 0;
+  NextInstId = 0;
+  Snapshot.cloneBodyInto(*this);
+}
+
+void Function::cloneBodyInto(Function &Dest) const {
+  assert(Dest.Blocks.empty() && Dest.Pool.empty() &&
+         "clone destination must be empty");
+  Function *NewF = &Dest;
 
   // Pass 1: mirror the block set (entry first, then the rest in order).
   std::unordered_map<const Block *, Block *> BlockMap;
@@ -260,8 +283,6 @@ std::unique_ptr<Function> Function::clone() const {
       for (Instruction *In : OldPhis[PhiIdx]->operands())
         NewPhis[PhiIdx]->appendInput(mapped(In));
   }
-
-  return NewF;
 }
 
 Function *Module::getFunction(const std::string &Name) const {

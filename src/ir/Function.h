@@ -122,7 +122,18 @@ public:
   /// measures at ~10x compile time).
   std::unique_ptr<Function> clone() const;
 
+  /// Transactional rollback: discards this function's entire body and
+  /// rebuilds it as a deep copy of \p Snapshot (typically a clone() taken
+  /// before a mutating phase ran). The identity of the function object is
+  /// preserved, so callers holding a Function& see the restored IR.
+  /// \p Snapshot must have the same name and signature.
+  void restoreFrom(const Function &Snapshot);
+
 private:
+  /// Deep-copies this function's body (blocks, instructions, CFG edges,
+  /// phi wiring, constant uniquing state) into the empty function \p Dest.
+  void cloneBodyInto(Function &Dest) const;
+
   std::string Name;
   unsigned NumParams;
   SmallVector<Type, 4> ParamTypes;

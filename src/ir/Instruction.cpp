@@ -8,6 +8,8 @@
 
 #include "ir/Block.h"
 
+#include "support/ErrorHandling.h"
+
 using namespace dbds;
 
 const char *dbds::typeName(Type Ty) {
@@ -19,8 +21,7 @@ const char *dbds::typeName(Type Ty) {
   case Type::Obj:
     return "obj";
   }
-  assert(false && "unknown type");
-  return "?";
+  dbds_unreachable("unknown type");
 }
 
 namespace {
@@ -65,8 +66,7 @@ const char *dbds::predicateName(Predicate Pred) {
   case Predicate::GE:
     return "ge";
   }
-  assert(false && "unknown predicate");
-  return "?";
+  dbds_unreachable("unknown predicate");
 }
 
 Predicate dbds::swapPredicate(Predicate Pred) {
@@ -84,8 +84,7 @@ Predicate dbds::swapPredicate(Predicate Pred) {
   case Predicate::GE:
     return Predicate::LE;
   }
-  assert(false && "unknown predicate");
-  return Pred;
+  dbds_unreachable("unknown predicate");
 }
 
 Predicate dbds::negatePredicate(Predicate Pred) {
@@ -103,8 +102,7 @@ Predicate dbds::negatePredicate(Predicate Pred) {
   case Predicate::GE:
     return Predicate::LT;
   }
-  assert(false && "unknown predicate");
-  return Pred;
+  dbds_unreachable("unknown predicate");
 }
 
 Instruction::~Instruction() = default;
@@ -116,7 +114,7 @@ void Instruction::removeUser(Instruction *User) {
       return;
     }
   }
-  assert(false && "removing a user that was never registered");
+  dbds_unreachable("removing a user that was never registered");
 }
 
 void Instruction::addOperand(Instruction *V) {

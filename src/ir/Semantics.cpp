@@ -6,6 +6,8 @@
 
 #include "ir/Semantics.h"
 
+#include "support/ErrorHandling.h"
+
 using namespace dbds;
 
 namespace {
@@ -58,8 +60,7 @@ int64_t dbds::evalBinary(Opcode Op, int64_t LHS, int64_t RHS) {
   case Opcode::Shr:
     return LHS >> (RHS & 63); // arithmetic shift
   default:
-    assert(false && "not a binary opcode");
-    return 0;
+    dbds_unreachable("not a binary opcode");
   }
 }
 
@@ -70,8 +71,7 @@ int64_t dbds::evalUnary(Opcode Op, int64_t Value) {
   case Opcode::Not:
     return ~Value;
   default:
-    assert(false && "not a unary opcode");
-    return 0;
+    dbds_unreachable("not a unary opcode");
   }
 }
 
@@ -90,8 +90,7 @@ int64_t dbds::evalCompare(Predicate Pred, int64_t LHS, int64_t RHS) {
   case Predicate::GE:
     return LHS >= RHS;
   }
-  assert(false && "unknown predicate");
-  return 0;
+  dbds_unreachable("unknown predicate");
 }
 
 int64_t dbds::evalOpaqueCall(unsigned CalleeId, const int64_t *Args,

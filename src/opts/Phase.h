@@ -19,10 +19,15 @@
 #include "ir/Function.h"
 
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace dbds {
 
+class CompileBudget;
+class DiagnosticEngine;
+class FaultInjector;
 class Module;
 
 /// An IR-to-IR transformation over one compilation unit.
@@ -105,6 +110,13 @@ public:
 
 /// Runs a pipeline of phases to a fixpoint (bounded rounds), optionally
 /// verifying after every phase.
+///
+/// Verification is transactional by default: each verified phase runs
+/// against a pre-phase snapshot of the function, and a phase that leaves
+/// the IR invalid is rolled back, quarantined for that function, and
+/// recorded as a diagnostic — the pipeline keeps going with the remaining
+/// phases. The legacy die-on-first-violation behavior survives behind the
+/// opt-in fail-fast switch (drivers expose it as --fail-fast).
 class PhaseManager {
 public:
   explicit PhaseManager(bool VerifyAfterEachPhase = true)
@@ -124,9 +136,44 @@ public:
   static PhaseManager standardPipeline(bool Verify = true,
                                        const Module *ClassTable = nullptr);
 
+  // ---- Fault tolerance -------------------------------------------------
+
+  /// When true, a verifier failure aborts the process (the legacy
+  /// behavior) instead of rolling the function back.
+  void setFailFast(bool B) { FailFast = B; }
+
+  /// Optional sink for rollback/budget diagnostics (not owned).
+  void setDiagnostics(DiagnosticEngine *D) { Diags = D; }
+
+  /// Optional deterministic fault source exercising the rollback path
+  /// (not owned). Only consulted when verification is enabled.
+  void setFaultInjector(FaultInjector *FI) { Injector = FI; }
+
+  /// Optional per-function wall-clock budget (not owned). When it expires,
+  /// fixpoint re-iteration stops after the current round and the budget is
+  /// degraded to DegradationLevel::NoFixpoint.
+  void setBudget(CompileBudget *B) { Budget = B; }
+
+  /// Phases rolled back over the manager's lifetime.
+  unsigned rollbackCount() const { return Rollbacks; }
+
+  /// True if \p PhaseIdx is quarantined for the function named \p Fn.
+  bool isQuarantined(const std::string &Fn, unsigned PhaseIdx) const {
+    auto It = Quarantined.find(Fn);
+    return It != Quarantined.end() && It->second.count(PhaseIdx) != 0;
+  }
+
 private:
   std::vector<std::unique_ptr<Phase>> Phases;
   bool Verify;
+  bool FailFast = false;
+  DiagnosticEngine *Diags = nullptr;
+  FaultInjector *Injector = nullptr;
+  CompileBudget *Budget = nullptr;
+  unsigned Rollbacks = 0;
+  /// Function name -> indices of phases that broke that function once and
+  /// are skipped for it from then on.
+  std::unordered_map<std::string, std::unordered_set<unsigned>> Quarantined;
 };
 
 } // namespace dbds

@@ -6,27 +6,111 @@
 
 #include "analysis/Verifier.h"
 #include "opts/Phase.h"
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstdlib>
 
 using namespace dbds;
 
+bool dbds::corruptFunctionIR(Function &F, uint64_t Entropy) {
+  // Preferred corruption: drop one phi input, breaking the phi/predecessor
+  // alignment invariant. Always verifier-visible, always restorable.
+  std::vector<PhiInst *> Phis;
+  for (Block *B : F.blocks())
+    for (PhiInst *Phi : B->phis())
+      if (Phi->getNumInputs() != 0)
+        Phis.push_back(Phi);
+  if (!Phis.empty()) {
+    Phis[Entropy % Phis.size()]->removeInput(0);
+    return true;
+  }
+  // Fallback: strip a block's terminator.
+  auto Blocks = F.blocks();
+  for (unsigned Tried = 0; Tried != Blocks.size(); ++Tried) {
+    Block *B = Blocks[(Entropy + Tried) % Blocks.size()];
+    if (Instruction *Term = B->getTerminator()) {
+      B->remove(Term);
+      return true;
+    }
+  }
+  return false;
+}
+
 bool PhaseManager::run(Function &F, unsigned MaxRounds) {
   bool Changed = false;
+  // Snapshots (and therefore rollback) exist only in verifying mode;
+  // unverified pipelines keep their zero-overhead fast path.
+  const bool Transactional = Verify && !FailFast;
+
   for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    // Budget gate: the first round always runs (every function gets at
+    // least the single-round baseline pipeline), further fixpoint rounds
+    // are shed when the wall-clock allowance is gone.
+    if (Round != 0 && Budget && Budget->expired()) {
+      Budget->degradeTo(DegradationLevel::NoFixpoint);
+      if (Diags)
+        Diags->note("phase-manager", F.getName(),
+                    "compile budget exhausted; dropping fixpoint iteration "
+                    "after round " +
+                        std::to_string(Round));
+      break;
+    }
+
     bool RoundChanged = false;
-    for (const auto &P : Phases) {
+    for (unsigned Idx = 0; Idx != Phases.size(); ++Idx) {
+      const auto &P = Phases[Idx];
+      if (isQuarantined(F.getName(), Idx))
+        continue;
+
+      std::unique_ptr<Function> Snapshot;
+      if (Transactional)
+        Snapshot = F.clone();
+
       bool PhaseChanged = P->run(F);
-      RoundChanged |= PhaseChanged;
-      if (Verify && PhaseChanged) {
-        std::string Error = verifyFunction(F);
-        if (!Error.empty()) {
-          fprintf(stderr, "verifier failed after %s on @%s: %s\n", P->name(),
-                  F.getName().c_str(), Error.c_str());
-          abort();
+
+      // Fault injection (only meaningful when the verifier would catch the
+      // damage; silent corruption in unverified mode would be a miscompile
+      // generator, not a robustness test).
+      bool ForcedFailure = false;
+      if (Verify && Injector) {
+        switch (Injector->at(P->name())) {
+        case FaultKind::None:
+          break;
+        case FaultKind::CorruptIR:
+          PhaseChanged |= corruptFunctionIR(F, Injector->entropy());
+          break;
+        case FaultKind::PhaseFailure:
+          ForcedFailure = true;
+          break;
         }
       }
+
+      if (Verify && (PhaseChanged || ForcedFailure)) {
+        std::string Error =
+            ForcedFailure ? "injected phase failure" : verifyFunction(F);
+        if (!Error.empty()) {
+          if (!Transactional) {
+            fprintf(stderr, "verifier failed after %s on @%s: %s\n",
+                    P->name(), F.getName().c_str(), Error.c_str());
+            abort();
+          }
+          // Transaction abort: restore the pre-phase IR, quarantine the
+          // phase for this function, and continue the pipeline.
+          F.restoreFrom(*Snapshot);
+          assert(verifyFunction(F).empty() &&
+                 "rollback restored an invalid snapshot");
+          Quarantined[F.getName()].insert(Idx);
+          ++Rollbacks;
+          if (Diags)
+            Diags->warning(P->name(), F.getName(),
+                           "phase rolled back and quarantined: " + Error);
+          continue; // The function is back in its pre-phase state.
+        }
+      }
+      RoundChanged |= PhaseChanged;
     }
     Changed |= RoundChanged;
     if (!RoundChanged)

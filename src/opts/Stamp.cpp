@@ -6,6 +6,8 @@
 
 #include "opts/Stamp.h"
 
+#include "support/ErrorHandling.h"
+
 #include <algorithm>
 
 using namespace dbds;
@@ -115,8 +117,7 @@ Stamp dbds::binaryStamp(Opcode Op, const Stamp &LHS, const Stamp &RHS) {
     }
     return Stamp::top(Type::Int);
   default:
-    assert(false && "not a binary opcode");
-    return Stamp::top(Type::Int);
+    dbds_unreachable("not a binary opcode");
   }
 }
 
@@ -132,8 +133,7 @@ Stamp dbds::unaryStamp(Opcode Op, const Stamp &Value) {
   case Opcode::Not:
     return Stamp::range(~Value.hi(), ~Value.lo());
   default:
-    assert(false && "not a unary opcode");
-    return Stamp::top(Type::Int);
+    dbds_unreachable("not a unary opcode");
   }
 }
 
@@ -186,8 +186,7 @@ std::optional<bool> dbds::foldCompare(Predicate Pred, const Stamp &LHS,
   case Predicate::GE:
     return foldCompare(Predicate::LE, RHS, LHS);
   }
-  assert(false && "unknown predicate");
-  return std::nullopt;
+  dbds_unreachable("unknown predicate");
 }
 
 std::optional<Stamp> dbds::refineByCompare(Predicate Pred, const Stamp &Input,
@@ -240,6 +239,5 @@ std::optional<Stamp> dbds::refineByCompare(Predicate Pred, const Stamp &Input,
   case Predicate::GE:
     return Input.meet(Stamp::range(Other.lo(), INT64_MAX));
   }
-  assert(false && "unknown predicate");
-  return Input;
+  dbds_unreachable("unknown predicate");
 }

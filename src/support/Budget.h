@@ -1,0 +1,95 @@
+//===- support/Budget.h - Per-function compile budgets ----------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function compile budgets with stepwise degradation. A production
+/// compiler must have predictable compile time (cf. Krause's lospre-in-
+/// linear-time argument): when a compilation unit overruns its wall-clock
+/// allowance, the pipeline sheds its most speculative machinery first —
+/// drop DBDS, then drop fixpoint re-iteration — and finishes with the
+/// plain baseline pipeline instead of hanging. The level reached is
+/// recorded here and surfaced through ConfigMeasurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_BUDGET_H
+#define DBDS_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace dbds {
+
+/// How far the pipeline degraded to stay inside its budget. Ordered: a
+/// higher value means more machinery was shed.
+enum class DegradationLevel : uint8_t {
+  None = 0,       ///< Full pipeline (fixpoint cleanup + DBDS).
+  NoDBDS = 1,     ///< Speculative duplication dropped.
+  NoFixpoint = 2, ///< Cleanup re-iteration dropped; single-round baseline.
+};
+
+inline const char *degradationLevelName(DegradationLevel Level) {
+  switch (Level) {
+  case DegradationLevel::None:
+    return "none";
+  case DegradationLevel::NoDBDS:
+    return "no-dbds";
+  case DegradationLevel::NoFixpoint:
+    return "no-fixpoint";
+  }
+  return "?";
+}
+
+/// A wall-clock allowance for compiling one function, plus bookkeeping of
+/// the degradation level reached. A default-constructed budget is
+/// unlimited and never expires. arm() starts the clock.
+class CompileBudget {
+public:
+  CompileBudget() = default;
+
+  /// Creates a budget of \p WallMs milliseconds (<= 0 means unlimited).
+  explicit CompileBudget(double WallMs) : LimitMs(WallMs) {}
+
+  /// Starts (or restarts) the clock and resets the degradation level.
+  void arm() {
+    Armed = true;
+    Start = Clock::now();
+    Level = DegradationLevel::None;
+  }
+
+  bool limited() const { return LimitMs > 0.0; }
+  double limitMs() const { return LimitMs; }
+
+  double elapsedMs() const {
+    if (!Armed)
+      return 0.0;
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+  /// True once the armed allowance is used up. Unlimited budgets never
+  /// expire.
+  bool expired() const { return limited() && Armed && elapsedMs() >= LimitMs; }
+
+  /// Records that the pipeline shed machinery; levels only ratchet up.
+  void degradeTo(DegradationLevel L) {
+    if (static_cast<uint8_t>(L) > static_cast<uint8_t>(Level))
+      Level = L;
+  }
+
+  DegradationLevel level() const { return Level; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+  double LimitMs = 0.0;
+  bool Armed = false;
+  DegradationLevel Level = DegradationLevel::None;
+};
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_BUDGET_H

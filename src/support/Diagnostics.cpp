@@ -1,0 +1,49 @@
+//===- support/Diagnostics.cpp - Structured diagnostics --------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace dbds;
+
+const char *dbds::diagKindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Note:
+    return "note";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Error:
+    return "error";
+  }
+  dbds_unreachable("unknown diagnostic kind");
+}
+
+unsigned DiagnosticEngine::count(DiagKind Kind) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == Kind)
+      ++N;
+  return N;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += diagKindName(D.Kind);
+    Out += " [";
+    Out += D.Component;
+    Out += "]";
+    if (!D.FunctionName.empty()) {
+      Out += " @";
+      Out += D.FunctionName;
+    }
+    Out += ": ";
+    Out += D.Message;
+    Out += "\n";
+  }
+  return Out;
+}

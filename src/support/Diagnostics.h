@@ -1,0 +1,78 @@
+//===- support/Diagnostics.h - Structured diagnostics -----------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured diagnostics for the fault-tolerant pipeline. Instead of
+/// aborting, the phase driver and the DBDS tiers record what went wrong
+/// (which component, which function, what happened) and keep compiling;
+/// callers inspect or render the collected diagnostics afterwards. This is
+/// the degrade-gracefully contract of a production compiler: one broken
+/// candidate must not kill the compilation, let alone the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_DIAGNOSTICS_H
+#define DBDS_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+/// Diagnostic severity. Notes record expected degradations (budget hits),
+/// warnings record recovered faults (rollbacks), errors record observable
+/// misbehavior (result divergence, unrecoverable states).
+enum class DiagKind : uint8_t { Note, Warning, Error };
+
+const char *diagKindName(DiagKind Kind);
+
+/// One structured diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Note;
+  std::string Component;    ///< Emitting component, e.g. a phase name.
+  std::string FunctionName; ///< Affected compilation unit ("" if none).
+  std::string Message;
+};
+
+/// Collects diagnostics across a compilation session. Not thread-safe;
+/// use one engine per pipeline invocation.
+class DiagnosticEngine {
+public:
+  void report(DiagKind Kind, std::string Component, std::string FunctionName,
+              std::string Message) {
+    Diags.push_back({Kind, std::move(Component), std::move(FunctionName),
+                     std::move(Message)});
+  }
+
+  void note(std::string Component, std::string Fn, std::string Msg) {
+    report(DiagKind::Note, std::move(Component), std::move(Fn),
+           std::move(Msg));
+  }
+  void warning(std::string Component, std::string Fn, std::string Msg) {
+    report(DiagKind::Warning, std::move(Component), std::move(Fn),
+           std::move(Msg));
+  }
+  void error(std::string Component, std::string Fn, std::string Msg) {
+    report(DiagKind::Error, std::move(Component), std::move(Fn),
+           std::move(Msg));
+  }
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  unsigned count(DiagKind Kind) const;
+  void clear() { Diags.clear(); }
+
+  /// Renders every diagnostic as one "kind [component] @function: message"
+  /// line (for logs and crash artifacts).
+  std::string render() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,38 @@
+//===- support/ErrorHandling.h - Fatal error utilities ----------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// dbds_unreachable: a release-mode-safe replacement for the
+/// `assert(false && "...")`-then-fall-through pattern. With NDEBUG set a
+/// plain assert compiles away and the surrounding function silently
+/// returns garbage; dbds_unreachable aborts with a message in every build
+/// type, so an impossible enum value is always a loud, attributable crash
+/// instead of a miscompile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_ERRORHANDLING_H
+#define DBDS_SUPPORT_ERRORHANDLING_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbds {
+
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             int Line) {
+  fprintf(stderr, "%s:%d: executed unreachable code: %s\n", File, Line, Msg);
+  abort();
+}
+
+} // namespace dbds
+
+/// Marks a code path that must never execute. Aborts with \p Msg and the
+/// source location in all build types (including NDEBUG builds).
+#define dbds_unreachable(Msg)                                                  \
+  ::dbds::unreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // DBDS_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,19 @@
+//===- support/FaultInjector.cpp - Deterministic fault injection -----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+using namespace dbds;
+
+FaultKind FaultInjector::at(const char *Site) {
+  (void)Site; // Sites key diagnostics, not the decision stream: decisions
+              // must stay aligned across runs even if site names change.
+  ++Sites;
+  if (!Gen.nextBool(Rate))
+    return FaultKind::None;
+  ++Injected;
+  return (Injected % 2) ? FaultKind::CorruptIR : FaultKind::PhaseFailure;
+}

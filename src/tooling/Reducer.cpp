@@ -1,0 +1,188 @@
+//===- tooling/Reducer.cpp - Delta-debugging IR reduction ------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tooling/Reducer.h"
+
+#include "analysis/Verifier.h"
+#include "ir/Function.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Phase.h"
+
+#include <vector>
+
+using namespace dbds;
+
+namespace {
+
+/// Clones a module through the textual format. This is the reducer's
+/// normalization step: ids are renumbered densely, unreachable blocks are
+/// impossible (the parser rejects them), and the result is exactly what a
+/// crash artifact would contain.
+std::unique_ptr<Module> roundTrip(const Module &M) {
+  ParseResult R = parseModule(printModule(&M));
+  return std::move(R.Mod); // null when the candidate does not round-trip
+}
+
+/// One candidate mutation, identified positionally against the focus
+/// function of a fresh round-trip clone (clones of the same module parse
+/// to identical structure, so positions are stable).
+struct Mutation {
+  enum Kind : uint8_t {
+    FlattenIfTrue,  ///< Replace an If terminator with a jump to its true arm.
+    FlattenIfFalse, ///< ... or to its false arm.
+    DropInst,       ///< RAUW an instruction with a constant and remove it.
+  };
+  Kind K;
+  unsigned BlockIdx; ///< Index into F.blocks() order.
+  unsigned InstIdx;  ///< Index within the block.
+};
+
+/// Enumerates every mutation applicable to \p F right now.
+std::vector<Mutation> enumerateMutations(Function &F) {
+  std::vector<Mutation> Out;
+  std::vector<Block *> Blocks = F.blocks();
+  for (unsigned BI = 0; BI != Blocks.size(); ++BI) {
+    Block *B = Blocks[BI];
+    unsigned II = 0;
+    for (Instruction *I : *B) {
+      if (isa<IfInst>(I)) {
+        Out.push_back({Mutation::FlattenIfTrue, BI, II});
+        Out.push_back({Mutation::FlattenIfFalse, BI, II});
+      } else if (!I->isTerminator() && !isa<ConstantInst>(I)) {
+        // Value-producing and void instructions alike: values are replaced
+        // by a constant, void instructions (stores) simply disappear.
+        Out.push_back({Mutation::DropInst, BI, II});
+      }
+      ++II;
+    }
+  }
+  return Out;
+}
+
+/// Applies \p Mu to \p F. Returns false when the mutation no longer
+/// applies (should not happen on a fresh clone, but stay defensive).
+bool applyMutation(Function &F, const Mutation &Mu) {
+  std::vector<Block *> Blocks = F.blocks();
+  if (Mu.BlockIdx >= Blocks.size())
+    return false;
+  Block *B = Blocks[Mu.BlockIdx];
+  if (Mu.InstIdx >= B->size())
+    return false;
+  Instruction *I = *(B->begin() + Mu.InstIdx);
+
+  switch (Mu.K) {
+  case Mutation::FlattenIfTrue:
+  case Mutation::FlattenIfFalse: {
+    auto *If = dyn_cast<IfInst>(I);
+    if (!If)
+      return false;
+    Block *Kept = Mu.K == Mutation::FlattenIfTrue ? If->getTrueSucc()
+                                                  : If->getFalseSucc();
+    Block *Dropped = Mu.K == Mutation::FlattenIfTrue ? If->getFalseSucc()
+                                                     : If->getTrueSucc();
+    // The dropped edge disappears: unhook B from the dropped successor's
+    // predecessor list (and phis). When both arms target the same block,
+    // one of the two duplicate edges goes away.
+    Dropped->removePred(Dropped->indexOfPred(B));
+    B->remove(If); // detaches the condition use
+    B->append(F.create<JumpInst>(Kept));
+    return true;
+  }
+  case Mutation::DropInst: {
+    if (I->isTerminator() || isa<ConstantInst>(I))
+      return false;
+    if (I->getType() == Type::Int)
+      I->replaceAllUsesWith(F.constant(0));
+    else if (I->getType() == Type::Obj)
+      I->replaceAllUsesWith(F.nullConstant());
+    else if (I->hasUsers())
+      return false; // void value with users: malformed, leave it alone
+    B->remove(I);
+    return true;
+  }
+  }
+  return false;
+}
+
+/// Post-mutation cleanup: fold the now-constant branches, prune what
+/// became unreachable, and sweep dead code, so the candidate both shrinks
+/// transitively and survives the parser's reachability check.
+void cleanup(Function &F) {
+  PhaseManager PM(/*VerifyAfterEachPhase=*/false);
+  PM.add(std::make_unique<SimplifyCFG>());
+  PM.add(std::make_unique<DeadCodeElimination>());
+  PM.run(F, /*MaxRounds=*/4);
+}
+
+} // namespace
+
+ReductionResult dbds::reduceFunction(const Module &M,
+                                     const std::string &FocusName,
+                                     const ReductionOracle &Oracle,
+                                     unsigned MaxOracleQueries) {
+  ReductionResult Result;
+  Result.FocusName = FocusName;
+  Result.Mod = roundTrip(M);
+  if (!Result.Mod)
+    return Result; // input module does not round-trip; nothing to do
+
+  Function *Focus = Result.Mod->getFunction(FocusName);
+  if (!Focus)
+    return Result;
+  Result.OriginalInstructions = Focus->instructionCount();
+  Result.ReducedInstructions = Result.OriginalInstructions;
+
+  // The failure must reproduce on the normalized clone, otherwise every
+  // "reduction" would be accepted vacuously.
+  ++Result.OracleQueries;
+  Result.Reproduced = Oracle(*Result.Mod, *Focus);
+  if (!Result.Reproduced)
+    return Result;
+
+  // Greedy fixpoint: try each mutation against the current best candidate;
+  // accept the first one that shrinks the function and still reproduces,
+  // then restart enumeration on the smaller module.
+  bool Progress = true;
+  while (Progress && Result.OracleQueries < MaxOracleQueries) {
+    Progress = false;
+    ++Result.Rounds;
+    std::vector<Mutation> Mutations = enumerateMutations(*Focus);
+    for (const Mutation &Mu : Mutations) {
+      if (Result.OracleQueries >= MaxOracleQueries)
+        break;
+      std::unique_ptr<Module> Candidate = roundTrip(*Result.Mod);
+      if (!Candidate)
+        break; // current best stopped round-tripping; keep what we have
+      Function *CF = Candidate->getFunction(FocusName);
+      if (!CF || !applyMutation(*CF, Mu))
+        continue;
+      cleanup(*CF);
+      if (!verifyFunction(*CF).empty())
+        continue; // mutation broke an invariant; discard the candidate
+      if (CF->instructionCount() >= Result.ReducedInstructions)
+        continue; // no progress; a candidate must strictly shrink
+      // Normalize before consulting the oracle so an accepted candidate is
+      // always round-trip stable.
+      std::unique_ptr<Module> Normalized = roundTrip(*Candidate);
+      if (!Normalized)
+        continue;
+      Function *NF = Normalized->getFunction(FocusName);
+      if (!NF)
+        continue;
+      ++Result.OracleQueries;
+      if (!Oracle(*Normalized, *NF))
+        continue;
+      Result.Mod = std::move(Normalized);
+      Focus = Result.Mod->getFunction(FocusName);
+      Result.ReducedInstructions = Focus->instructionCount();
+      Result.Reduced = true;
+      Progress = true;
+      break; // restart enumeration against the smaller module
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- tooling/Reducer.h - Delta-debugging IR reduction ---------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failure-inducing module to a minimal reproducer. Given a
+/// module, the name of the function under suspicion, and an oracle that
+/// answers "does this candidate still reproduce the failure?", the reducer
+/// greedily applies semantic-preserving-in-shape mutations — flattening
+/// conditional branches to one arm and replacing instruction results with
+/// constants — keeping each mutation only when the oracle still fires.
+/// Candidates are normalized through a print -> parse round trip, so every
+/// accepted step is guaranteed to be a well-formed, self-contained textual
+/// artifact (the same property crash dumps need).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TOOLING_REDUCER_H
+#define DBDS_TOOLING_REDUCER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace dbds {
+
+class Function;
+class Module;
+
+/// Failure predicate: true when the candidate module still exhibits the
+/// behavior being reduced (e.g. "optimized and unoptimized interpretation
+/// of Focus disagree"). Must be deterministic; the reducer calls it up to
+/// MaxOracleQueries times.
+using ReductionOracle = std::function<bool(Module &M, Function &Focus)>;
+
+/// Outcome of one reduction run.
+struct ReductionResult {
+  /// The final module: the smallest candidate the oracle accepted (or a
+  /// verbatim clone of the input when nothing could be removed / the
+  /// failure did not reproduce). Never null.
+  std::unique_ptr<Module> Mod;
+
+  std::string FocusName;
+  unsigned OriginalInstructions = 0;
+  unsigned ReducedInstructions = 0;
+  unsigned OracleQueries = 0;
+  /// Greedy passes over the mutation space until a fixpoint.
+  unsigned Rounds = 0;
+  /// True when the oracle fired on the unmutated clone — reduction is only
+  /// meaningful (and only attempted) when it does.
+  bool Reproduced = false;
+  /// True when at least one mutation was accepted.
+  bool Reduced = false;
+};
+
+/// Reduces \p M with respect to \p Oracle, focusing mutations on the
+/// function named \p FocusName. \p MaxOracleQueries bounds total oracle
+/// invocations (reduction stops early, keeping the best candidate so far).
+ReductionResult reduceFunction(const Module &M, const std::string &FocusName,
+                               const ReductionOracle &Oracle,
+                               unsigned MaxOracleQueries = 4096);
+
+} // namespace dbds
+
+#endif // DBDS_TOOLING_REDUCER_H

@@ -1,0 +1,65 @@
+//===- tooling/Sabotage.h - Deliberate miscompilation -----------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A phase that deliberately miscompiles: it rewrites integer additions to
+/// subtractions. Appended to an optimization pipeline it produces real,
+/// observable result divergences on demand — the known-positive control
+/// that proves the differential fuzzing harness (tools/fuzzdiff) and the
+/// reducer actually detect and shrink miscompiles. Never part of any real
+/// pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TOOLING_SABOTAGE_H
+#define DBDS_TOOLING_SABOTAGE_H
+
+#include "ir/Function.h"
+#include "opts/Phase.h"
+
+namespace dbds {
+
+/// Rewrites up to \p MaxRewrites Add instructions to Sub (default: all of
+/// them, maximizing the chance the corruption is observable on the fuzz
+/// inputs). Structurally valid IR in, structurally valid IR out — only the
+/// semantics are wrong, which is exactly what differential testing must
+/// catch where the verifier cannot.
+class SabotagePhase : public Phase {
+public:
+  explicit SabotagePhase(unsigned MaxRewrites = ~0u)
+      : MaxRewrites(MaxRewrites) {}
+
+  const char *name() const override { return "sabotage"; }
+
+  bool run(Function &F) override {
+    unsigned Rewritten = 0;
+    for (Block *B : F.blocks()) {
+      // Snapshot: we edit the instruction list while walking it.
+      SmallVector<Instruction *, 8> Insts = B->nonPhis();
+      for (Instruction *I : Insts) {
+        if (Rewritten >= MaxRewrites)
+          return Rewritten != 0;
+        if (I->getOpcode() != Opcode::Add)
+          continue;
+        auto *Add = cast<BinaryInst>(I);
+        auto *Sub =
+            F.create<BinaryInst>(Opcode::Sub, Add->getLHS(), Add->getRHS());
+        B->insert(B->indexOf(I), Sub);
+        I->replaceAllUsesWith(Sub);
+        B->remove(I);
+        ++Rewritten;
+      }
+    }
+    return Rewritten != 0;
+  }
+
+private:
+  unsigned MaxRewrites;
+};
+
+} // namespace dbds
+
+#endif // DBDS_TOOLING_SABOTAGE_H

@@ -8,12 +8,15 @@
 
 #include "dbds/DBDSPhase.h"
 #include "opts/Phase.h"
+#include "support/Diagnostics.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "vm/Interpreter.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 using namespace dbds;
 
@@ -36,7 +39,20 @@ uint64_t hashCombine(uint64_t Hash, uint64_t Value) {
   return Hash * 0xbf58476d1ce4e5b9ULL;
 }
 
-ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config) {
+/// Sentinel hashed in place of a result when a run does not terminate, so
+/// configurations that fail identically still agree and a configuration
+/// that *newly* fails shows up as a hash divergence.
+constexpr uint64_t NonTerminationSentinel = 0x6e6f2d7465726d21ULL;
+
+void diagnose(const RunnerOptions &Opts, DiagKind Kind,
+              const std::string &Component, const std::string &Fn,
+              const std::string &Msg) {
+  if (Opts.Diags)
+    Opts.Diags->report(Kind, Component, Fn, Msg);
+}
+
+ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
+                                const RunnerOptions &Opts) {
   // Regenerate from the seed: each configuration optimizes an identical
   // program (block/instruction pointers differ; semantics do not).
   GeneratedWorkload W = generateWorkload(Spec.Config);
@@ -61,29 +77,53 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config) {
       if (!R.Ok) {
         fprintf(stderr, "training run did not terminate on %s/%s\n",
                 Spec.Name.c_str(), F.getName().c_str());
-        abort();
+        if (Opts.FailFast)
+          abort();
+        ++Out.RunFailures;
+        diagnose(Opts, DiagKind::Warning, "runner", F.getName(),
+                 "training run did not terminate on " + Spec.Name);
+        break; // Profile what we have; the compile still proceeds.
       }
     }
     applyProfile(F, Profile);
 
-    // Compile (timed).
+    // Compile (timed) under a per-function budget. The budget degrades the
+    // pipeline stepwise instead of letting one function hang the harness.
+    CompileBudget Budget(Opts.CompileBudgetMs);
+    Budget.arm();
     Timer CompileTimer;
+    unsigned Rollbacks = 0;
     {
       TimerScope Scope(CompileTimer);
       PhaseManager Pipeline =
-          PhaseManager::standardPipeline(/*Verify=*/false, W.Mod.get());
+          PhaseManager::standardPipeline(Opts.Verify, W.Mod.get());
+      Pipeline.setFailFast(Opts.FailFast);
+      Pipeline.setDiagnostics(Opts.Diags);
+      Pipeline.setFaultInjector(Opts.Injector);
+      Pipeline.setBudget(&Budget);
       Pipeline.run(F);
+      Rollbacks += Pipeline.rollbackCount();
       if (Config != RunConfig::Baseline) {
         DBDSConfig DC;
         DC.UseTradeoff = Config == RunConfig::DBDS;
         DC.ClassTable = W.Mod.get();
-        DC.Verify = false;
+        DC.Verify = Opts.Verify;
+        DC.FailFast = Opts.FailFast;
+        DC.Diags = Opts.Diags;
+        DC.Injector = Opts.Injector;
+        DC.Budget = &Budget;
         DBDSResult R = runDBDS(F, DC);
         Out.Duplications += R.DuplicationsPerformed;
+        Rollbacks += R.RollbacksPerformed;
       }
     }
     Out.CompileTimeMs += CompileTimer.totalMs();
     Out.CodeSize += F.estimatedCodeSize();
+    Out.Rollbacks += Rollbacks;
+    if (Budget.level() != DegradationLevel::None) {
+      ++Out.FunctionsDegraded;
+      Out.MaxDegradation = std::max(Out.MaxDegradation, Budget.level());
+    }
 
     // Peak performance: dynamic cost-model cycles on evaluation inputs.
     for (const auto &Args : W.EvalInputs[FIdx]) {
@@ -92,7 +132,13 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config) {
       if (!R.Ok) {
         fprintf(stderr, "evaluation run did not terminate on %s/%s\n",
                 Spec.Name.c_str(), F.getName().c_str());
-        abort();
+        if (Opts.FailFast)
+          abort();
+        ++Out.RunFailures;
+        diagnose(Opts, DiagKind::Error, "runner", F.getName(),
+                 "evaluation run did not terminate on " + Spec.Name);
+        Out.ResultHash = hashCombine(Out.ResultHash, NonTerminationSentinel);
+        continue;
       }
       Out.DynamicCycles += R.DynamicCycles;
       Out.ResultHash = hashCombine(
@@ -107,29 +153,46 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config) {
 
 } // namespace
 
-BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec) {
+BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec,
+                                            const RunnerOptions &Opts) {
   BenchmarkMeasurement M;
   M.Name = Spec.Name;
-  M.Baseline = measureConfig(Spec, RunConfig::Baseline);
-  M.DBDS = measureConfig(Spec, RunConfig::DBDS);
-  M.DupALot = measureConfig(Spec, RunConfig::DupALot);
+  M.Baseline = measureConfig(Spec, RunConfig::Baseline, Opts);
+  M.DBDS = measureConfig(Spec, RunConfig::DBDS, Opts);
+  M.DupALot = measureConfig(Spec, RunConfig::DupALot, Opts);
 
-  // Correctness gate: optimization must not change program results.
+  // Correctness gate: optimization must not change program results. A
+  // divergence is a finding, not a process death — one bad candidate must
+  // not kill the whole suite (FailFast restores the legacy abort).
   if (M.Baseline.ResultHash != M.DBDS.ResultHash ||
       M.Baseline.ResultHash != M.DupALot.ResultHash) {
     fprintf(stderr, "MISCOMPILE on benchmark %s: result hashes differ\n",
             Spec.Name.c_str());
-    abort();
+    if (Opts.FailFast)
+      abort();
+    M.ResultsAgree = false;
+    diagnose(Opts, DiagKind::Error, "runner", "",
+             "MISCOMPILE on benchmark " + Spec.Name +
+                 ": result hashes differ across configurations");
   }
   return M;
 }
 
-std::vector<BenchmarkMeasurement> dbds::measureSuite(const SuiteSpec &Suite) {
+BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec) {
+  return measureBenchmark(Spec, RunnerOptions());
+}
+
+std::vector<BenchmarkMeasurement> dbds::measureSuite(const SuiteSpec &Suite,
+                                                     const RunnerOptions &Opts) {
   std::vector<BenchmarkMeasurement> Rows;
   Rows.reserve(Suite.Benchmarks.size());
   for (const BenchmarkSpec &Spec : Suite.Benchmarks)
-    Rows.push_back(measureBenchmark(Spec));
+    Rows.push_back(measureBenchmark(Spec, Opts));
   return Rows;
+}
+
+std::vector<BenchmarkMeasurement> dbds::measureSuite(const SuiteSpec &Suite) {
+  return measureSuite(Suite, RunnerOptions());
 }
 
 std::string
@@ -147,6 +210,7 @@ dbds::formatSuiteReport(const std::string &SuiteName,
   Out += Line;
 
   std::vector<double> DPeak, DCt, DCs, APeak, ACt, ACs;
+  std::string Notes;
   for (const BenchmarkMeasurement &M : Rows) {
     double Dp = M.peakImprovementPercent(M.DBDS);
     double Dt = M.compileTimeIncreasePercent(M.DBDS);
@@ -164,6 +228,29 @@ dbds::formatSuiteReport(const std::string &SuiteName,
     APeak.push_back(1.0 + Ap / 100.0);
     ACt.push_back(1.0 + At / 100.0);
     ACs.push_back(1.0 + As / 100.0);
+
+    // Degradation / correctness footnotes: a degraded or diverging row is
+    // reported, never silently folded into the geomean.
+    if (!M.ResultsAgree)
+      Notes += "note: " + M.Name +
+               ": MISCOMPILE — results differ across configurations\n";
+    const std::pair<const char *, const ConfigMeasurement *> Configs[] = {
+        {"dbds", &M.DBDS}, {"dupalot", &M.DupALot}};
+    for (const auto &[Cfg, CM] : Configs) {
+      if (CM->FunctionsDegraded != 0) {
+        snprintf(Line, sizeof(Line),
+                 "note: %s/%s: %u function(s) hit the compile budget "
+                 "(degraded to %s)\n",
+                 M.Name.c_str(), Cfg, CM->FunctionsDegraded,
+                 degradationLevelName(CM->MaxDegradation));
+        Notes += Line;
+      }
+      if (CM->Rollbacks != 0) {
+        snprintf(Line, sizeof(Line), "note: %s/%s: %u phase rollback(s)\n",
+                 M.Name.c_str(), Cfg, CM->Rollbacks);
+        Notes += Line;
+      }
+    }
   }
   auto Geo = [](std::vector<double> &V) {
     return (geometricMean(ArrayRef<double>(V)) - 1.0) * 100.0;
@@ -173,5 +260,6 @@ dbds::formatSuiteReport(const std::string &SuiteName,
            "geomean", Geo(DPeak), Geo(DCt), Geo(DCs), Geo(APeak), Geo(ACt),
            Geo(ACs));
   Out += Line;
+  Out += Notes;
   return Out;
 }

@@ -19,16 +19,45 @@
 #ifndef DBDS_WORKLOADS_RUNNER_H
 #define DBDS_WORKLOADS_RUNNER_H
 
+#include "support/Budget.h"
 #include "workloads/Suites.h"
 
 #include <string>
 
 namespace dbds {
 
+class DiagnosticEngine;
+class FaultInjector;
+
 /// The three configurations of §6.1.
 enum class RunConfig { Baseline, DBDS, DupALot };
 
 const char *runConfigName(RunConfig Config);
+
+/// Harness robustness knobs. The defaults degrade gracefully: faults are
+/// diagnosed and measurement continues; FailFast restores the legacy
+/// abort-on-anything behavior for debugging.
+struct RunnerOptions {
+  /// Abort the process on divergence, non-termination, or verifier
+  /// failure (the pre-transactional behavior; drivers expose --fail-fast).
+  bool FailFast = false;
+
+  /// Verify the IR after every phase, with transactional rollback of
+  /// failing phases. Off by default to keep compile-time measurements
+  /// comparable with the paper's.
+  bool Verify = false;
+
+  /// Per-function wall-clock compile budget in milliseconds (0 =
+  /// unlimited). On overrun the pipeline degrades stepwise: drop DBDS,
+  /// then drop fixpoint iteration, down to the single-round baseline.
+  double CompileBudgetMs = 0.0;
+
+  /// Optional deterministic fault source (not owned; needs Verify).
+  FaultInjector *Injector = nullptr;
+
+  /// Optional sink for structured diagnostics (not owned).
+  DiagnosticEngine *Diags = nullptr;
+};
 
 /// Raw measurements of one benchmark under one configuration.
 struct ConfigMeasurement {
@@ -37,27 +66,45 @@ struct ConfigMeasurement {
   uint64_t CodeSize = 0;
   unsigned Duplications = 0;
   uint64_t ResultHash = 0; ///< Hash of all program results (correctness).
+  unsigned FunctionsDegraded = 0; ///< Units that hit the compile budget.
+  /// Worst DegradationLevel reached across the benchmark's functions.
+  DegradationLevel MaxDegradation = DegradationLevel::None;
+  unsigned Rollbacks = 0;    ///< Phase/DBDS rollbacks during compilation.
+  unsigned RunFailures = 0;  ///< Training/eval runs that did not terminate.
 };
 
 /// One benchmark's results across all three configurations.
 struct BenchmarkMeasurement {
   std::string Name;
   ConfigMeasurement Baseline, DBDS, DupALot;
+  /// False when the configurations' program results diverged (a
+  /// miscompile; reported instead of aborting unless FailFast is set).
+  bool ResultsAgree = true;
 
   /// Peak performance delta of \p C vs baseline in percent (positive =
-  /// faster, as the paper reports it).
+  /// faster, as the paper reports it). Returns 0.0 when either side
+  /// measured zero cycles (empty or fully-folded functions) — a ratio
+  /// against a zero baseline would be inf/NaN, not a measurement.
   double peakImprovementPercent(const ConfigMeasurement &C) const {
+    if (Baseline.DynamicCycles == 0 || C.DynamicCycles == 0)
+      return 0.0;
     return (static_cast<double>(Baseline.DynamicCycles) /
                 static_cast<double>(C.DynamicCycles) -
             1.0) *
            100.0;
   }
-  /// Compile-time increase vs baseline in percent.
+  /// Compile-time increase vs baseline in percent (0.0 when the baseline
+  /// measured zero time).
   double compileTimeIncreasePercent(const ConfigMeasurement &C) const {
+    if (Baseline.CompileTimeMs <= 0.0)
+      return 0.0;
     return (C.CompileTimeMs / Baseline.CompileTimeMs - 1.0) * 100.0;
   }
-  /// Code-size increase vs baseline in percent.
+  /// Code-size increase vs baseline in percent (0.0 when the baseline
+  /// measured zero size).
   double codeSizeIncreasePercent(const ConfigMeasurement &C) const {
+    if (Baseline.CodeSize == 0)
+      return 0.0;
     return (static_cast<double>(C.CodeSize) /
                 static_cast<double>(Baseline.CodeSize) -
             1.0) *
@@ -66,11 +113,16 @@ struct BenchmarkMeasurement {
 };
 
 /// Generates, profiles, compiles, and measures one benchmark under all
-/// three configurations. Aborts if the configurations' program results
-/// disagree (optimization would be unsound).
+/// three configurations. With default options a result divergence across
+/// configurations is recorded (ResultsAgree = false, plus a diagnostic)
+/// and measurement continues; under Opts.FailFast it aborts.
+BenchmarkMeasurement measureBenchmark(const BenchmarkSpec &Spec,
+                                      const RunnerOptions &Opts);
 BenchmarkMeasurement measureBenchmark(const BenchmarkSpec &Spec);
 
 /// Measures a whole suite.
+std::vector<BenchmarkMeasurement> measureSuite(const SuiteSpec &Suite,
+                                               const RunnerOptions &Opts);
 std::vector<BenchmarkMeasurement> measureSuite(const SuiteSpec &Suite);
 
 /// Renders one suite's results in the layout of the paper's per-figure

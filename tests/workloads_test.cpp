@@ -96,13 +96,15 @@ TEST(GeneratorTest, MixKnobsChangeOpportunityProfile) {
 }
 
 TEST(RunnerTest, MeasuresABenchmarkWithConsistentResults) {
-  // measureBenchmark aborts on result divergence, so completing is itself
-  // the correctness assertion; additionally check the metrics are sane.
   GeneratorConfig Config;
   Config.Seed = 2024;
   Config.NumFunctions = 4;
   BenchmarkSpec Spec{"smoke", Config};
   BenchmarkMeasurement M = measureBenchmark(Spec);
+  // A result divergence across configurations is recorded, not fatal —
+  // this is the end-to-end correctness assertion.
+  EXPECT_TRUE(M.ResultsAgree);
+  EXPECT_EQ(M.Baseline.RunFailures, 0u);
   EXPECT_GT(M.Baseline.DynamicCycles, 0u);
   EXPECT_GT(M.DBDS.CodeSize, 0u);
   // DBDS must never be slower than baseline on the cost-model metric.

@@ -1,0 +1,366 @@
+//===- tools/fuzzdiff/fuzzdiff.cpp - Differential fuzzing driver -----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential fuzzer for the optimization pipeline:
+//
+//   fuzzdiff [--seed=N] [--count=N] [--max-seconds=N] [--out-dir=DIR]
+//            [--functions=N] [--segments=N] [--inject=SEED] [--sabotage]
+//            [--fail-fast] [--quiet]
+//
+// For each seed it generates a program (workloads/ProgramGenerator),
+// optimizes a copy under each of the paper's three configurations —
+// baseline, dbds, dupalot — with transactional verification enabled, then
+// interprets every function of every optimized copy against the
+// unoptimized reference on the evaluation inputs. Any observable
+// divergence (different result, or one side failing to terminate) is a
+// finding: the reference module is dumped as a textual-IR crash artifact,
+// delta-debugged down to a minimal reproducer (tooling/Reducer), and the
+// reduced artifact is written next to it.
+//
+// --sabotage appends a deliberate miscompilation (tooling/Sabotage.h) to
+// the optimized pipelines: the harness's known-positive self-test. The
+// exit status is 0 exactly when the outcome matches the mode — no
+// findings normally, at least one finding under --sabotage.
+//
+// --inject=SEED drives a deterministic FaultInjector through the
+// pipelines; every injected fault must be rolled back transactionally, so
+// a fuzzing pass with injection enabled doubles as the fault-tolerance
+// acceptance test (no aborts, no divergence from rolled-back faults).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/DBDSPhase.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Phase.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
+#include "tooling/Reducer.h"
+#include "tooling/Sabotage.h"
+#include "vm/Interpreter.h"
+#include "workloads/ProgramGenerator.h"
+#include "workloads/Runner.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+using namespace dbds;
+
+namespace {
+
+constexpr uint64_t RunFuel = 1u << 22;
+
+struct Options {
+  uint64_t Seed = 1;
+  unsigned Count = 50;
+  double MaxSeconds = 0.0; ///< 0 = unlimited.
+  std::string OutDir = "fuzzdiff-artifacts";
+  unsigned Functions = 4;
+  unsigned Segments = 4;
+  uint64_t InjectSeed = 0; ///< 0 = fault injection off.
+  bool Sabotage = false;
+  bool FailFast = false;
+  bool Quiet = false;
+};
+
+int usage(const char *Prog) {
+  fprintf(stderr,
+          "usage: %s [--seed=N] [--count=N] [--max-seconds=N] "
+          "[--out-dir=DIR] [--functions=N] [--segments=N] [--inject=SEED] "
+          "[--sabotage] [--fail-fast] [--quiet]\n",
+          Prog);
+  return 2;
+}
+
+GeneratorConfig makeGeneratorConfig(uint64_t Seed, const Options &O) {
+  GeneratorConfig GC;
+  GC.Seed = Seed;
+  GC.NumFunctions = O.Functions;
+  GC.SegmentsPerFunction = O.Segments;
+  return GC;
+}
+
+/// Profiles \p F on \p Train and optimizes it under \p Config with
+/// transactional verification — the exact procedure workloads/Runner.cpp
+/// uses, minus the timing. This is both the fuzzing subject and the
+/// reduction oracle's compile step, so a finding keeps reproducing while
+/// it shrinks.
+void compileFunction(Function &F, Module *M, RunConfig Config,
+                     const std::vector<std::vector<int64_t>> &Train,
+                     const Options &O, DiagnosticEngine *Diags,
+                     FaultInjector *Injector) {
+  Interpreter Interp(*M);
+  ProfileSummary Profile;
+  for (const auto &Args : Train) {
+    Interp.reset();
+    Interp.run(F, ArrayRef<int64_t>(Args), RunFuel, &Profile);
+  }
+  applyProfile(F, Profile);
+
+  PhaseManager Pipeline = PhaseManager::standardPipeline(/*Verify=*/true, M);
+  Pipeline.setFailFast(O.FailFast);
+  Pipeline.setDiagnostics(Diags);
+  Pipeline.setFaultInjector(Injector);
+  Pipeline.run(F);
+  if (Config != RunConfig::Baseline) {
+    DBDSConfig DC;
+    DC.UseTradeoff = Config == RunConfig::DBDS;
+    DC.ClassTable = M;
+    DC.Verify = true;
+    DC.FailFast = O.FailFast;
+    DC.Diags = Diags;
+    DC.Injector = Injector;
+    runDBDS(F, DC);
+  }
+  if (O.Sabotage && Config != RunConfig::Baseline) {
+    SabotagePhase Sabotage;
+    Sabotage.run(F);
+  }
+}
+
+/// Observable equivalence of two runs. Object results compare by kind
+/// only: heap indices are not stable across optimization levels (escape
+/// analysis removes allocations), matching the runner's hashing rule.
+bool sameObservable(const ExecutionResult &A, const ExecutionResult &B) {
+  if (A.Ok != B.Ok)
+    return false;
+  if (!A.Ok)
+    return true;
+  if (A.HasResult != B.HasResult)
+    return false;
+  if (!A.HasResult)
+    return true;
+  if (A.Result.IsObject != B.Result.IsObject)
+    return false;
+  return A.Result.IsObject || A.Result.Scalar == B.Result.Scalar;
+}
+
+std::string describeRun(const ExecutionResult &R) {
+  if (!R.Ok)
+    return "<no termination>";
+  if (!R.HasResult)
+    return "<void>";
+  if (R.Result.IsObject)
+    return R.Result.isNull() ? "<null>" : "<object>";
+  return std::to_string(R.Result.Scalar);
+}
+
+bool writeArtifact(const std::string &Path,
+                   const std::vector<std::string> &Header,
+                   const Module &M) {
+  FILE *File = fopen(Path.c_str(), "wb");
+  if (!File) {
+    fprintf(stderr, "fuzzdiff: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  for (const std::string &Line : Header)
+    fprintf(File, "# %s\n", Line.c_str());
+  fprintf(File, "%s", printModule(&M).c_str());
+  fclose(File);
+  return true;
+}
+
+struct Finding {
+  uint64_t Seed;
+  std::string FunctionName;
+  RunConfig Config;
+  std::string Detail;
+  unsigned OriginalInstructions = 0;
+  unsigned ReducedInstructions = 0;
+  bool Reduced = false;
+};
+
+/// Dumps, reduces, and re-dumps one divergence. \p Ref is the unoptimized
+/// reference workload the divergence was found against.
+void reportFinding(Finding &F, const GeneratedWorkload &Ref, unsigned FnIdx,
+                   const Options &O) {
+  std::string Base = O.OutDir + "/seed" + std::to_string(F.Seed) + "_" +
+                     F.FunctionName + "_" + runConfigName(F.Config);
+  std::vector<std::string> Header = {
+      "fuzzdiff crash artifact",
+      "seed:     " + std::to_string(F.Seed),
+      "function: @" + F.FunctionName,
+      "config:   " + std::string(runConfigName(F.Config)),
+      "detail:   " + F.Detail,
+  };
+  writeArtifact(Base + ".ir", Header, *Ref.Mod);
+
+  // Delta-debug the reference module: the oracle re-optimizes each
+  // candidate from scratch and checks that the divergence survives.
+  const std::vector<std::vector<int64_t>> &Train = Ref.TrainInputs[FnIdx];
+  const std::vector<std::vector<int64_t>> &Eval = Ref.EvalInputs[FnIdx];
+  RunConfig Config = F.Config;
+  ReductionOracle Oracle = [&](Module &RM, Function &Focus) {
+    ParseResult Copy = parseModule(printModule(&RM));
+    if (!Copy)
+      return false;
+    Function *CF = Copy.Mod->getFunction(Focus.getName());
+    if (!CF)
+      return false;
+    compileFunction(*CF, Copy.Mod.get(), Config, Train, O,
+                    /*Diags=*/nullptr, /*Injector=*/nullptr);
+    Interpreter RefInterp(RM), OptInterp(*Copy.Mod);
+    for (const auto &Args : Eval) {
+      RefInterp.reset();
+      ExecutionResult RA = RefInterp.run(Focus, ArrayRef<int64_t>(Args),
+                                         RunFuel);
+      if (!RA.Ok)
+        return false; // never reduce toward a non-terminating reference
+      OptInterp.reset();
+      ExecutionResult RB = OptInterp.run(*CF, ArrayRef<int64_t>(Args),
+                                         RunFuel);
+      if (!sameObservable(RA, RB))
+        return true;
+    }
+    return false;
+  };
+
+  ReductionResult R = reduceFunction(*Ref.Mod, F.FunctionName, Oracle);
+  F.OriginalInstructions = R.OriginalInstructions;
+  F.ReducedInstructions = R.ReducedInstructions;
+  F.Reduced = R.Reduced;
+  Header.push_back("reduced:  " + std::to_string(R.ReducedInstructions) +
+                   " of " + std::to_string(R.OriginalInstructions) +
+                   " instructions (" + std::to_string(R.OracleQueries) +
+                   " oracle queries, " + std::to_string(R.Rounds) +
+                   " rounds)");
+  writeArtifact(Base + "_reduced.ir", Header, *R.Mod);
+  if (!O.Quiet)
+    printf("fuzzdiff: FINDING seed=%llu @%s [%s]: %s — reduced %u -> %u "
+           "instructions (%s.ir, %s_reduced.ir)\n",
+           static_cast<unsigned long long>(F.Seed), F.FunctionName.c_str(),
+           runConfigName(F.Config), F.Detail.c_str(),
+           F.OriginalInstructions, F.ReducedInstructions, Base.c_str(),
+           Base.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  for (int I = 1; I != Argc; ++I) {
+    if (strncmp(Argv[I], "--seed=", 7) == 0)
+      O.Seed = strtoull(Argv[I] + 7, nullptr, 10);
+    else if (strncmp(Argv[I], "--count=", 8) == 0)
+      O.Count = static_cast<unsigned>(atoi(Argv[I] + 8));
+    else if (strncmp(Argv[I], "--max-seconds=", 14) == 0)
+      O.MaxSeconds = atof(Argv[I] + 14);
+    else if (strncmp(Argv[I], "--out-dir=", 10) == 0)
+      O.OutDir = Argv[I] + 10;
+    else if (strncmp(Argv[I], "--functions=", 12) == 0)
+      O.Functions = static_cast<unsigned>(atoi(Argv[I] + 12));
+    else if (strncmp(Argv[I], "--segments=", 11) == 0)
+      O.Segments = static_cast<unsigned>(atoi(Argv[I] + 11));
+    else if (strncmp(Argv[I], "--inject=", 9) == 0)
+      O.InjectSeed = strtoull(Argv[I] + 9, nullptr, 10);
+    else if (strcmp(Argv[I], "--sabotage") == 0)
+      O.Sabotage = true;
+    else if (strcmp(Argv[I], "--fail-fast") == 0)
+      O.FailFast = true;
+    else if (strcmp(Argv[I], "--quiet") == 0)
+      O.Quiet = true;
+    else
+      return usage(Argv[0]);
+  }
+
+  // POSIX mkdir; an existing directory is fine.
+  if (mkdir(O.OutDir.c_str(), 0755) != 0 && errno != EEXIST) {
+    fprintf(stderr, "fuzzdiff: cannot create out dir '%s'\n",
+            O.OutDir.c_str());
+    return 2;
+  }
+
+  DiagnosticEngine Diags;
+  FaultInjector Injector(O.InjectSeed);
+  FaultInjector *InjectorPtr = O.InjectSeed != 0 ? &Injector : nullptr;
+
+  const auto Start = std::chrono::steady_clock::now();
+  auto elapsedSeconds = [&Start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  };
+
+  std::vector<Finding> Findings;
+  unsigned SeedsRun = 0;
+  const RunConfig Configs[] = {RunConfig::Baseline, RunConfig::DBDS,
+                               RunConfig::DupALot};
+  for (unsigned N = 0; N != O.Count; ++N) {
+    if (O.MaxSeconds > 0.0 && elapsedSeconds() >= O.MaxSeconds)
+      break;
+    // The self-test only needs to prove one divergence is caught and
+    // reduced; every further one costs a full reduction run.
+    if (O.Sabotage && !Findings.empty())
+      break;
+    uint64_t Seed = O.Seed + N;
+    ++SeedsRun;
+    GeneratorConfig GC = makeGeneratorConfig(Seed, O);
+
+    // The reference stays untouched; each configuration optimizes its own
+    // identically-generated copy (the module is deterministic in the seed).
+    GeneratedWorkload Ref = generateWorkload(GC);
+    Interpreter RefInterp(*Ref.Mod);
+
+    for (RunConfig Config : Configs) {
+      GeneratedWorkload Opt = generateWorkload(GC);
+      Interpreter OptInterp(*Opt.Mod);
+      auto RefFns = Ref.Mod->functions();
+      auto OptFns = Opt.Mod->functions();
+      for (unsigned FIdx = 0; FIdx != OptFns.size(); ++FIdx) {
+        Function &OF = *OptFns[FIdx];
+        compileFunction(OF, Opt.Mod.get(), Config, Opt.TrainInputs[FIdx], O,
+                        &Diags, InjectorPtr);
+        for (const auto &Args : Ref.EvalInputs[FIdx]) {
+          RefInterp.reset();
+          ExecutionResult RA =
+              RefInterp.run(*RefFns[FIdx], ArrayRef<int64_t>(Args), RunFuel);
+          OptInterp.reset();
+          ExecutionResult RB = OptInterp.run(OF, ArrayRef<int64_t>(Args),
+                                             RunFuel);
+          if (sameObservable(RA, RB))
+            continue;
+          Finding F;
+          F.Seed = Seed;
+          F.FunctionName = OF.getName();
+          F.Config = Config;
+          F.Detail = "expected " + describeRun(RA) + ", got " +
+                     describeRun(RB);
+          reportFinding(F, Ref, FIdx, O);
+          Findings.push_back(std::move(F));
+          if (O.FailFast)
+            abort();
+          break; // one finding per function/config is enough
+        }
+        if (O.Sabotage && !Findings.empty())
+          break;
+      }
+      if (O.Sabotage && !Findings.empty())
+        break;
+    }
+  }
+
+  if (!O.Quiet) {
+    std::string InjectNote;
+    if (InjectorPtr)
+      InjectNote = ", " + std::to_string(Injector.faultsInjected()) +
+                   " fault(s) injected at " +
+                   std::to_string(Injector.sitesVisited()) + " site(s)";
+    printf("fuzzdiff: %u seed(s), %zu finding(s), %.1fs%s\n", SeedsRun,
+           Findings.size(), elapsedSeconds(), InjectNote.c_str());
+    if (!Diags.empty())
+      printf("%s", Diags.render().c_str());
+  }
+
+  // Self-test mode must find something; normal mode must not.
+  bool Expected = (Findings.empty() == !O.Sabotage);
+  return Expected ? 0 : 1;
+}
