@@ -1,0 +1,286 @@
+//===- analysis/Lint.cpp - Pluggable IR static analysis -------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "ir/Printer.h"
+#include "support/Diagnostics.h"
+
+using namespace dbds;
+
+//===----------------------------------------------------------------------===//
+// Findings and reports
+//===----------------------------------------------------------------------===//
+
+const char *dbds::lintSeverityName(LintSeverity S) {
+  switch (S) {
+  case LintSeverity::Note:
+    return "note";
+  case LintSeverity::Warn:
+    return "warn";
+  case LintSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string LintFinding::location() const {
+  std::string Loc = "@" + FunctionName;
+  if (!BlockName.empty())
+    Loc += " " + BlockName;
+  if (!InstDesc.empty())
+    Loc += ": " + InstDesc;
+  return Loc;
+}
+
+std::string LintFinding::render() const {
+  return std::string(lintSeverityName(Severity)) + "[" + RuleId + "] " +
+         location() + ": " + Message;
+}
+
+std::string LintFinding::key() const {
+  // '\x1f' cannot occur in any component (rule ids, names, and printed
+  // instructions are all printable ASCII).
+  return RuleId + '\x1f' + std::string(lintSeverityName(Severity)) + '\x1f' +
+         FunctionName + '\x1f' + BlockName + '\x1f' + InstDesc + '\x1f' +
+         Message;
+}
+
+unsigned LintReport::count(LintSeverity S) const {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (F.Severity == S)
+      ++N;
+  return N;
+}
+
+bool LintReport::hasErrors() const {
+  return firstError() != nullptr;
+}
+
+const LintFinding *LintReport::firstError() const {
+  for (const LintFinding &F : Findings)
+    if (F.Severity == LintSeverity::Error)
+      return &F;
+  return nullptr;
+}
+
+void LintReport::append(const LintReport &Other) {
+  Findings.insert(Findings.end(), Other.Findings.begin(),
+                  Other.Findings.end());
+}
+
+std::string LintReport::render() const {
+  std::string Out;
+  for (const LintFinding &F : Findings) {
+    Out += F.render();
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string LintReport::renderJSON() const {
+  std::string Out = "{\"findings\": [";
+  bool First = true;
+  for (const LintFinding &F : Findings) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "{\"rule\": \"" + jsonEscape(F.RuleId) + "\", \"severity\": \"" +
+           lintSeverityName(F.Severity) + "\", \"function\": \"" +
+           jsonEscape(F.FunctionName) + "\", \"block\": \"" +
+           jsonEscape(F.BlockName) + "\", \"instruction\": \"" +
+           jsonEscape(F.InstDesc) + "\", \"message\": \"" +
+           jsonEscape(F.Message) + "\"}";
+  }
+  Out += "], \"counts\": {\"error\": " +
+         std::to_string(count(LintSeverity::Error)) +
+         ", \"warn\": " + std::to_string(count(LintSeverity::Warn)) +
+         ", \"note\": " + std::to_string(count(LintSeverity::Note)) + "}}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// LintContext
+//===----------------------------------------------------------------------===//
+
+LintContext::LintContext(Function &F, const Module *ClassTable,
+                         const ObservationMap *Observations,
+                         const StampClaim &Claim, LintReport &Report)
+    : F(F), ClassTable(ClassTable), Observations(Observations), Claim(Claim),
+      Report(Report), Blocks(F.blocks()),
+      LiveBlocks(Blocks.begin(), Blocks.end()) {}
+
+DominatorTree &LintContext::domTree() {
+  if (!DT)
+    DT = std::make_unique<DominatorTree>(F);
+  return *DT;
+}
+
+LoopInfo &LintContext::loops() {
+  if (!LI)
+    LI = std::make_unique<LoopInfo>(F, domTree());
+  return *LI;
+}
+
+StampMap &LintContext::stamps() {
+  if (!SM)
+    SM = std::make_unique<StampMap>();
+  return *SM;
+}
+
+void LintContext::report(LintSeverity Severity, const Block *B,
+                         const Instruction *I, std::string Message) {
+  assert(CurrentRule && "report() outside of a rule run");
+  if (Severity == LintSeverity::Error &&
+      CurrentRule->stage() == LintRule::Stage::Structure)
+    SawStructureError = true;
+  if (!B && I)
+    B = I->getBlock();
+  LintFinding Finding;
+  Finding.RuleId = CurrentRule->id();
+  // Severity demotion (--allow) never promotes.
+  Finding.Severity = Severity < MaxSeverity ? Severity : MaxSeverity;
+  Finding.FunctionName = F.getName();
+  Finding.BlockName = B ? B->getName() : "";
+  Finding.InstDesc = I ? printInstruction(I) : "";
+  Finding.Message = std::move(Message);
+  Report.Findings.push_back(std::move(Finding));
+}
+
+//===----------------------------------------------------------------------===//
+// Linter
+//===----------------------------------------------------------------------===//
+
+LintRule::~LintRule() = default;
+
+void Linter::add(std::unique_ptr<LintRule> Rule) {
+  Entry E;
+  E.Rule = std::move(Rule);
+  Rules.push_back(std::move(E));
+}
+
+bool Linter::setEnabled(const std::string &Id, bool Enabled) {
+  for (Entry &E : Rules)
+    if (Id == E.Rule->id()) {
+      E.Enabled = Enabled;
+      return true;
+    }
+  return false;
+}
+
+bool Linter::setMaxSeverity(const std::string &Id, LintSeverity S) {
+  for (Entry &E : Rules)
+    if (Id == E.Rule->id()) {
+      E.MaxSeverity = S;
+      return true;
+    }
+  return false;
+}
+
+std::vector<const LintRule *> Linter::rules() const {
+  std::vector<const LintRule *> Out;
+  Out.reserve(Rules.size());
+  for (const Entry &E : Rules)
+    Out.push_back(E.Rule.get());
+  return Out;
+}
+
+LintReport Linter::lint(Function &F,
+                        const ObservationMap *Observations) const {
+  LintReport Report;
+  LintContext Ctx(F, ClassTable, Observations, Claim, Report);
+
+  // The structure stage validates exactly what the semantic stage's
+  // analyses (dominator tree, loops, stamps) assume. A structural error
+  // gates the semantic stage entirely: running dominance queries over a
+  // CFG with broken edge symmetry would crash or, worse, produce findings
+  // whose root cause is the structural break. Gating is decided on the
+  // rule-requested severity (LintContext::SawStructureError, recorded
+  // before demotion) so that demoting a structure rule via setMaxSeverity
+  // does not un-gate the semantic stage.
+  auto RunStage = [&](LintRule::Stage Stage) {
+    for (const Entry &E : Rules) {
+      if (!E.Enabled || E.Rule->stage() != Stage)
+        continue;
+      Ctx.CurrentRule = E.Rule.get();
+      Ctx.MaxSeverity = E.MaxSeverity;
+      E.Rule->run(Ctx);
+    }
+    Ctx.CurrentRule = nullptr;
+  };
+
+  RunStage(LintRule::Stage::Structure);
+  if (!Ctx.SawStructureError)
+    RunStage(LintRule::Stage::Semantic);
+  return Report;
+}
+
+LintReport Linter::lintModule(const Module &M) const {
+  LintReport Report;
+  for (Function *F : M.functions())
+    Report.append(lint(*F));
+  return Report;
+}
+
+Linter Linter::standard(const Module *ClassTable) {
+  Linter L;
+  L.setClassTable(ClassTable);
+  registerStandardLintRules(L);
+  return L;
+}
+
+void dbds::reportToDiagnostics(const LintReport &Report,
+                               DiagnosticEngine &Diags,
+                               const std::string &Component) {
+  for (const LintFinding &F : Report.Findings) {
+    DiagKind Kind = DiagKind::Note;
+    if (F.Severity == LintSeverity::Error)
+      Kind = DiagKind::Error;
+    else if (F.Severity == LintSeverity::Warn)
+      Kind = DiagKind::Warning;
+    std::string Where = F.BlockName.empty() ? "" : " " + F.BlockName;
+    if (!F.InstDesc.empty())
+      Where += ": " + F.InstDesc;
+    Diags.report(Kind, Component, F.FunctionName,
+                 "[" + F.RuleId + "]" + Where + ": " + F.Message);
+  }
+}

@@ -1,0 +1,248 @@
+//===- analysis/Lint.h - Pluggable IR static analysis -----------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRLint: a rule-registry-based static-analysis engine over the IR. It
+/// supersedes the stop-at-first-violation verifier with multi-diagnostic
+/// reporting: every enabled rule runs over the whole function and records
+/// *all* of its findings (rule id, severity, location) into one report.
+///
+/// Rules run in two stages. Structure-stage rules check the invariants the
+/// CFG/SSA analyses themselves rely on (terminators, edge symmetry, phi
+/// layout, use lists); semantic-stage rules (dominance, stamp soundness,
+/// loop shape, cost-model coverage, ...) run only when the structure stage
+/// reported no errors — their analyses would be meaningless or unsafe on a
+/// broken CFG, and the structural finding is the root cause anyway.
+///
+/// The engine backs three consumers: `verifyFunction` (a thin first-error
+/// wrapper, analysis/Verifier.h), the `PhaseManager` phase-effect auditor
+/// (opts/Phase.h), and the standalone `tools/irlint` CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_ANALYSIS_LINT_H
+#define DBDS_ANALYSIS_LINT_H
+
+#include "analysis/DominatorTree.h"
+#include "analysis/Loops.h"
+#include "analysis/StampMap.h"
+#include "ir/Function.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dbds {
+
+class DiagnosticEngine;
+class LintRule;
+
+/// Finding severity. Errors are invariant violations (the function must
+/// not be executed / must be rolled back); warnings are suspicious but
+/// executable shapes (dead phis, exit-less loops); notes are informative.
+enum class LintSeverity : uint8_t { Note, Warn, Error };
+
+const char *lintSeverityName(LintSeverity S);
+
+/// One finding: which rule, how severe, and where.
+struct LintFinding {
+  std::string RuleId;
+  LintSeverity Severity = LintSeverity::Error;
+  std::string FunctionName;
+  std::string BlockName; ///< "" for function-level findings.
+  std::string InstDesc;  ///< Printed instruction; "" for block-level.
+  std::string Message;
+
+  /// "@fn b3: %phi = phi ..." (the non-empty location parts).
+  std::string location() const;
+
+  /// One human-readable line: "error[phi-layout] @fn b3: message".
+  std::string render() const;
+
+  /// Stable identity for diffing reports across a phase (audit mode).
+  std::string key() const;
+};
+
+/// All findings of one lint pass (or several, via append).
+struct LintReport {
+  std::vector<LintFinding> Findings;
+
+  unsigned count(LintSeverity S) const;
+  unsigned errorCount() const { return count(LintSeverity::Error); }
+  bool hasErrors() const;
+  const LintFinding *firstError() const;
+  void append(const LintReport &Other);
+
+  /// One line per finding.
+  std::string render() const;
+
+  /// Machine-readable report: {"findings": [...], "counts": {...}}.
+  std::string renderJSON() const;
+};
+
+/// Summary of the values one instruction was observed to produce across
+/// interpreter runs (collected by a driver via Interpreter::setObserver;
+/// the analysis layer itself never executes code). The stamp-soundness
+/// rule checks that static stamps contain every observed value.
+struct ObservedValues {
+  int64_t Min = INT64_MAX;
+  int64_t Max = INT64_MIN;
+  uint64_t Samples = 0;
+  bool SawNull = false;
+  bool SawNonNull = false;
+
+  void noteInt(int64_t V) {
+    Min = V < Min ? V : Min;
+    Max = V > Max ? V : Max;
+    ++Samples;
+  }
+  void noteObj(bool IsNull) {
+    (IsNull ? SawNull : SawNonNull) = true;
+    ++Samples;
+  }
+};
+
+using ObservationMap = std::unordered_map<const Instruction *, ObservedValues>;
+
+/// An external claim about an instruction's stamp. When it yields a value,
+/// the stamp-soundness rule validates that claim instead of the default
+/// StampMap recomputation — the seam through which tests (and future
+/// cached-stamp layers) expose stamps for auditing.
+using StampClaim = std::function<std::optional<Stamp>(Instruction *)>;
+
+/// Per-pass state shared by all rules: the function under analysis, lazily
+/// built analyses, and the finding sink.
+class LintContext {
+public:
+  LintContext(Function &F, const Module *ClassTable,
+              const ObservationMap *Observations, const StampClaim &Claim,
+              LintReport &Report);
+
+  Function &function() { return F; }
+  const Module *classTable() const { return ClassTable; }
+  const ObservationMap *observations() const { return Observations; }
+  const StampClaim &stampClaim() const { return Claim; }
+
+  /// The function's live blocks (cached snapshot).
+  const std::vector<Block *> &blocks() const { return Blocks; }
+
+  /// True if \p B is a live block of the function (not erased).
+  bool isLiveBlock(const Block *B) const { return LiveBlocks.count(B) != 0; }
+
+  /// Lazily built analyses. Only legal from semantic-stage rules (the
+  /// structure stage must have passed; the linter enforces this).
+  DominatorTree &domTree();
+  LoopInfo &loops();
+  StampMap &stamps();
+
+  /// Records a finding against the currently running rule.
+  void report(LintSeverity Severity, const Block *B, const Instruction *I,
+              std::string Message);
+
+private:
+  friend class Linter;
+
+  Function &F;
+  const Module *ClassTable;
+  const ObservationMap *Observations;
+  const StampClaim &Claim;
+  LintReport &Report;
+  const LintRule *CurrentRule = nullptr;
+  LintSeverity MaxSeverity = LintSeverity::Error;
+  bool SawStructureError = false;
+  std::vector<Block *> Blocks;
+  std::unordered_set<const Block *> LiveBlocks;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+  std::unique_ptr<StampMap> SM;
+};
+
+/// One named analysis rule.
+class LintRule {
+public:
+  /// Structure-stage rules validate what the CFG/SSA analyses assume;
+  /// semantic-stage rules may build those analyses.
+  enum class Stage : uint8_t { Structure, Semantic };
+
+  virtual ~LintRule();
+
+  /// Stable, kebab-case identifier (CLI flags, finding attribution).
+  virtual const char *id() const = 0;
+
+  /// One-line human description (CLI --list-rules).
+  virtual const char *description() const = 0;
+
+  virtual Stage stage() const { return Stage::Semantic; }
+
+  /// Runs the rule, reporting findings through \p Ctx.
+  virtual void run(LintContext &Ctx) = 0;
+};
+
+/// The lint engine: an ordered registry of rules plus shared options.
+class Linter {
+public:
+  Linter() = default;
+
+  /// Appends \p Rule (enabled). Registration order is execution order
+  /// within each stage.
+  void add(std::unique_ptr<LintRule> Rule);
+
+  /// Enables/disables the rule named \p Id. Returns false if unknown.
+  bool setEnabled(const std::string &Id, bool Enabled);
+
+  /// Demotes every error-severity finding of rule \p Id to a warning
+  /// (acknowledged-violation workflows). Returns false if unknown.
+  bool setMaxSeverity(const std::string &Id, LintSeverity S);
+
+  /// All registered rules, in execution order (for --list-rules).
+  std::vector<const LintRule *> rules() const;
+
+  /// Class table for rules that reason about allocations; may be null.
+  void setClassTable(const Module *M) { ClassTable = M; }
+
+  /// Installs a stamp claim (see StampClaim).
+  void setStampClaim(StampClaim C) { Claim = std::move(C); }
+
+  /// Lints one function. \p Observations, when non-null, enables the
+  /// dynamic cross-checks (stamp containment of observed values).
+  LintReport lint(Function &F,
+                  const ObservationMap *Observations = nullptr) const;
+
+  /// Lints every function of \p M into one report.
+  LintReport lintModule(const Module &M) const;
+
+  /// The standard rule set: the split-out structural/SSA verifier rules
+  /// plus the semantic rules (dominance, phi-synonym, unreachable code,
+  /// dead phis, loop shape, stamp soundness, cost-model coverage).
+  static Linter standard(const Module *ClassTable = nullptr);
+
+private:
+  struct Entry {
+    std::unique_ptr<LintRule> Rule;
+    bool Enabled = true;
+    LintSeverity MaxSeverity = LintSeverity::Error;
+  };
+  std::vector<Entry> Rules;
+  const Module *ClassTable = nullptr;
+  StampClaim Claim;
+};
+
+/// Registers the standard rule set into \p L (implemented in
+/// LintRules.cpp; standard() calls this).
+void registerStandardLintRules(Linter &L);
+
+/// Forwards a report's findings into a DiagnosticEngine (error -> error,
+/// warn -> warning, note -> note), tagged with \p Component.
+void reportToDiagnostics(const LintReport &Report, DiagnosticEngine &Diags,
+                         const std::string &Component);
+
+} // namespace dbds
+
+#endif // DBDS_ANALYSIS_LINT_H

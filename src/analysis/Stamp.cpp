@@ -1,16 +1,27 @@
-//===- opts/Stamp.cpp - Value range / nullness lattice ---------------------===//
+//===- analysis/Stamp.cpp - Value range / nullness lattice ---------------------===//
 //
 // Part of the DBDS reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 
-#include "opts/Stamp.h"
+#include "analysis/Stamp.h"
 
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
 
 using namespace dbds;
+
+Stamp dbds::shallowStamp(Instruction *I) {
+  if (auto *C = dyn_cast<ConstantInst>(I)) {
+    if (C->isNull())
+      return Stamp::definitelyNull();
+    return Stamp::exact(C->getValue());
+  }
+  if (I->getOpcode() == Opcode::New)
+    return Stamp::nonNull();
+  return Stamp::top(I->getType());
+}
 
 std::optional<Stamp> Stamp::meet(const Stamp &Other) const {
   if (isInt() != Other.isInt())

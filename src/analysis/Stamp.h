@@ -1,4 +1,4 @@
-//===- opts/Stamp.h - Value range / nullness lattice ------------*- C++ -*-===//
+//===- analysis/Stamp.h - Value range / nullness lattice ------------*- C++ -*-===//
 //
 // Part of the DBDS reproduction. Distributed under the MIT license.
 //
@@ -13,8 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef DBDS_OPTS_STAMP_H
-#define DBDS_OPTS_STAMP_H
+#ifndef DBDS_ANALYSIS_STAMP_H
+#define DBDS_ANALYSIS_STAMP_H
 
 #include "ir/Instruction.h"
 
@@ -90,6 +90,11 @@ private:
   Nullness Null = Nullness::Maybe;
 };
 
+/// A stamp lookup using only locally-obvious facts (constants are exact,
+/// allocations are non-null, everything else is top). CE and the
+/// simulation pass richer lookups.
+Stamp shallowStamp(Instruction *I);
+
 /// Forward transfer function: the stamp of `Op(LHS, RHS)` given operand
 /// stamps (conservative; saturates on potential overflow).
 Stamp binaryStamp(Opcode Op, const Stamp &LHS, const Stamp &RHS);
@@ -111,4 +116,4 @@ std::optional<Stamp> refineByCompare(Predicate Pred, const Stamp &Input,
 
 } // namespace dbds
 
-#endif // DBDS_OPTS_STAMP_H
+#endif // DBDS_ANALYSIS_STAMP_H

@@ -1,12 +1,10 @@
-//===- opts/StampMap.cpp - On-demand forward stamp computation ------------===//
+//===- analysis/StampMap.cpp - On-demand forward stamp computation ------------===//
 //
 // Part of the DBDS reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 
-#include "opts/StampMap.h"
-
-#include "opts/Canonicalize.h"
+#include "analysis/StampMap.h"
 
 using namespace dbds;
 

@@ -1,4 +1,4 @@
-//===- opts/StampMap.h - On-demand forward stamp computation ----*- C++ -*-===//
+//===- analysis/StampMap.h - On-demand forward stamp computation ----*- C++ -*-===//
 //
 // Part of the DBDS reproduction. Distributed under the MIT license.
 //
@@ -11,10 +11,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef DBDS_OPTS_STAMPMAP_H
-#define DBDS_OPTS_STAMPMAP_H
+#ifndef DBDS_ANALYSIS_STAMPMAP_H
+#define DBDS_ANALYSIS_STAMPMAP_H
 
-#include "opts/Stamp.h"
+#include "analysis/Stamp.h"
 
 #include <unordered_map>
 
@@ -35,4 +35,4 @@ private:
 
 } // namespace dbds
 
-#endif // DBDS_OPTS_STAMPMAP_H
+#endif // DBDS_ANALYSIS_STAMPMAP_H

@@ -6,167 +6,28 @@
 
 #include "analysis/Verifier.h"
 
-#include "analysis/DominatorTree.h"
-#include "ir/Printer.h"
+#include "analysis/Lint.h"
+#include "support/Diagnostics.h"
 
-#include <unordered_set>
+#include <cstdio>
 
 using namespace dbds;
 
-namespace {
-
-std::string describe(const Instruction *I) {
-  std::string Where = I->getBlock() ? I->getBlock()->getName() : "<detached>";
-  return "[" + Where + "] " + printInstruction(I);
-}
-
-} // namespace
-
 std::string dbds::verifyFunction(Function &F) {
-  auto Blocks = F.blocks();
-  if (Blocks.empty())
-    return "function has no blocks";
-
-  std::unordered_set<const Block *> BlockSet(Blocks.begin(), Blocks.end());
-
-  // Structure: one trailing terminator per block, phis leading, entry has
-  // no predecessors.
-  if (F.getEntry()->getNumPreds() != 0)
-    return "entry block has predecessors";
-  for (Block *B : Blocks) {
-    Instruction *Term = B->getTerminator();
-    if (!Term)
-      return "block " + B->getName() + " does not end with a terminator";
-    bool SeenNonPhi = false;
-    for (Instruction *I : *B) {
-      if (I->isTerminator() && I != Term)
-        return "terminator in the middle of block " + B->getName();
-      if (isa<PhiInst>(I)) {
-        if (SeenNonPhi)
-          return "phi after non-phi: " + describe(I);
-      } else {
-        SeenNonPhi = true;
-      }
-      if (I->getBlock() != B)
-        return "instruction parent link broken: " + describe(I);
-      if (I->getFunction() != &F)
-        return "instruction function link broken: " + describe(I);
-    }
-    // If with identical successors must have been canonicalized to Jump.
-    if (auto *If = dyn_cast<IfInst>(Term)) {
-      if (If->getTrueSucc() == If->getFalseSucc())
-        return "if with identical successors in " + B->getName();
-      if (!BlockSet.count(If->getTrueSucc()) ||
-          !BlockSet.count(If->getFalseSucc()))
-        return "if targets erased block: " + describe(If);
-    }
-    if (auto *Jump = dyn_cast<JumpInst>(Term))
-      if (!BlockSet.count(Jump->getTarget()))
-        return "jump targets erased block: " + describe(Jump);
-  }
-
-  // Predecessor/successor symmetry (with edge multiplicity).
-  for (Block *B : Blocks) {
-    for (Block *P : B->preds()) {
-      if (!BlockSet.count(P))
-        return "predecessor of " + B->getName() + " is an erased block";
-      unsigned EdgeCount = 0;
-      for (Block *S : P->succs())
-        if (S == B)
-          ++EdgeCount;
-      unsigned PredCount = 0;
-      for (Block *Q : B->preds())
-        if (Q == P)
-          ++PredCount;
-      if (EdgeCount != PredCount)
-        return "edge mismatch between " + P->getName() + " and " +
-               B->getName();
-    }
-    for (Block *S : B->succs())
-      if (!S->hasPred(B))
-        return "successor " + S->getName() + " does not list " +
-               B->getName() + " as predecessor";
-  }
-
-  // Phi/predecessor alignment and typing.
-  for (Block *B : Blocks) {
-    for (PhiInst *Phi : B->phis()) {
-      if (Phi->getNumInputs() != B->getNumPreds())
-        return "phi input count != predecessor count: " + describe(Phi);
-      for (Instruction *In : Phi->operands())
-        if (In->getType() != Phi->getType())
-          return "phi input type mismatch: " + describe(Phi);
-    }
-    for (Instruction *I : *B) {
-      if (auto *Bin = dyn_cast<BinaryInst>(I)) {
-        if (Bin->getLHS()->getType() != Type::Int ||
-            Bin->getRHS()->getType() != Type::Int)
-          return "non-integer operand of arithmetic: " + describe(I);
-      }
-      if (auto *Cmp = dyn_cast<CompareInst>(I)) {
-        if (Cmp->getLHS()->getType() != Cmp->getRHS()->getType())
-          return "mixed-type comparison: " + describe(I);
-        if (Cmp->getLHS()->getType() == Type::Obj &&
-            Cmp->getPredicate() != Predicate::EQ &&
-            Cmp->getPredicate() != Predicate::NE)
-          return "ordered comparison of objects: " + describe(I);
-      }
-      if (auto *Load = dyn_cast<LoadFieldInst>(I))
-        if (Load->getObject()->getType() != Type::Obj)
-          return "load from non-object: " + describe(I);
-      if (auto *Store = dyn_cast<StoreFieldInst>(I))
-        if (Store->getObject()->getType() != Type::Obj)
-          return "store to non-object: " + describe(I);
-      if (auto *If = dyn_cast<IfInst>(I))
-        if (If->getCondition()->getType() != Type::Int)
-          return "non-integer branch condition: " + describe(I);
-    }
-  }
-
-  // Use-list symmetry: every operand lists the user, every user uses the
-  // value, with matching multiplicity.
-  for (Block *B : Blocks) {
-    for (Instruction *I : *B) {
-      for (Instruction *Op : I->operands()) {
-        unsigned InOperands = 0;
-        for (Instruction *Op2 : I->operands())
-          if (Op2 == Op)
-            ++InOperands;
-        unsigned InUsers = 0;
-        for (Instruction *U : Op->users())
-          if (U == I)
-            ++InUsers;
-        if (InOperands != InUsers)
-          return "use-list mismatch between " + describe(I) + " and " +
-                 describe(Op);
-        if (Op->getBlock() == nullptr)
-          return "operand is detached: " + describe(I) + " uses " +
-                 printInstruction(Op);
-      }
-      for (Instruction *U : I->users())
-        if (U->getBlock() == nullptr)
-          return "detached user recorded: " + describe(I);
-    }
-  }
-
-  // SSA dominance. Unreachable blocks are not permitted (phases must prune
-  // them), which the dominator tree check enforces implicitly.
-  DominatorTree DT(F);
-  for (Block *B : Blocks) {
-    if (!DT.isReachable(B))
-      return "unreachable block " + B->getName();
-    for (Instruction *I : *B)
-      for (Instruction *Op : I->operands())
-        if (!DT.dominatesUse(Op, I))
-          return "use not dominated by definition: " + describe(I) +
-                 " uses " + describe(Op);
-  }
-
+  LintReport Report = Linter::standard().lint(F);
+  if (const LintFinding *First = Report.firstError())
+    return "[" + First->RuleId + "] " + First->location() + ": " +
+           First->Message;
   return "";
 }
 
-bool dbds::isValid(Function &F) {
-  std::string Error = verifyFunction(F);
-  assert((Error.empty() || (printFunction(&F), true)) && "verifier failed");
-  return Error.empty();
+bool dbds::isValid(Function &F, DiagnosticEngine *Diags) {
+  LintReport Report = Linter::standard().lint(F);
+  if (!Report.hasErrors())
+    return true;
+  if (Diags)
+    reportToDiagnostics(Report, *Diags, "verifier");
+  else
+    std::fprintf(stderr, "%s", Report.render().c_str());
+  return false;
 }

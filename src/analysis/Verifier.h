@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Checks the structural and SSA invariants every phase must preserve:
-/// terminator placement, predecessor/successor symmetry, phi/predecessor
-/// alignment, leading-phi layout, def-dominates-use, use-list symmetry,
-/// and basic typing rules. All tests and phases verify after mutation.
+/// The legacy single-error verifier interface, now a thin wrapper over the
+/// IRLint engine (analysis/Lint.h): `verifyFunction` runs the standard rule
+/// set and returns the first error-severity finding. Callers that want the
+/// full multi-diagnostic report (every violation, with rule ids and
+/// severities) should use Linter directly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,14 +20,19 @@
 
 namespace dbds {
 
+class DiagnosticEngine;
 class Function;
 
-/// Verifies \p F. Returns an empty string when all invariants hold, or a
-/// diagnostic describing the first violation.
+/// Verifies \p F with the standard lint rules. Returns an empty string when
+/// no error-severity finding exists, or a diagnostic describing the first
+/// one (warnings do not fail verification).
 std::string verifyFunction(Function &F);
 
-/// Convenience wrapper asserting success (used in tests and debug builds).
-bool isValid(Function &F);
+/// Convenience wrapper: true when \p F has no error-severity findings.
+/// On failure the full lint report is logged — through \p Diags when
+/// provided, to stderr otherwise — so the findings are never silently
+/// swallowed.
+bool isValid(Function &F, DiagnosticEngine *Diags = nullptr);
 
 } // namespace dbds
 

@@ -6,6 +6,7 @@
 
 #include "dbds/DBDSPhase.h"
 
+#include "analysis/Lint.h"
 #include "analysis/Loops.h"
 #include "analysis/Verifier.h"
 #include "dbds/CostModel.h"
@@ -25,18 +26,29 @@ using namespace dbds;
 
 namespace {
 
-/// Post-mutation check in the transactional protocol: returns the verifier
-/// diagnostic ("" = clean), letting the caller roll back, or aborts
-/// directly under fail-fast.
+/// Post-mutation check in the transactional protocol: lints the function
+/// and summarizes the error findings ("" = clean), letting the caller roll
+/// back. Under fail-fast the full multi-finding report is printed before
+/// aborting — the structured replacement for the old first-error-only
+/// verifier message.
 std::string checkAfterMutation(Function &F, const char *When,
                                const DBDSConfig &Config) {
-  std::string Error = verifyFunction(F);
-  if (!Error.empty() && Config.FailFast) {
-    fprintf(stderr, "verifier failed %s on @%s: %s\n", When,
-            F.getName().c_str(), Error.c_str());
+  LintReport Report = Linter::standard(Config.ClassTable).lint(F);
+  if (!Report.hasErrors())
+    return "";
+  if (Config.FailFast) {
+    fprintf(stderr, "lint failed %s on @%s (%u error(s)):\n%s", When,
+            F.getName().c_str(), Report.errorCount(),
+            Report.render().c_str());
     abort();
   }
-  return Error;
+  const LintFinding *First = Report.firstError();
+  std::string Summary =
+      "[" + First->RuleId + "] " + First->location() + ": " + First->Message;
+  if (Report.errorCount() > 1)
+    Summary += " (+" + std::to_string(Report.errorCount() - 1) +
+               " more error(s))";
+  return Summary;
 }
 
 /// Revalidates a candidate against the current CFG (earlier duplications

@@ -12,17 +12,6 @@ using namespace dbds;
 
 Instruction *dbds::identityResolver(Instruction *I) { return I; }
 
-Stamp dbds::shallowStamp(Instruction *I) {
-  if (auto *C = dyn_cast<ConstantInst>(I)) {
-    if (C->isNull())
-      return Stamp::definitelyNull();
-    return Stamp::exact(C->getValue());
-  }
-  if (I->getOpcode() == Opcode::New)
-    return Stamp::nonNull();
-  return Stamp::top(I->getType());
-}
-
 bool dbds::isPowerOfTwo(int64_t Value) {
   return Value >= 1 && (Value & (Value - 1)) == 0;
 }

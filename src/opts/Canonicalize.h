@@ -26,7 +26,7 @@
 #define DBDS_OPTS_CANONICALIZE_H
 
 #include "ir/Function.h"
-#include "opts/Stamp.h"
+#include "analysis/Stamp.h"
 
 #include <functional>
 
@@ -42,10 +42,6 @@ using StampLookup = std::function<Stamp(Instruction *)>;
 
 /// The identity resolver.
 Instruction *identityResolver(Instruction *I);
-
-/// A stamp lookup using only locally-obvious facts (constants are exact,
-/// everything else is top). CE and the simulation pass richer lookups.
-Stamp shallowStamp(Instruction *I);
 
 /// Result of one action step.
 struct FoldOutcome {

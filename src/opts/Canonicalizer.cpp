@@ -7,7 +7,7 @@
 #include "analysis/DominatorTree.h"
 #include "opts/Canonicalize.h"
 #include "opts/Phase.h"
-#include "opts/StampMap.h"
+#include "analysis/StampMap.h"
 
 using namespace dbds;
 

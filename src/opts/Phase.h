@@ -18,7 +18,9 @@
 
 #include "ir/Function.h"
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -28,7 +30,17 @@ namespace dbds {
 class CompileBudget;
 class DiagnosticEngine;
 class FaultInjector;
+class Linter;
 class Module;
+
+/// Behavioral phase-effect oracle for PhaseManager audit mode: compares
+/// the pre-phase snapshot against the phase's output (typically by
+/// interpreting both on a shared input set) and returns false on
+/// divergence, filling \p Detail with a description. Injected as a
+/// callback so the optimizer does not link against the vm; see
+/// tooling/LintHarness.h for the interpreter-backed implementation.
+using AuditOracle = std::function<bool(
+    const Function &Before, Function &After, std::string &Detail)>;
 
 /// An IR-to-IR transformation over one compilation unit.
 class Phase {
@@ -154,6 +166,24 @@ public:
   /// degraded to DegradationLevel::NoFixpoint.
   void setBudget(CompileBudget *B) { Budget = B; }
 
+  // ---- Phase-effect auditing -------------------------------------------
+
+  /// Enables audit mode with \p L (not owned): every phase's output is
+  /// linted and diffed against the pre-phase report, and any *new*
+  /// error-severity finding is attributed to that phase — the function is
+  /// rolled back, the phase quarantined, and the quarantine diagnostic
+  /// names the offending phase and the violated rules. Findings that
+  /// predate the phase are never blamed on it. Supersedes the plain
+  /// verifier check while set.
+  void setAuditLinter(const Linter *L) { Audit = L; }
+
+  /// Optional behavioral oracle for audit mode (see AuditOracle): runs
+  /// after a phase passes the static lint diff and catches structurally
+  /// valid but semantically wrong transforms (the SabotagePhase class of
+  /// defect, which no static check can see). Divergence rolls the phase
+  /// back like a lint violation.
+  void setAuditOracle(AuditOracle O) { Oracle = std::move(O); }
+
   /// Phases rolled back over the manager's lifetime.
   unsigned rollbackCount() const { return Rollbacks; }
 
@@ -170,6 +200,8 @@ private:
   DiagnosticEngine *Diags = nullptr;
   FaultInjector *Injector = nullptr;
   CompileBudget *Budget = nullptr;
+  const Linter *Audit = nullptr;
+  AuditOracle Oracle;
   unsigned Rollbacks = 0;
   /// Function name -> indices of phases that broke that function once and
   /// are skipped for it from then on.

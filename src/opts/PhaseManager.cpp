@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "analysis/Verifier.h"
 #include "opts/Phase.h"
 #include "support/Budget.h"
@@ -41,9 +42,12 @@ bool dbds::corruptFunctionIR(Function &F, uint64_t Entropy) {
 
 bool PhaseManager::run(Function &F, unsigned MaxRounds) {
   bool Changed = false;
-  // Snapshots (and therefore rollback) exist only in verifying mode;
-  // unverified pipelines keep their zero-overhead fast path.
-  const bool Transactional = Verify && !FailFast;
+  // Snapshots (and therefore rollback) exist only in checking modes;
+  // unverified pipelines keep their zero-overhead fast path. Audit mode
+  // (setAuditLinter) implies checking even when plain verification is off.
+  const bool Auditing = Audit != nullptr;
+  const bool Checking = Verify || Auditing;
+  const bool Transactional = Checking && !FailFast;
 
   for (unsigned Round = 0; Round != MaxRounds; ++Round) {
     // Budget gate: the first round always runs (every function gets at
@@ -69,13 +73,20 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
       if (Transactional)
         Snapshot = F.clone();
 
+      // Audit baseline: the pre-phase lint findings. New findings after
+      // the phase are the phase's effect; pre-existing ones are not.
+      std::unordered_set<std::string> PreKeys;
+      if (Auditing)
+        for (const LintFinding &Finding : Audit->lint(F).Findings)
+          PreKeys.insert(Finding.key());
+
       bool PhaseChanged = P->run(F);
 
       // Fault injection (only meaningful when the verifier would catch the
       // damage; silent corruption in unverified mode would be a miscompile
       // generator, not a robustness test).
       bool ForcedFailure = false;
-      if (Verify && Injector) {
+      if (Checking && Injector) {
         switch (Injector->at(P->name())) {
         case FaultKind::None:
           break;
@@ -88,9 +99,44 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
         }
       }
 
-      if (Verify && (PhaseChanged || ForcedFailure)) {
-        std::string Error =
-            ForcedFailure ? "injected phase failure" : verifyFunction(F);
+      if (Checking && (PhaseChanged || ForcedFailure)) {
+        std::string Error;
+        if (ForcedFailure) {
+          Error = "injected phase failure";
+        } else if (Auditing) {
+          // Diff the post-phase lint report against the pre-phase baseline
+          // and attribute every new error-severity finding to this phase.
+          LintReport Post = Audit->lint(F);
+          unsigned NewErrors = 0;
+          for (const LintFinding &Finding : Post.Findings) {
+            if (Finding.Severity != LintSeverity::Error ||
+                PreKeys.count(Finding.key()))
+              continue;
+            ++NewErrors;
+            if (NewErrors > 4)
+              continue; // cap the diagnostic; the count stays exact
+            if (!Error.empty())
+              Error += "; ";
+            Error += "[" + Finding.RuleId + "] " + Finding.location() +
+                     ": " + Finding.Message;
+          }
+          if (NewErrors != 0)
+            Error = "introduced " + std::to_string(NewErrors) +
+                    " new lint violation(s): " + Error +
+                    (NewErrors > 4 ? "; ..." : "");
+        } else {
+          Error = verifyFunction(F);
+        }
+
+        // Static checks passed: consult the behavioral oracle, which
+        // catches structurally valid but semantically wrong transforms.
+        if (Error.empty() && Auditing && Oracle && PhaseChanged &&
+            Snapshot) {
+          std::string Detail;
+          if (!Oracle(*Snapshot, F, Detail))
+            Error = "audit oracle detected behavioral divergence: " + Detail;
+        }
+
         if (!Error.empty()) {
           if (!Transactional) {
             fprintf(stderr, "verifier failed after %s on @%s: %s\n",

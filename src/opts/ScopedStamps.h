@@ -15,7 +15,7 @@
 #ifndef DBDS_OPTS_SCOPEDSTAMPS_H
 #define DBDS_OPTS_SCOPEDSTAMPS_H
 
-#include "opts/StampMap.h"
+#include "analysis/StampMap.h"
 
 #include <optional>
 #include <unordered_map>

@@ -1,0 +1,251 @@
+//===- tooling/LintFixtures.cpp - Malformed-IR lint fixtures --------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tooling/LintFixtures.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace dbds;
+
+namespace {
+
+/// A diamond: entry branches on p0 < p1; both arms jump to a merge whose
+/// phi selects between two entry-block constants and feeds the return.
+/// Clean under every rule — the base most malformed fixtures perturb.
+std::unique_ptr<Module> makeDiamond(PhiInst *&MergePhi) {
+  auto Mod = std::make_unique<Module>();
+  Function *F = Mod->addFunction(std::make_unique<Function>("diamond", 2));
+  IRBuilder B(*F);
+
+  Block *Entry = B.createBlock();
+  Block *TB = B.createBlock();
+  Block *FB = B.createBlock();
+  Block *Merge = B.createBlock();
+
+  B.setBlock(Entry);
+  ParamInst *P0 = B.param(0);
+  ParamInst *P1 = B.param(1);
+  ConstantInst *C1 = B.constInt(10);
+  ConstantInst *C2 = B.constInt(20);
+  CompareInst *Cond = B.cmp(Predicate::LT, P0, P1);
+  B.branch(Cond, TB, FB);
+
+  B.setBlock(TB);
+  B.jump(Merge);
+  B.setBlock(FB);
+  B.jump(Merge);
+
+  B.setBlock(Merge);
+  MergePhi = B.phi(Type::Int);
+  MergePhi->appendInput(C1); // TB edge
+  MergePhi->appendInput(C2); // FB edge
+  B.ret(MergePhi);
+  return Mod;
+}
+
+} // namespace
+
+std::vector<LintFixture> dbds::makeLintFixtures() {
+  std::vector<LintFixture> Fixtures;
+
+  // Known-negative control: the untouched diamond must lint clean.
+  {
+    LintFixture Fx;
+    Fx.Name = "clean-diamond";
+    Fx.ExpectedRule = "";
+    PhiInst *Phi = nullptr;
+    Fx.Mod = makeDiamond(Phi);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // Phi input count out of sync with the predecessor list.
+  {
+    LintFixture Fx;
+    Fx.Name = "bad-phi-arity";
+    Fx.ExpectedRule = "phi-layout";
+    PhiInst *Phi = nullptr;
+    Fx.Mod = makeDiamond(Phi);
+    Phi->removeInput(0); // 1 input, 2 predecessors
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A value defined in one arm of the diamond used at the merge: the use
+  // is not dominated by the definition.
+  {
+    LintFixture Fx;
+    Fx.Name = "use-before-def";
+    Fx.ExpectedRule = "def-dominates-use";
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("ubd", 2));
+    IRBuilder B(*F);
+    Block *Entry = B.createBlock();
+    Block *TB = B.createBlock();
+    Block *FB = B.createBlock();
+    Block *Merge = B.createBlock();
+    B.setBlock(Entry);
+    ParamInst *P0 = B.param(0);
+    ParamInst *P1 = B.param(1);
+    B.branch(B.cmp(Predicate::LT, P0, P1), TB, FB);
+    B.setBlock(TB);
+    BinaryInst *OnlyInTB = B.add(P0, P1);
+    B.jump(Merge);
+    B.setBlock(FB);
+    B.jump(Merge);
+    B.setBlock(Merge);
+    B.ret(OnlyInTB); // TB does not dominate Merge
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A reachable block that simply never terminates.
+  {
+    LintFixture Fx;
+    Fx.Name = "missing-terminator";
+    Fx.ExpectedRule = "block-structure";
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("noterm", 1));
+    IRBuilder B(*F);
+    Block *Entry = B.createBlock();
+    Block *B1 = B.createBlock();
+    B.setBlock(Entry);
+    ParamInst *P0 = B.param(0);
+    B.jump(B1);
+    B.setBlock(B1);
+    B.add(P0, P0); // falls off the end: no terminator
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // An instruction whose operand was created but never inserted anywhere.
+  {
+    LintFixture Fx;
+    Fx.Name = "detached-operand";
+    Fx.ExpectedRule = "use-list";
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("detached", 1));
+    IRBuilder B(*F);
+    B.setBlock(B.createBlock());
+    ParamInst *P0 = B.param(0);
+    Instruction *Ghost = F->create<ParamInst>(0, Type::Int); // never appended
+    auto *Sum = F->create<BinaryInst>(Opcode::Add, P0, Ghost);
+    F->getEntry()->append(Sum);
+    B.ret(Sum);
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // Structurally perfect IR with a stamp claim the operands cannot
+  // justify: the add of an unbounded parameter claimed to be exactly 5.
+  {
+    LintFixture Fx;
+    Fx.Name = "unsound-stamp";
+    Fx.ExpectedRule = "stamp-soundness";
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("stamped", 1));
+    IRBuilder B(*F);
+    B.setBlock(B.createBlock());
+    ParamInst *P0 = B.param(0);
+    BinaryInst *Sum = B.add(P0, B.constInt(1));
+    B.ret(Sum);
+    Fx.Mod = std::move(Mod);
+    Fx.Claim = [Sum](Instruction *I) -> std::optional<Stamp> {
+      if (I == Sum)
+        return Stamp::exact(5);
+      return std::nullopt;
+    };
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A block with a terminator but no incoming edges at all.
+  {
+    LintFixture Fx;
+    Fx.Name = "orphan-block";
+    Fx.ExpectedRule = "unreachable-code";
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("orphan", 1));
+    IRBuilder B(*F);
+    B.setBlock(B.createBlock());
+    ParamInst *P0 = B.param(0);
+    B.ret(P0);
+    Block *Island = B.createBlock();
+    B.setBlock(Island);
+    B.ret(P0); // self-contained, but nothing ever jumps here
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A phi nobody reads: executable, so a warning rather than an error.
+  {
+    LintFixture Fx;
+    Fx.Name = "dead-phi";
+    Fx.ExpectedRule = "dead-phi";
+    Fx.ExpectedSeverity = LintSeverity::Warn;
+    PhiInst *Phi = nullptr;
+    Fx.Mod = makeDiamond(Phi);
+    // Retarget the return at a parameter so the phi loses its last use.
+    Function *F = Fx.Mod->functions().front();
+    Block *Merge = Phi->getBlock();
+    auto *Ret = cast<ReturnInst>(Merge->getTerminator());
+    Merge->remove(Ret);
+    IRBuilder B(*F);
+    // The parameter already exists in the entry block; reuse it.
+    ParamInst *P0 = nullptr;
+    for (Instruction *I : *F->getEntry())
+      if (auto *P = dyn_cast<ParamInst>(I))
+        if (P->getIndex() == 0) {
+          P0 = P;
+          break;
+        }
+    B.setBlock(Merge);
+    B.ret(P0);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  return Fixtures;
+}
+
+bool dbds::checkLintFixture(const LintFixture &Fixture, std::string &Log) {
+  Linter L = Linter::standard(Fixture.Mod.get());
+  if (Fixture.Claim)
+    L.setStampClaim(Fixture.Claim);
+  LintReport Report = L.lintModule(*Fixture.Mod);
+
+  auto fail = [&](const std::string &Why) {
+    Log += "fixture '" + Fixture.Name + "': " + Why + "\n";
+    if (!Report.Findings.empty())
+      Log += Report.render();
+    return false;
+  };
+
+  if (Fixture.ExpectedRule.empty()) {
+    if (!Report.Findings.empty())
+      return fail("expected a clean report, got " +
+                  std::to_string(Report.Findings.size()) + " finding(s)");
+    return true;
+  }
+
+  unsigned Hits = 0;
+  for (const LintFinding &Finding : Report.Findings) {
+    if (Finding.RuleId != Fixture.ExpectedRule)
+      return fail("unexpected finding from rule '" + Finding.RuleId + "'");
+    if (Finding.Severity != Fixture.ExpectedSeverity)
+      return fail("finding has severity " +
+                  std::string(lintSeverityName(Finding.Severity)) +
+                  ", expected " +
+                  std::string(lintSeverityName(Fixture.ExpectedSeverity)));
+    ++Hits;
+  }
+  if (Hits == 0)
+    return fail("rule '" + Fixture.ExpectedRule + "' did not fire");
+  return true;
+}
+
+bool dbds::selftestLintFixtures(std::string &Log) {
+  bool AllPassed = true;
+  for (const LintFixture &Fx : makeLintFixtures())
+    AllPassed &= checkLintFixture(Fx, Log);
+  return AllPassed;
+}

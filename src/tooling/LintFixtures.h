@@ -1,0 +1,54 @@
+//===- tooling/LintFixtures.h - Malformed-IR lint fixtures ------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deliberately malformed IR fixtures, one per lint rule class: each
+/// carries exactly one defect and the id of the rule expected to flag it
+/// (and nothing else may report an error on it). They back the irlint
+/// --selftest mode and tests/lint_test.cpp — the known-positive controls
+/// proving every rule actually fires, the mirror image of the clean-corpus
+/// requirement that no rule fires on healthy IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TOOLING_LINTFIXTURES_H
+#define DBDS_TOOLING_LINTFIXTURES_H
+
+#include "analysis/Lint.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+/// One malformed-IR fixture.
+struct LintFixture {
+  std::string Name;         ///< e.g. "bad-phi-arity".
+  std::string ExpectedRule; ///< Rule id that must fire; "" = must be clean.
+  LintSeverity ExpectedSeverity = LintSeverity::Error;
+  std::unique_ptr<Module> Mod;
+  StampClaim Claim; ///< Installed on the linter when non-empty.
+};
+
+/// Builds the full fixture set: a clean control plus one fixture per
+/// defect class (bad phi arity, use before def, missing terminator,
+/// detached operand, unsound stamp claim, orphan block, dead phi).
+std::vector<LintFixture> makeLintFixtures();
+
+/// Lints \p Fixture with the standard rule set (plus its stamp claim) and
+/// checks the exactly-one-rule contract: the expected rule fires at its
+/// expected severity, and no *other* rule reports an error. Appends a
+/// description of any violation to \p Log.
+bool checkLintFixture(const LintFixture &Fixture, std::string &Log);
+
+/// Runs checkLintFixture over makeLintFixtures(); true when all pass.
+bool selftestLintFixtures(std::string &Log);
+
+} // namespace dbds
+
+#endif // DBDS_TOOLING_LINTFIXTURES_H

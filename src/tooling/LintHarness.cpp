@@ -1,0 +1,133 @@
+//===- tooling/LintHarness.cpp - Dynamic lint instrumentation -------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tooling/LintHarness.h"
+
+#include <string>
+
+using namespace dbds;
+
+namespace {
+
+/// Wraps one integer argument vector into RuntimeValues, mapping object
+/// parameters to null (the grid has no way to conjure heap objects).
+SmallVector<RuntimeValue, 8>
+wrapArguments(const Function &F, const std::vector<int64_t> &Input) {
+  assert(Input.size() == F.getNumParams() && "argument count mismatch");
+  SmallVector<RuntimeValue, 8> Args;
+  for (unsigned I = 0; I != F.getNumParams(); ++I)
+    Args.push_back(F.getParamType(I) == Type::Obj
+                       ? RuntimeValue::null()
+                       : RuntimeValue::ofInt(Input[I]));
+  return Args;
+}
+
+std::string describeInput(const std::vector<int64_t> &Input) {
+  std::string S = "(";
+  for (size_t I = 0; I != Input.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += std::to_string(Input[I]);
+  }
+  return S + ")";
+}
+
+std::string describeOutcome(const ExecutionResult &R) {
+  if (!R.Ok)
+    return "no result (fuel exhausted)";
+  if (!R.HasResult)
+    return "void return";
+  if (R.Result.IsObject)
+    return R.Result.isNull() ? "null" : "object";
+  return std::to_string(R.Result.Scalar);
+}
+
+/// Observable equality, mirroring fuzzdiff's comparison: success flag,
+/// returned-ness, and the returned value (objects by nullness — heap
+/// indices are not stable across runs).
+bool sameOutcome(const ExecutionResult &A, const ExecutionResult &B) {
+  if (A.Ok != B.Ok || A.HasResult != B.HasResult)
+    return false;
+  if (!A.Ok || !A.HasResult)
+    return true;
+  if (A.Result.IsObject != B.Result.IsObject)
+    return false;
+  if (A.Result.IsObject)
+    return A.Result.isNull() == B.Result.isNull();
+  return A.Result.Scalar == B.Result.Scalar;
+}
+
+} // namespace
+
+std::vector<std::vector<int64_t>>
+dbds::defaultArgumentGrid(const Function &F) {
+  static const int64_t Seeds[] = {0, 1, -1, 2, 7, -13, 100, 4096};
+  constexpr size_t NumSeeds = sizeof(Seeds) / sizeof(Seeds[0]);
+  const unsigned P = F.getNumParams();
+  std::vector<std::vector<int64_t>> Grid;
+  // Uniform vectors (all parameters equal) plus staggered rotations, a
+  // deterministic spread without combinatorial blowup.
+  for (size_t S = 0; S != NumSeeds; ++S) {
+    std::vector<int64_t> Uniform(P, Seeds[S]);
+    Grid.push_back(std::move(Uniform));
+    std::vector<int64_t> Staggered;
+    for (unsigned I = 0; I != P; ++I)
+      Staggered.push_back(Seeds[(S + I) % NumSeeds]);
+    if (P > 1)
+      Grid.push_back(std::move(Staggered));
+  }
+  return Grid;
+}
+
+ObservationMap
+dbds::observeFunction(Interpreter &Interp, Function &F,
+                      const std::vector<std::vector<int64_t>> &Inputs,
+                      uint64_t Fuel) {
+  ObservationMap Observations;
+  Interp.setObserver([&Observations](const Instruction *I,
+                                     const RuntimeValue &V) {
+    ObservedValues &Obs = Observations[I];
+    if (V.IsObject)
+      Obs.noteObj(V.isNull());
+    else
+      Obs.noteInt(V.Scalar);
+  });
+  for (const std::vector<int64_t> &Input : Inputs) {
+    Interp.reset();
+    SmallVector<RuntimeValue, 8> Args = wrapArguments(F, Input);
+    Interp.run(F, ArrayRef<RuntimeValue>(Args.begin(), Args.size()), Fuel);
+  }
+  Interp.setObserver(nullptr);
+  return Observations;
+}
+
+AuditOracle dbds::makeInterpreterOracle(const Module &M,
+                                        std::vector<std::vector<int64_t>> Inputs,
+                                        uint64_t Fuel) {
+  return [&M, Inputs = std::move(Inputs),
+          Fuel](const Function &Before, Function &After,
+                std::string &Detail) -> bool {
+    const std::vector<std::vector<int64_t>> &Grid =
+        Inputs.empty() ? defaultArgumentGrid(After) : Inputs;
+    // Interpretation does not mutate the IR; the snapshot stays pristine.
+    Function &BeforeMut = const_cast<Function &>(Before);
+    for (const std::vector<int64_t> &Input : Grid) {
+      SmallVector<RuntimeValue, 8> Args = wrapArguments(After, Input);
+      ArrayRef<RuntimeValue> ArgsRef(Args.begin(), Args.size());
+      Interpreter RefInterp(M);
+      ExecutionResult Expected = RefInterp.run(BeforeMut, ArgsRef, Fuel);
+      Interpreter NewInterp(M);
+      ExecutionResult Actual = NewInterp.run(After, ArgsRef, Fuel);
+      if (!sameOutcome(Expected, Actual)) {
+        Detail = "input " + describeInput(Input) + ": expected " +
+                 describeOutcome(Expected) + ", got " +
+                 describeOutcome(Actual);
+        return false;
+      }
+    }
+    return true;
+  };
+}

@@ -1,0 +1,58 @@
+//===- tooling/LintHarness.h - Dynamic lint instrumentation -----*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the interpreter and the lint engine, for the consumers
+/// that need execution behind their static checks:
+///
+///  - observeFunction() runs a function over an input set with a
+///    ValueObserver installed and returns the ObservationMap the
+///    stamp-soundness rule cross-checks stamps against (irlint --dynamic).
+///  - makeInterpreterOracle() builds the AuditOracle PhaseManager's audit
+///    mode uses to catch structurally valid but semantically wrong phases
+///    (the SabotagePhase class of defect) by differential interpretation.
+///
+/// Lives in tooling because it links both the optimizer and the vm; the
+/// analysis and opts layers stay execution-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TOOLING_LINTHARNESS_H
+#define DBDS_TOOLING_LINTHARNESS_H
+
+#include "analysis/Lint.h"
+#include "opts/Phase.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dbds {
+
+/// A small deterministic argument grid for \p F: boundary and midrange
+/// integer values combined across parameters (object parameters get null).
+/// Used when a caller has no workload-specific inputs.
+std::vector<std::vector<int64_t>> defaultArgumentGrid(const Function &F);
+
+/// Runs \p F on every argument vector of \p Inputs with a value observer
+/// installed and returns the per-instruction observation map. The
+/// observer is removed before returning. Inputs that exhaust \p Fuel
+/// contribute the values observed up to that point.
+ObservationMap observeFunction(Interpreter &Interp, Function &F,
+                               const std::vector<std::vector<int64_t>> &Inputs,
+                               uint64_t Fuel = 1u << 22);
+
+/// Builds a behavioral phase-effect oracle: interprets the pre-phase and
+/// post-phase function on \p Inputs (defaultArgumentGrid when empty) and
+/// reports divergence in return value, returned-ness, or termination.
+/// \p M must outlive the returned oracle (it supplies class layouts).
+AuditOracle makeInterpreterOracle(const Module &M,
+                                  std::vector<std::vector<int64_t>> Inputs = {},
+                                  uint64_t Fuel = 1u << 22);
+
+} // namespace dbds
+
+#endif // DBDS_TOOLING_LINTHARNESS_H

@@ -108,6 +108,9 @@ ExecutionResult Interpreter::execute(Function &F, ArrayRef<RuntimeValue> Args,
         Incoming.push_back(Regs[Phi->getInput(PredIdx)->getId()]);
       for (unsigned I = 0; I != Phis.size(); ++I)
         Regs[Phis[I]->getId()] = Incoming[I];
+      if (Observer)
+        for (PhiInst *Phi : Phis)
+          Observer(Phi, Regs[Phi->getId()]);
     }
 
     for (Instruction *I : *Current) {
@@ -240,6 +243,8 @@ ExecutionResult Interpreter::execute(Function &F, ArrayRef<RuntimeValue> Args,
         return Result;
       }
       }
+      if (Observer && I->getType() != Type::Void)
+        Observer(I, Regs[I->getId()]);
       if (I->isTerminator())
         break; // proceed to the next block
     }

@@ -22,6 +22,7 @@
 #include "ir/Function.h"
 #include "support/ArrayRef.h"
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -63,12 +64,24 @@ struct ExecutionResult {
   uint64_t Steps = 0;         ///< Instructions executed.
 };
 
+/// Observes every value an instruction produces during interpretation
+/// (phi commits included). Drivers use this to build the observation maps
+/// the stamp-soundness lint rule cross-checks stamps against (irlint
+/// --dynamic); see analysis/Lint.h.
+using ValueObserver =
+    std::function<void(const Instruction *, const RuntimeValue &)>;
+
 /// Interprets functions of one module. Owns a heap that persists across
 /// run() calls until reset() — callers preparing object arguments allocate
 /// first, then run.
 class Interpreter {
 public:
   explicit Interpreter(const Module &M) : M(M) {}
+
+  /// Installs \p O to be called with every produced value (pass an empty
+  /// function to remove). Observation slows interpretation; leave unset
+  /// outside lint/debug drivers.
+  void setObserver(ValueObserver O) { Observer = std::move(O); }
 
   /// Enables the instruction-cache pressure model: every block transition
   /// costs extra cycles once the compilation unit's code size exceeds
@@ -124,6 +137,7 @@ private:
   const HeapObject &objectAt(const RuntimeValue &Ref) const;
 
   const Module &M;
+  ValueObserver Observer;
   std::vector<HeapObject> Heap;
   bool PenaltyEnabled = false;
   uint64_t PenaltyThreshold = 256;

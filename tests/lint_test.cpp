@@ -1,0 +1,362 @@
+//===- tests/lint_test.cpp - IRLint engine and integrations ----------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the IRLint static-analysis framework: the malformed-fixture
+// known-positive suite (each fixture fires exactly its rule), clean paper
+// examples, multi-finding collection, the verifyFunction/isValid wrappers,
+// JSON rendering, rule enable/disable and severity demotion, dynamic stamp
+// cross-checks against interpreter observations, and PhaseManager audit
+// mode (lint-diff attribution of injected corruption, behavioral oracle
+// against SabotagePhase).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "analysis/Verifier.h"
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "opts/Phase.h"
+#include "support/Diagnostics.h"
+#include "tooling/LintFixtures.h"
+#include "tooling/LintHarness.h"
+#include "tooling/Sabotage.h"
+#include "vm/Interpreter.h"
+
+#include "PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace dbds;
+
+namespace {
+
+/// f(a, b): diamond over a < b; the merge phi of two constants feeds the
+/// return. Lint-clean by construction.
+std::unique_ptr<Module> makeDiamondModule(PhiInst **PhiOut = nullptr) {
+  auto Mod = std::make_unique<Module>();
+  Function *F = Mod->addFunction(std::make_unique<Function>("f", 2));
+  IRBuilder B(*F);
+  Block *Entry = B.createBlock();
+  Block *Then = B.createBlock();
+  Block *Else = B.createBlock();
+  Block *Merge = B.createBlock();
+  B.setBlock(Entry);
+  auto *A = B.param(0);
+  auto *Bp = B.param(1);
+  B.branch(B.cmp(Predicate::LT, A, Bp), Then, Else);
+  B.setBlock(Then);
+  B.jump(Merge);
+  B.setBlock(Else);
+  B.jump(Merge);
+  B.setBlock(Merge);
+  PhiInst *Phi = B.phi(Type::Int);
+  Phi->appendInput(B.constInt(10));
+  Phi->appendInput(B.constInt(20));
+  B.ret(Phi);
+  if (PhiOut)
+    *PhiOut = Phi;
+  return Mod;
+}
+
+/// f(a, b) = a + b in a single block — the smallest function SabotagePhase
+/// can observably corrupt.
+std::unique_ptr<Module> makeAddModule() {
+  auto Mod = std::make_unique<Module>();
+  Function *F = Mod->addFunction(std::make_unique<Function>("f", 2));
+  IRBuilder B(*F);
+  B.setBlock(B.createBlock());
+  B.ret(B.add(B.param(0), B.param(1)));
+  return Mod;
+}
+
+unsigned countRule(const LintReport &R, const std::string &Id) {
+  unsigned N = 0;
+  for (const LintFinding &F : R.Findings)
+    if (F.RuleId == Id)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Fixtures and clean inputs
+//===----------------------------------------------------------------------===//
+
+TEST(LintFixtures, EveryFixtureFiresExactlyItsRule) {
+  std::string Log;
+  EXPECT_TRUE(selftestLintFixtures(Log)) << Log;
+}
+
+TEST(LintFixtures, CoversTheAdvertisedDefectClasses) {
+  std::vector<LintFixture> Fixtures = makeLintFixtures();
+  auto has = [&](const char *Name) {
+    for (const LintFixture &Fx : Fixtures)
+      if (Fx.Name == Name)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(has("bad-phi-arity"));
+  EXPECT_TRUE(has("use-before-def"));
+  EXPECT_TRUE(has("missing-terminator"));
+  EXPECT_TRUE(has("unsound-stamp"));
+  EXPECT_TRUE(has("orphan-block"));
+}
+
+TEST(Lint, PaperExamplesAreClean) {
+  const char *Examples[] = {paper::Figure1, paper::Listing1, paper::Listing3,
+                            paper::Listing5, paper::Figure3};
+  for (const char *Source : Examples) {
+    ParseResult P = parseModule(Source);
+    ASSERT_TRUE(P) << P.Error;
+    LintReport Report = Linter::standard(P.Mod.get()).lintModule(*P.Mod);
+    EXPECT_FALSE(Report.hasErrors()) << Report.render();
+  }
+}
+
+TEST(Lint, CollectsMultipleIndependentFindings) {
+  PhiInst *Phi = nullptr;
+  auto Mod = makeDiamondModule(&Phi);
+  Function *F = Mod->functions().front();
+  Phi->removeInput(0); // phi-layout violation
+  F->createBlock();    // empty block: block-structure violation
+  LintReport Report = Linter::standard(Mod.get()).lint(*F);
+  EXPECT_GE(Report.errorCount(), 2u) << Report.render();
+  EXPECT_EQ(countRule(Report, "phi-layout"), 1u);
+  EXPECT_GE(countRule(Report, "block-structure"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Wrappers over the engine
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, VerifyFunctionIsAFirstErrorWrapper) {
+  auto Clean = makeDiamondModule();
+  EXPECT_EQ(verifyFunction(*Clean->functions().front()), "");
+
+  PhiInst *Phi = nullptr;
+  auto Broken = makeDiamondModule(&Phi);
+  Phi->removeInput(0);
+  std::string Error = verifyFunction(*Broken->functions().front());
+  ASSERT_NE(Error, "");
+  EXPECT_NE(Error.find("[phi-layout]"), std::string::npos) << Error;
+}
+
+TEST(Lint, IsValidRoutesFindingsIntoDiagnostics) {
+  PhiInst *Phi = nullptr;
+  auto Mod = makeDiamondModule(&Phi);
+  Phi->removeInput(0);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(isValid(*Mod->functions().front(), &Diags));
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_GE(Diags.count(DiagKind::Error), 1u);
+  EXPECT_EQ(Diags.all().front().Component, "verifier");
+  EXPECT_NE(Diags.all().front().Message.find("phi-layout"),
+            std::string::npos);
+}
+
+TEST(Lint, RendersJSON) {
+  PhiInst *Phi = nullptr;
+  auto Mod = makeDiamondModule(&Phi);
+  Phi->removeInput(0);
+  LintReport Report =
+      Linter::standard(Mod.get()).lint(*Mod->functions().front());
+  std::string Json = Report.renderJSON();
+  EXPECT_NE(Json.find("\"rule\": \"phi-layout\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(Json.find("\"counts\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Rule configuration
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, RulesCanBeDisabled) {
+  PhiInst *Phi = nullptr;
+  auto Mod = makeDiamondModule(&Phi);
+  Function *F = Mod->functions().front();
+  // Orphan the phi's value: dead-phi warns by default.
+  Block *Merge = Phi->getBlock();
+  auto *Ret = cast<ReturnInst>(Merge->getTerminator());
+  Merge->remove(Ret);
+  IRBuilder B(*F);
+  B.setBlock(Merge);
+  B.ret(F->constant(0));
+
+  Linter L = Linter::standard(Mod.get());
+  EXPECT_EQ(countRule(L.lint(*F), "dead-phi"), 1u);
+  ASSERT_TRUE(L.setEnabled("dead-phi", false));
+  EXPECT_EQ(countRule(L.lint(*F), "dead-phi"), 0u);
+  EXPECT_FALSE(L.setEnabled("no-such-rule", false));
+}
+
+TEST(Lint, ErrorSeverityCanBeDemoted) {
+  auto Mod = makeDiamondModule();
+  Function *F = Mod->functions().front();
+  IRBuilder B(*F);
+  Block *Island = B.createBlock();
+  B.setBlock(Island);
+  B.ret(F->constant(1)); // unreachable: error by default
+
+  Linter L = Linter::standard(Mod.get());
+  EXPECT_TRUE(L.lint(*F).hasErrors());
+  ASSERT_TRUE(L.setMaxSeverity("unreachable-code", LintSeverity::Warn));
+  LintReport Demoted = L.lint(*F);
+  EXPECT_FALSE(Demoted.hasErrors()) << Demoted.render();
+  EXPECT_EQ(countRule(Demoted, "unreachable-code"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic stamp cross-checks
+//===----------------------------------------------------------------------===//
+
+TEST(LintHarness, ObservationsStayInsideSoundStamps) {
+  auto Mod = makeAddModule();
+  Function *F = Mod->functions().front();
+  Interpreter Interp(*Mod);
+  ObservationMap Obs = observeFunction(Interp, *F, defaultArgumentGrid(*F));
+  EXPECT_FALSE(Obs.empty());
+  LintReport Report = Linter::standard(Mod.get()).lint(*F, &Obs);
+  EXPECT_FALSE(Report.hasErrors()) << Report.render();
+}
+
+TEST(LintHarness, ObservedValuesOutsideAClaimedStampAreFlagged) {
+  auto Mod = makeAddModule();
+  Function *F = Mod->functions().front();
+  // The claimed stamp of the add: exactly 5 — unjustified statically and
+  // contradicted dynamically by f(7, 2) == 9.
+  Instruction *Add = nullptr;
+  for (Instruction *I : *F->blocks().front())
+    if (I->getOpcode() == Opcode::Add)
+      Add = I;
+  ASSERT_NE(Add, nullptr);
+
+  Interpreter Interp(*Mod);
+  ObservationMap Obs = observeFunction(Interp, *F, {{7, 2}});
+  Linter L = Linter::standard(Mod.get());
+  L.setStampClaim([Add](Instruction *I) -> std::optional<Stamp> {
+    if (I == Add)
+      return Stamp::exact(5);
+    return std::nullopt;
+  });
+  LintReport Report = L.lint(*F, &Obs);
+  EXPECT_EQ(countRule(Report, "stamp-soundness"), 2u) << Report.render();
+  bool SawDynamic = false;
+  for (const LintFinding &Finding : Report.Findings)
+    SawDynamic |= Finding.Message.find("observed values [9, 9]") !=
+                  std::string::npos;
+  EXPECT_TRUE(SawDynamic) << Report.render();
+}
+
+//===----------------------------------------------------------------------===//
+// PhaseManager audit mode
+//===----------------------------------------------------------------------===//
+
+/// A phase that breaks the IR in a statically detectable way: it drops the
+/// first phi input it finds.
+class PhiCorruptorPhase : public Phase {
+public:
+  const char *name() const override { return "phi-corruptor"; }
+  bool run(Function &F) override {
+    for (Block *B : F.blocks())
+      for (PhiInst *Phi : B->phis())
+        if (Phi->getNumInputs() != 0) {
+          Phi->removeInput(0);
+          return true;
+        }
+    return false;
+  }
+};
+
+/// A phase that claims a change but leaves the IR untouched.
+class NoOpChangedPhase : public Phase {
+public:
+  const char *name() const override { return "noop-changed"; }
+  bool run(Function &) override { return true; }
+};
+
+TEST(PhaseAudit, AttributesNewViolationsToTheOffendingPhase) {
+  auto Mod = makeDiamondModule();
+  Function *F = Mod->functions().front();
+  Linter L = Linter::standard(Mod.get());
+  DiagnosticEngine Diags;
+  PhaseManager PM(/*VerifyAfterEachPhase=*/false);
+  PM.add(std::make_unique<PhiCorruptorPhase>());
+  PM.setAuditLinter(&L);
+  PM.setDiagnostics(&Diags);
+  PM.run(*F);
+
+  EXPECT_EQ(PM.rollbackCount(), 1u);
+  EXPECT_TRUE(PM.isQuarantined("f", 0));
+  // The function is back in its pre-phase state.
+  EXPECT_EQ(verifyFunction(*F), "");
+  ASSERT_FALSE(Diags.empty());
+  const Diagnostic &D = Diags.all().front();
+  EXPECT_EQ(D.Kind, DiagKind::Warning);
+  EXPECT_EQ(D.Component, "phi-corruptor");
+  EXPECT_NE(D.Message.find("introduced 1 new lint violation"),
+            std::string::npos)
+      << D.Message;
+  EXPECT_NE(D.Message.find("phi-layout"), std::string::npos) << D.Message;
+}
+
+TEST(PhaseAudit, PreexistingViolationsAreNotBlamedOnAPhase) {
+  auto Mod = makeDiamondModule();
+  Function *F = Mod->functions().front();
+  // Pre-existing defect: an unreachable island, present before any phase.
+  IRBuilder B(*F);
+  Block *Island = B.createBlock();
+  B.setBlock(Island);
+  B.ret(F->constant(1));
+
+  Linter L = Linter::standard(Mod.get());
+  DiagnosticEngine Diags;
+  PhaseManager PM(/*VerifyAfterEachPhase=*/false);
+  PM.add(std::make_unique<NoOpChangedPhase>());
+  PM.setAuditLinter(&L);
+  PM.setDiagnostics(&Diags);
+  PM.run(*F, /*MaxRounds=*/1);
+
+  EXPECT_EQ(PM.rollbackCount(), 0u);
+  EXPECT_FALSE(PM.isQuarantined("f", 0));
+}
+
+TEST(PhaseAudit, OracleCatchesStructurallyValidMiscompiles) {
+  auto Mod = makeAddModule();
+  Function *F = Mod->functions().front();
+  Interpreter Before(*Mod);
+  int64_t Expected = Before.run(*F, ArrayRef<int64_t>({7, 2})).Result.Scalar;
+
+  // SabotagePhase output is lint-clean: the static diff alone cannot see
+  // the Add -> Sub rewrite.
+  Linter L = Linter::standard(Mod.get());
+  {
+    auto Clone = F->clone();
+    SabotagePhase Saboteur;
+    ASSERT_TRUE(Saboteur.run(*F));
+    EXPECT_FALSE(L.lint(*F).hasErrors());
+    F->restoreFrom(*Clone);
+  }
+
+  DiagnosticEngine Diags;
+  PhaseManager PM(/*VerifyAfterEachPhase=*/false);
+  PM.add(std::make_unique<SabotagePhase>());
+  PM.setAuditLinter(&L);
+  PM.setAuditOracle(makeInterpreterOracle(*Mod));
+  PM.setDiagnostics(&Diags);
+  PM.run(*F);
+
+  EXPECT_EQ(PM.rollbackCount(), 1u);
+  EXPECT_TRUE(PM.isQuarantined("f", 0));
+  ASSERT_FALSE(Diags.empty());
+  const Diagnostic &D = Diags.all().front();
+  EXPECT_EQ(D.Component, "sabotage");
+  EXPECT_NE(D.Message.find("behavioral divergence"), std::string::npos)
+      << D.Message;
+  // Semantics survived: the rolled-back function still adds.
+  Interpreter After(*Mod);
+  EXPECT_EQ(After.run(*F, ArrayRef<int64_t>({7, 2})).Result.Scalar, Expected);
+}
+
+} // namespace

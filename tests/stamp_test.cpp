@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Semantics.h"
-#include "opts/Stamp.h"
+#include "analysis/Stamp.h"
 #include "support/RNG.h"
 
 #include <gtest/gtest.h>

@@ -32,6 +32,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "dbds/DBDSPhase.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -234,6 +235,19 @@ void reportFinding(Finding &F, const GeneratedWorkload &Ref, unsigned FnIdx,
                    " oracle queries, " + std::to_string(R.Rounds) +
                    " rounds)");
   writeArtifact(Base + "_reduced.ir", Header, *R.Mod);
+
+  // Lint the reduced reproducer and drop the machine-readable report next
+  // to it: a finding caused by IR corruption (rather than a miscompiled
+  // transform) shows up here as structural rule hits, which triages the
+  // artifact before anyone reads the IR.
+  LintReport Lint = Linter::standard(R.Mod.get()).lintModule(*R.Mod);
+  std::string LintPath = Base + "_lint.json";
+  if (FILE *LintFile = fopen(LintPath.c_str(), "wb")) {
+    fprintf(LintFile, "%s\n", Lint.renderJSON().c_str());
+    fclose(LintFile);
+  } else {
+    fprintf(stderr, "fuzzdiff: cannot write '%s'\n", LintPath.c_str());
+  }
   if (!O.Quiet)
     printf("fuzzdiff: FINDING seed=%llu @%s [%s]: %s — reduced %u -> %u "
            "instructions (%s.ir, %s_reduced.ir)\n",

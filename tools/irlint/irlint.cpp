@@ -1,0 +1,369 @@
+//===- tools/irlint/irlint.cpp - Standalone IR lint driver -----------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line front end for the IRLint engine (analysis/Lint.h):
+//
+//   irlint [options] file.ir...      lint textual-IR files (e.g. fuzzdiff
+//                                    crash artifacts)
+//   irlint --selftest                run the malformed-fixture known-positive
+//                                    suite (tooling/LintFixtures.h)
+//   irlint --corpus [--dynamic] [--audit] [--sabotage]
+//                                    generate + optimize workloads and lint
+//                                    every optimized function under all three
+//                                    paper configurations
+//
+// Common options:
+//   --json               machine-readable report instead of text
+//   --Werror             warnings fail the run like errors
+//   --disable=RULE       disable a rule (repeatable)
+//   --enable=RULE        re-enable a previously disabled rule
+//   --list-rules         print the registered rules and exit
+// Corpus options:
+//   --seed=N --count=N --functions=N --segments=N
+//   --dynamic            interpret on the eval inputs and cross-check stamps
+//                        against the observed values
+//   --audit              run the optimization pipeline in PhaseManager audit
+//                        mode (lint diff per phase + behavioral oracle)
+//   --sabotage           known-positive control: corrupt each optimized
+//                        function with SabotagePhase and require the
+//                        behavioral oracle to flag every corrupted one
+//
+// Exit status: 0 when the run matches expectations (clean files / clean
+// corpus / all fixtures and sabotages caught), 1 on findings or missed
+// expectations, 2 on usage or I/O errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "dbds/DBDSPhase.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Phase.h"
+#include "support/Diagnostics.h"
+#include "tooling/LintFixtures.h"
+#include "tooling/LintHarness.h"
+#include "tooling/Sabotage.h"
+#include "vm/Interpreter.h"
+#include "workloads/ProgramGenerator.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dbds;
+
+namespace {
+
+constexpr uint64_t RunFuel = 1u << 22;
+
+struct Options {
+  bool Selftest = false;
+  bool Corpus = false;
+  bool Dynamic = false;
+  bool Audit = false;
+  bool Sabotage = false;
+  bool Json = false;
+  bool Werror = false;
+  bool ListRules = false;
+  bool Quiet = false;
+  uint64_t Seed = 1;
+  unsigned Count = 3;
+  unsigned Functions = 4;
+  unsigned Segments = 4;
+  std::vector<std::string> Disabled;
+  std::vector<std::string> Enabled;
+  std::vector<std::string> Files;
+};
+
+int usage(const char *Prog) {
+  fprintf(stderr,
+          "usage: %s [--selftest | --corpus | file.ir...]\n"
+          "  [--json] [--Werror] [--disable=RULE] [--enable=RULE]\n"
+          "  [--list-rules] [--quiet]\n"
+          "  corpus: [--seed=N] [--count=N] [--functions=N] [--segments=N]\n"
+          "          [--dynamic] [--audit] [--sabotage]\n",
+          Prog);
+  return 2;
+}
+
+/// The standard linter with the CLI's enable/disable edits applied.
+/// Returns false (with a message) on an unknown rule id.
+bool configureLinter(Linter &L, const Options &O) {
+  for (const std::string &Id : O.Disabled)
+    if (!L.setEnabled(Id, false)) {
+      fprintf(stderr, "irlint: unknown rule '%s'\n", Id.c_str());
+      return false;
+    }
+  for (const std::string &Id : O.Enabled)
+    if (!L.setEnabled(Id, true)) {
+      fprintf(stderr, "irlint: unknown rule '%s'\n", Id.c_str());
+      return false;
+    }
+  return true;
+}
+
+void printReport(const LintReport &Report, const Options &O) {
+  if (O.Json) {
+    printf("%s\n", Report.renderJSON().c_str());
+    return;
+  }
+  if (!O.Quiet || Report.hasErrors())
+    printf("%s", Report.render().c_str());
+}
+
+/// Pass/fail verdict for one report under the --Werror policy.
+bool reportFails(const LintReport &Report, const Options &O) {
+  return Report.hasErrors() ||
+         (O.Werror && Report.count(LintSeverity::Warn) != 0);
+}
+
+int listRules() {
+  Linter L = Linter::standard();
+  for (const LintRule *Rule : L.rules())
+    printf("%-18s %-10s %s\n", Rule->id(),
+           Rule->stage() == LintRule::Stage::Structure ? "structure"
+                                                       : "semantic",
+           Rule->description());
+  return 0;
+}
+
+int runSelftest(const Options &O) {
+  std::string Log;
+  std::vector<LintFixture> Fixtures = makeLintFixtures();
+  bool Ok = true;
+  for (const LintFixture &Fx : Fixtures)
+    Ok &= checkLintFixture(Fx, Log);
+  if (!Ok) {
+    fprintf(stderr, "irlint: selftest FAILED\n%s", Log.c_str());
+    return 1;
+  }
+  if (!O.Quiet)
+    printf("irlint: selftest passed (%zu fixtures)\n", Fixtures.size());
+  return 0;
+}
+
+int lintFiles(const Options &O) {
+  LintReport Combined;
+  for (const std::string &Path : O.Files) {
+    FILE *File = fopen(Path.c_str(), "rb");
+    if (!File) {
+      fprintf(stderr, "irlint: cannot open '%s'\n", Path.c_str());
+      return 2;
+    }
+    std::string Source;
+    char Buf[4096];
+    size_t Read;
+    while ((Read = fread(Buf, 1, sizeof(Buf), File)) != 0)
+      Source.append(Buf, Read);
+    fclose(File);
+
+    ParseResult Parsed = parseModule(Source);
+    if (!Parsed) {
+      fprintf(stderr, "irlint: %s: parse error: %s\n", Path.c_str(),
+              Parsed.Error.c_str());
+      return 2;
+    }
+    Linter L = Linter::standard(Parsed.Mod.get());
+    if (!configureLinter(L, O))
+      return 2;
+    Combined.append(L.lintModule(*Parsed.Mod));
+  }
+  printReport(Combined, O);
+  return reportFails(Combined, O) ? 1 : 0;
+}
+
+/// Profiles and optimizes \p F under \p Config the way workloads/Runner
+/// does, optionally with PhaseManager audit mode enabled.
+void optimizeFunction(Function &F, Module *M, RunConfig Config,
+                      const std::vector<std::vector<int64_t>> &Train,
+                      const Options &O, const Linter *AuditLinter,
+                      DiagnosticEngine *Diags, unsigned *Rollbacks) {
+  Interpreter Interp(*M);
+  ProfileSummary Profile;
+  for (const auto &Args : Train) {
+    Interp.reset();
+    Interp.run(F, ArrayRef<int64_t>(Args), RunFuel, &Profile);
+  }
+  applyProfile(F, Profile);
+
+  PhaseManager Pipeline = PhaseManager::standardPipeline(/*Verify=*/true, M);
+  Pipeline.setDiagnostics(Diags);
+  if (O.Audit && AuditLinter) {
+    Pipeline.setAuditLinter(AuditLinter);
+    Pipeline.setAuditOracle(makeInterpreterOracle(*M, Train, RunFuel));
+  }
+  Pipeline.run(F);
+  if (Rollbacks)
+    *Rollbacks += Pipeline.rollbackCount();
+
+  if (Config != RunConfig::Baseline) {
+    DBDSConfig DC;
+    DC.UseTradeoff = Config == RunConfig::DBDS;
+    DC.ClassTable = M;
+    DC.Verify = true;
+    DC.Diags = Diags;
+    runDBDS(F, DC);
+  }
+}
+
+int runCorpus(const Options &O) {
+  DiagnosticEngine Diags;
+  LintReport Combined;
+  unsigned FunctionsLinted = 0;
+  unsigned AuditRollbacks = 0;
+  unsigned Corrupted = 0;
+  unsigned CorruptionsCaught = 0;
+
+  const RunConfig Configs[] = {RunConfig::Baseline, RunConfig::DBDS,
+                               RunConfig::DupALot};
+  for (unsigned N = 0; N != O.Count; ++N) {
+    GeneratorConfig GC;
+    GC.Seed = O.Seed + N;
+    GC.NumFunctions = O.Functions;
+    GC.SegmentsPerFunction = O.Segments;
+
+    for (RunConfig Config : Configs) {
+      GeneratedWorkload Work = generateWorkload(GC);
+      Module *M = Work.Mod.get();
+      Linter L = Linter::standard(M);
+      if (!configureLinter(L, O))
+        return 2;
+
+      auto Fns = M->functions();
+      for (unsigned FIdx = 0; FIdx != Fns.size(); ++FIdx) {
+        Function &F = *Fns[FIdx];
+        optimizeFunction(F, M, Config, Work.TrainInputs[FIdx], O, &L, &Diags,
+                         &AuditRollbacks);
+
+        // Static pass (plus dynamic stamp cross-checks when requested).
+        LintReport Report;
+        if (O.Dynamic) {
+          Interpreter Interp(*M);
+          ObservationMap Obs =
+              observeFunction(Interp, F, Work.EvalInputs[FIdx], RunFuel);
+          Report = L.lint(F, &Obs);
+        } else {
+          Report = L.lint(F);
+        }
+        ++FunctionsLinted;
+        for (LintFinding &Finding : Report.Findings) {
+          Finding.Message += " [seed " + std::to_string(GC.Seed) + ", " +
+                             runConfigName(Config) + "]";
+          Combined.Findings.push_back(std::move(Finding));
+        }
+
+        // Known-positive control: corrupt the optimized function and
+        // require the behavioral oracle to notice. The corruption is
+        // structurally valid, so this is exactly the class of defect the
+        // static rules cannot flag.
+        if (O.Sabotage) {
+          std::unique_ptr<Function> Pristine = F.clone();
+          SabotagePhase Saboteur;
+          if (Saboteur.run(F)) {
+            ++Corrupted;
+            std::string Detail;
+            AuditOracle Oracle =
+                makeInterpreterOracle(*M, Work.EvalInputs[FIdx], RunFuel);
+            if (!Oracle(*Pristine, F, Detail)) {
+              ++CorruptionsCaught;
+              LintFinding Synthetic;
+              Synthetic.RuleId = "dynamic-divergence";
+              Synthetic.Severity = LintSeverity::Error;
+              Synthetic.FunctionName = F.getName();
+              Synthetic.Message = "sabotaged function diverges: " + Detail +
+                                  " [seed " + std::to_string(GC.Seed) + ", " +
+                                  runConfigName(Config) + "]";
+              Combined.Findings.push_back(std::move(Synthetic));
+            }
+            F.restoreFrom(*Pristine);
+          }
+        }
+      }
+    }
+  }
+
+  printReport(Combined, O);
+  if (!O.Quiet) {
+    printf("irlint: corpus: %u function-compiles linted, %u error(s), "
+           "%u warning(s)\n",
+           FunctionsLinted, Combined.errorCount(),
+           Combined.count(LintSeverity::Warn));
+    if (O.Audit)
+      printf("irlint: audit: %u rollback(s)\n%s", AuditRollbacks,
+             Diags.render().c_str());
+    if (O.Sabotage)
+      printf("irlint: sabotage: %u corrupted, %u caught\n", Corrupted,
+             CorruptionsCaught);
+  }
+
+  if (O.Sabotage) {
+    // Expectation inverted: the control must corrupt something, and every
+    // corruption must be caught.
+    return (Corrupted != 0 && CorruptionsCaught == Corrupted) ? 0 : 1;
+  }
+  // Clean corpus: no lint failure, and in audit mode no phase may have
+  // been rolled back.
+  bool StaticClean =
+      !Combined.hasErrors() &&
+      !(O.Werror && Combined.count(LintSeverity::Warn) != 0);
+  return (StaticClean && AuditRollbacks == 0) ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  for (int I = 1; I != Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (strcmp(Arg, "--selftest") == 0)
+      O.Selftest = true;
+    else if (strcmp(Arg, "--corpus") == 0)
+      O.Corpus = true;
+    else if (strcmp(Arg, "--dynamic") == 0)
+      O.Dynamic = true;
+    else if (strcmp(Arg, "--audit") == 0)
+      O.Audit = true;
+    else if (strcmp(Arg, "--sabotage") == 0)
+      O.Sabotage = true;
+    else if (strcmp(Arg, "--json") == 0)
+      O.Json = true;
+    else if (strcmp(Arg, "--Werror") == 0)
+      O.Werror = true;
+    else if (strcmp(Arg, "--list-rules") == 0)
+      O.ListRules = true;
+    else if (strcmp(Arg, "--quiet") == 0)
+      O.Quiet = true;
+    else if (strncmp(Arg, "--disable=", 10) == 0)
+      O.Disabled.push_back(Arg + 10);
+    else if (strncmp(Arg, "--enable=", 9) == 0)
+      O.Enabled.push_back(Arg + 9);
+    else if (strncmp(Arg, "--seed=", 7) == 0)
+      O.Seed = strtoull(Arg + 7, nullptr, 10);
+    else if (strncmp(Arg, "--count=", 8) == 0)
+      O.Count = static_cast<unsigned>(atoi(Arg + 8));
+    else if (strncmp(Arg, "--functions=", 12) == 0)
+      O.Functions = static_cast<unsigned>(atoi(Arg + 12));
+    else if (strncmp(Arg, "--segments=", 11) == 0)
+      O.Segments = static_cast<unsigned>(atoi(Arg + 11));
+    else if (strncmp(Arg, "--", 2) == 0)
+      return usage(Argv[0]);
+    else
+      O.Files.push_back(Arg);
+  }
+
+  if (O.ListRules)
+    return listRules();
+  if (O.Selftest)
+    return runSelftest(O);
+  if (O.Corpus)
+    return runCorpus(O);
+  if (O.Files.empty())
+    return usage(Argv[0]);
+  return lintFiles(O);
+}
