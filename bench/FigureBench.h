@@ -10,14 +10,30 @@
 /// per-benchmark rows plus the geometric-mean footer the paper reports
 /// under each figure.
 ///
+/// Telemetry flags (all optional; the default run is byte-identical to
+/// the pre-telemetry drivers):
+///   --trace=FILE    write a Chrome trace_event JSON (Perfetto-loadable)
+///                   covering the whole measurement
+///   --remarks=FILE  write the DBDS duplication decision log as JSONL
+///   --counters      dump the telemetry counter registry after the run
+///   --json-out[=F]  write the machine-readable BENCH_<suite>.json report
+///                   (default file name when =F is omitted)
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DBDS_BENCH_FIGUREBENCH_H
 #define DBDS_BENCH_FIGUREBENCH_H
 
+#include "telemetry/Counters.h"
+#include "telemetry/DecisionLog.h"
+#include "telemetry/Report.h"
+#include "telemetry/Trace.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
 
 namespace dbds {
 
@@ -34,6 +50,111 @@ runFigure(const char *FigureName, const SuiteSpec &Suite) {
   std::vector<BenchmarkMeasurement> Rows = measureSuite(Suite);
   printf("%s\n", formatSuiteReport(Suite.Name, Rows).c_str());
   return Rows;
+}
+
+/// Telemetry options shared by the figure drivers.
+struct FigureOptions {
+  std::string TracePath;
+  std::string RemarksPath;
+  std::string JsonOutPath;
+  bool DumpCounters = false;
+  bool Ok = true;
+};
+
+inline FigureOptions parseFigureOptions(int argc, char **argv,
+                                        const SuiteSpec &Suite) {
+  FigureOptions O;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (strncmp(Arg, "--trace=", 8) == 0) {
+      O.TracePath = Arg + 8;
+    } else if (strncmp(Arg, "--remarks=", 10) == 0) {
+      O.RemarksPath = Arg + 10;
+    } else if (strcmp(Arg, "--counters") == 0) {
+      O.DumpCounters = true;
+    } else if (strcmp(Arg, "--json-out") == 0) {
+      O.JsonOutPath = "BENCH_" + Suite.Name + ".json";
+    } else if (strncmp(Arg, "--json-out=", 11) == 0) {
+      O.JsonOutPath = Arg + 11;
+    } else {
+      fprintf(stderr,
+              "unknown option: %s\nusage: %s [--trace=FILE] "
+              "[--remarks=FILE] [--counters] [--json-out[=FILE]]\n",
+              Arg, argv[0]);
+      O.Ok = false;
+      return O;
+    }
+  }
+  return O;
+}
+
+/// Flag-aware main body shared by the figure binaries: measures \p Suite,
+/// prints the paper-style report, and emits whatever telemetry artifacts
+/// the flags request. Returns the process exit code.
+inline int runFigureMain(int argc, char **argv, const char *FigureName,
+                         const SuiteSpec &Suite,
+                         std::vector<BenchmarkMeasurement> *RowsOut = nullptr) {
+  FigureOptions O = parseFigureOptions(argc, argv, Suite);
+  if (!O.Ok)
+    return 2;
+
+  printf("# %s — configurations: baseline (DBDS off), DBDS, dupalot "
+         "(no trade-off)\n",
+         FigureName);
+  printf("# peak: %% faster than baseline (higher is better)\n");
+  printf("# ct:   %% compile-time increase (lower is better)\n");
+  printf("# cs:   %% code-size increase (lower is better)\n");
+
+  TraceSession Session;
+  DecisionLog Decisions;
+  RunnerOptions Opts;
+  if (!O.RemarksPath.empty())
+    Opts.Decisions = &Decisions;
+  Opts.CollectCounters = O.DumpCounters || !O.JsonOutPath.empty();
+
+  std::vector<BenchmarkMeasurement> Rows;
+  {
+    std::optional<ScopedTraceAttach> Attach;
+    if (!O.TracePath.empty())
+      Attach.emplace(Session);
+    Rows = measureSuite(Suite, Opts);
+  }
+  printf("%s\n", formatSuiteReport(Suite.Name, Rows).c_str());
+
+  if (O.DumpCounters) {
+    printf("=== telemetry counters ===\n%s",
+           CounterRegistry::renderText(
+               CounterRegistry::instance().snapshot(/*SkipZero=*/true))
+               .c_str());
+  }
+
+  std::string Error;
+  if (!O.TracePath.empty()) {
+    if (!Session.writeJson(O.TracePath, &Error)) {
+      fprintf(stderr, "--trace: %s\n", Error.c_str());
+      return 1;
+    }
+    printf("trace written to %s (%zu events)\n", O.TracePath.c_str(),
+           Session.eventCount());
+  }
+  if (!O.RemarksPath.empty()) {
+    if (!Decisions.writeJsonl(O.RemarksPath, &Error)) {
+      fprintf(stderr, "--remarks: %s\n", Error.c_str());
+      return 1;
+    }
+    printf("remarks written to %s (%zu decisions)\n", O.RemarksPath.c_str(),
+           Decisions.decisions().size());
+  }
+  if (!O.JsonOutPath.empty()) {
+    if (!writeBenchJson(O.JsonOutPath, Suite.Name, Rows, &Error)) {
+      fprintf(stderr, "--json-out: %s\n", Error.c_str());
+      return 1;
+    }
+    printf("bench report written to %s\n", O.JsonOutPath.c_str());
+  }
+  if (RowsOut)
+    *RowsOut = std::move(Rows);
+  return 0;
 }
 
 } // namespace dbds

@@ -13,7 +13,7 @@
 
 #include "FigureBench.h"
 
-int main() {
-  dbds::runFigure("Figure 5: Java DaCapo", dbds::javaDaCapoSuite());
-  return 0;
+int main(int argc, char **argv) {
+  return dbds::runFigureMain(argc, argv, "Figure 5: Java DaCapo",
+                             dbds::javaDaCapoSuite());
 }

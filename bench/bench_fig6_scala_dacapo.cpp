@@ -13,7 +13,7 @@
 
 #include "FigureBench.h"
 
-int main() {
-  dbds::runFigure("Figure 6: Scala DaCapo", dbds::scalaDaCapoSuite());
-  return 0;
+int main(int argc, char **argv) {
+  return dbds::runFigureMain(argc, argv, "Figure 6: Scala DaCapo",
+                             dbds::scalaDaCapoSuite());
 }

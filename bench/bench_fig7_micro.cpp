@@ -14,8 +14,8 @@
 
 #include "FigureBench.h"
 
-int main() {
-  dbds::runFigure("Figure 7: Java/Scala micro benchmarks",
-                  dbds::microSuite());
-  return 0;
+int main(int argc, char **argv) {
+  return dbds::runFigureMain(argc, argv,
+                             "Figure 7: Java/Scala micro benchmarks",
+                             dbds::microSuite());
 }

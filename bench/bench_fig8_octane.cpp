@@ -15,9 +15,12 @@
 
 #include "FigureBench.h"
 
-int main() {
-  auto Rows = dbds::runFigure("Figure 8: JavaScript Octane",
-                              dbds::octaneSuite());
+int main(int argc, char **argv) {
+  std::vector<dbds::BenchmarkMeasurement> Rows;
+  int Exit = dbds::runFigureMain(argc, argv, "Figure 8: JavaScript Octane",
+                                 dbds::octaneSuite(), &Rows);
+  if (Exit != 0)
+    return Exit;
   // E10 check: print the dupalot-vs-DBDS peak gap for raytrace.
   for (const auto &M : Rows) {
     if (M.Name != "raytrace")

@@ -15,6 +15,8 @@
 #ifndef DBDS_DBDS_CANDIDATE_H
 #define DBDS_DBDS_CANDIDATE_H
 
+#include "telemetry/DecisionLog.h"
+
 #include <cstdint>
 
 namespace dbds {
@@ -54,6 +56,10 @@ struct DuplicationCandidate {
 
   /// Number of distinct optimizations the simulation saw fire.
   unsigned OptimizationsTriggered = 0;
+
+  /// Per-kind breakdown of the triggered action steps (telemetry: the
+  /// decision log records which opportunities motivated each candidate).
+  OpportunityCounts Opportunities;
 
   /// The sort key of the trade-off tier: expected cycles saved weighted by
   /// how often the predecessor runs.
@@ -116,6 +122,12 @@ struct DBDSConfig {
   /// Optional per-function wall-clock budget (not owned). When it expires,
   /// DBDS stops duplicating and records DegradationLevel::NoDBDS.
   CompileBudget *Budget = nullptr;
+
+  /// Optional sink for per-candidate duplication decisions (not owned).
+  /// When set, every candidate the trade-off tier rules on is recorded
+  /// with its shouldDuplicate inputs and clause results — the DBDS
+  /// optimization-remarks stream (telemetry/DecisionLog.h).
+  DecisionLog *Decisions = nullptr;
 };
 
 /// The trade-off function of §5.4:
@@ -126,6 +138,13 @@ struct DBDSConfig {
 bool shouldDuplicate(double CyclesSaved, double Probability, int64_t SizeCost,
                      uint64_t CurrentSize, uint64_t InitialSize,
                      const DBDSConfig &Config);
+
+/// As above, additionally reporting each clause's individual pass/fail in
+/// \p Clauses (may be null) — the decision log records exactly why a
+/// candidate was rejected, not just that it was.
+bool shouldDuplicate(double CyclesSaved, double Probability, int64_t SizeCost,
+                     uint64_t CurrentSize, uint64_t InitialSize,
+                     const DBDSConfig &Config, TradeoffClauses *Clauses);
 
 } // namespace dbds
 

@@ -16,6 +16,9 @@
 #include "support/Budget.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -23,6 +26,11 @@
 #include <cstdlib>
 
 using namespace dbds;
+
+DBDS_COUNTER(dbds, iterations_run);
+DBDS_COUNTER(dbds, duplications_performed);
+DBDS_COUNTER(dbds, rollbacks_performed);
+DBDS_COUNTER(dbds, candidates_stale);
 
 namespace {
 
@@ -70,6 +78,10 @@ bool candidateStillValid(Function &F, const DuplicationCandidate &C,
 
 DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
   DBDSResult Result;
+  TraceSession *TS = TraceSession::active();
+  TraceSpan FnSpan(TS, "dbds", "dbds",
+                   TS ? "\"function\":" + jsonString(F.getName())
+                      : std::string());
   uint64_t InitialSize = F.estimatedCodeSize();
   PhaseManager Cleanup =
       PhaseManager::standardPipeline(Config.Verify, Config.ClassTable);
@@ -102,6 +114,7 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     if (budgetExpired())
       break;
     ++Result.IterationsRun;
+    ++iterations_run;
 
     std::unique_ptr<Function> RoundSnapshot;
     if (Transactional)
@@ -109,14 +122,23 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
 
     // Tier 1: simulation (with path continuation when the §8 extension is
     // enabled).
-    std::vector<DuplicationCandidate> Candidates = simulateDuplications(
-        F, Config.ClassTable, /*Stats=*/nullptr,
-        /*MaxPathLength=*/Config.EnablePathDuplication ? 2 : 1);
+    std::vector<DuplicationCandidate> Candidates;
+    {
+      TraceSpan SimSpan(TS, "simulate", "dbds",
+                        TS ? "\"iteration\":" + jsonNumber(Iter)
+                           : std::string());
+      Candidates = simulateDuplications(
+          F, Config.ClassTable, /*Stats=*/nullptr,
+          /*MaxPathLength=*/Config.EnablePathDuplication ? 2 : 1);
+    }
     Result.CandidatesSimulated += Candidates.size();
 
     // Tier 2: trade-off — most promising candidates first (§3.2: sorted by
     // benefit and cost, to optimize the best ones while budget remains);
     // after the first iteration, new merges rank before revisited ones.
+    TraceSpan TradeoffSpan(TS, "tradeoff", "dbds",
+                           TS ? "\"iteration\":" + jsonNumber(Iter)
+                              : std::string());
     std::sort(Candidates.begin(), Candidates.end(),
               [&VisitedMerges](const DuplicationCandidate &A,
                                const DuplicationCandidate &B) {
@@ -132,8 +154,28 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
               });
     for (const DuplicationCandidate &C : Candidates)
       VisitedMerges.insert(C.MergeId);
+    TradeoffSpan.close();
 
-    // Tier 3: optimization.
+    // Tier 3: optimization. Every candidate ruled on gets a decision-log
+    // record carrying its exact shouldDuplicate inputs and verdict.
+    DecisionLog *DL = Config.Decisions;
+    const size_t RoundStartIdx = DL ? DL->decisions().size() : 0;
+    auto makeDecision = [&](const DuplicationCandidate &C,
+                            uint64_t CurrentSize) {
+      DuplicationDecision D;
+      D.FunctionName = F.getName();
+      D.Iteration = Iter;
+      D.MergeId = C.MergeId;
+      D.PredId = C.PredId;
+      D.SecondMergeId = C.SecondMergeId;
+      D.CyclesSaved = C.CyclesSaved;
+      D.Probability = C.Probability;
+      D.SizeCost = C.SizeCost;
+      D.CurrentSize = CurrentSize;
+      D.InitialSize = InitialSize;
+      D.Opportunities = C.Opportunities;
+      return D;
+    };
     double IterationBenefit = 0.0;
     bool Changed = false;
     bool RolledBack = false;
@@ -160,6 +202,7 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
       // duplications, they no longer exist in the IR.
       Result.DuplicationsPerformed = DupsBeforeRound;
       ++Result.RollbacksPerformed;
+      ++rollbacks_performed;
       RolledBack = true;
       if (Config.Diags)
         Config.Diags->warning("dbds", F.getName(),
@@ -168,26 +211,65 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
       return false;
     };
 
+    TraceSpan OptSpan(TS, "optimize", "dbds",
+                      TS ? "\"iteration\":" + jsonNumber(Iter)
+                         : std::string());
     for (const DuplicationCandidate &C : Candidates) {
       if (budgetExpired())
         break;
       Block *M = nullptr, *P = nullptr;
-      if (!candidateStillValid(F, C, M, P))
+      if (!candidateStillValid(F, C, M, P)) {
+        ++candidates_stale;
+        if (DL) {
+          DuplicationDecision D = makeDecision(C, F.estimatedCodeSize());
+          D.Verdict = DecisionVerdict::RejectedStale;
+          DL->append(std::move(D));
+        }
         continue;
+      }
       uint64_t CurrentSize = F.estimatedCodeSize();
+      TradeoffClauses Clauses;
+      bool TradeoffEvaluated = false;
       if (Config.UseTradeoff) {
+        TradeoffEvaluated = true;
         if (!shouldDuplicate(C.CyclesSaved, C.Probability, C.SizeCost,
-                             CurrentSize, InitialSize, Config))
+                             CurrentSize, InitialSize, Config, &Clauses)) {
+          if (DL) {
+            DuplicationDecision D = makeDecision(C, CurrentSize);
+            D.TradeoffEvaluated = true;
+            D.Clauses = Clauses;
+            D.Verdict = DecisionVerdict::RejectedTradeoff;
+            DL->append(std::move(D));
+          }
           continue;
+        }
       } else {
         // dupalot: any benefit suffices, only the hard VM limit applies.
-        if (C.CyclesSaved <= 0.0 || CurrentSize >= Config.MaxUnitSize)
+        if (C.CyclesSaved <= 0.0 || CurrentSize >= Config.MaxUnitSize) {
+          if (DL) {
+            DuplicationDecision D = makeDecision(C, CurrentSize);
+            D.Verdict = C.CyclesSaved <= 0.0
+                            ? DecisionVerdict::RejectedNoBenefit
+                            : DecisionVerdict::RejectedSizeLimit;
+            DL->append(std::move(D));
+          }
           continue;
+        }
       }
       duplicateIntoPredecessor(F, M, P);
-      if (!verifyOrRollback("after duplication"))
+      if (!verifyOrRollback("after duplication")) {
+        if (DL) {
+          DuplicationDecision D = makeDecision(C, CurrentSize);
+          D.TradeoffEvaluated = TradeoffEvaluated;
+          D.Clauses = Clauses;
+          D.Verdict = DecisionVerdict::RolledBack;
+          DL->append(std::move(D));
+        }
         break;
+      }
       ++Result.DuplicationsPerformed;
+      ++duplications_performed;
+      unsigned DupsForCandidate = 1;
 
       // §8 extension: continue the duplication along the simulated path.
       // After the first duplication P ends with the copied jump into the
@@ -201,23 +283,51 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
         if (M2 && canDuplicateInto(M2, P) && DT.isReachable(M2) &&
             !LI.isLoopHeader(M2)) {
           duplicateIntoPredecessor(F, M2, P);
-          if (!verifyOrRollback("after path duplication"))
+          if (!verifyOrRollback("after path duplication")) {
+            if (DL) {
+              DuplicationDecision D = makeDecision(C, CurrentSize);
+              D.TradeoffEvaluated = TradeoffEvaluated;
+              D.Clauses = Clauses;
+              D.Verdict = DecisionVerdict::RolledBack;
+              DL->append(std::move(D));
+            }
             break;
+          }
           ++Result.DuplicationsPerformed;
+          ++duplications_performed;
+          ++DupsForCandidate;
         }
       }
 
+      if (DL) {
+        DuplicationDecision D = makeDecision(C, CurrentSize);
+        D.TradeoffEvaluated = TradeoffEvaluated;
+        D.Clauses = Clauses;
+        D.Verdict = DecisionVerdict::Accepted;
+        D.DuplicationsPerformed = DupsForCandidate;
+        DL->append(std::move(D));
+      }
       IterationBenefit += C.benefit();
       Changed = true;
     }
-    if (RolledBack)
+    OptSpan.close();
+    if (RolledBack) {
+      // The round's duplications were restored away; their Accepted
+      // records no longer describe the IR.
+      if (DL)
+        DL->markRolledBackFrom(RoundStartIdx, F.getName());
       return Result; // Last known-good IR is in place; DBDS is done here.
+    }
     Result.TotalBenefit += IterationBenefit;
 
     // Follow-up optimizations on the duplicated code (skipped once the
     // budget is gone: duplicated-but-uncleaned IR is still valid).
-    if (Changed && !Result.BudgetExpired)
+    if (Changed && !Result.BudgetExpired) {
+      TraceSpan CleanupSpan(TS, "cleanup", "dbds",
+                            TS ? "\"iteration\":" + jsonNumber(Iter)
+                               : std::string());
       Cleanup.run(F);
+    }
 
     if (!Changed || IterationBenefit < Config.MinIterationBenefit)
       break;

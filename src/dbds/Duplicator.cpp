@@ -8,10 +8,17 @@
 
 #include "analysis/DominatorTree.h"
 #include "support/ErrorHandling.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
 
 #include <unordered_map>
 
 using namespace dbds;
+
+DBDS_COUNTER(duplicator, blocks_duplicated);
+DBDS_COUNTER(duplicator, instructions_copied);
+DBDS_COUNTER(duplicator, phis_created);
 
 bool dbds::canDuplicateInto(Block *M, Block *P) {
   if (!M->isMerge() || M == P)
@@ -110,6 +117,7 @@ void reconstructSSA(Function &F, const DominatorTree &DT, Block *M, Block *P,
   for (Block *X : DT.iteratedFrontier({M, P})) {
     auto *Shell = F.create<PhiInst>(OrigDef->getType());
     X->insertPhi(Shell);
+    ++phis_created;
     DefAt[X] = Shell;
     Shells.push_back(Shell);
   }
@@ -192,6 +200,12 @@ void reconstructSSA(Function &F, const DominatorTree &DT, Block *M, Block *P,
 
 void dbds::duplicateIntoPredecessor(Function &F, Block *M, Block *P) {
   assert(canDuplicateInto(M, P) && "structural preconditions violated");
+  TraceSession *TS = TraceSession::active();
+  TraceSpan Span(TS, "duplicate", "duplicator",
+                 TS ? "\"merge\":" + jsonNumber(M->getId()) +
+                          ",\"pred\":" + jsonNumber(P->getId())
+                    : std::string());
+  ++blocks_duplicated;
   unsigned PredIdx = M->indexOfPred(P);
 
   // Drop P's jump; the copied body and terminator replace it.
@@ -212,6 +226,7 @@ void dbds::duplicateIntoPredecessor(Function &F, Block *M, Block *P) {
     Instruction *Copy = cloneWithMapping(F, I, ValueMap);
     P->append(Copy);
     ValueMap[I] = Copy;
+    ++instructions_copied;
   }
 
   // Wire the copied terminator's edges: each successor of M gains P as an

@@ -11,11 +11,23 @@
 #include "opts/Canonicalize.h"
 #include "opts/MemoryState.h"
 #include "opts/ScopedStamps.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
 
 #include <unordered_map>
 #include <unordered_set>
 
 using namespace dbds;
+
+DBDS_COUNTER(simulator, pairs_simulated);
+DBDS_COUNTER(simulator, paths_simulated);
+DBDS_COUNTER(simulator, synonyms_resolved);
+DBDS_COUNTER(simulator, constant_folds);
+DBDS_COUNTER(simulator, strength_reductions);
+DBDS_COUNTER(simulator, conditional_eliminations);
+DBDS_COUNTER(simulator, read_eliminations);
+DBDS_COUNTER(simulator, allocation_sinks);
 
 namespace {
 
@@ -147,6 +159,8 @@ private:
           if (isa<StoreFieldInst>(User))
             Saved += User->estimatedCycles();
         C.CyclesSaved += Saved;
+        ++C.Opportunities.AllocationSinks;
+        ++allocation_sinks;
         if (Stats)
           ++Stats->AllocationSinks;
       }
@@ -161,6 +175,14 @@ private:
   void simulatePair(Block *P, Block *M, const MemoryState &StateAtP) {
     if (Stats)
       ++Stats->PairsSimulated;
+    ++pairs_simulated;
+
+    // One span per DST traversal (the unit of simulation-tier work).
+    TraceSession *TS = TraceSession::active();
+    TraceSpan DSTSpan(TS, "dst", "simulator",
+                      TS ? "\"merge\":" + jsonNumber(M->getId()) +
+                               ",\"pred\":" + jsonNumber(P->getId())
+                         : std::string());
 
     MemoryState Memory = StateAtP;
     std::unordered_map<Instruction *, Instruction *> Synonyms;
@@ -169,6 +191,7 @@ private:
         auto It = Synonyms.find(V);
         if (It == Synonyms.end())
           return V;
+        ++synonyms_resolved;
         V = It->second;
       }
       return V;
@@ -237,6 +260,7 @@ private:
       // The continuation replaces the copied jump with the next merge's
       // body (duplicating the second merge removes that jump again).
       C.SizeCost -= opcodeSize(Opcode::Jump);
+      ++paths_simulated;
       if (Stats)
         ++Stats->PathsSimulated;
       CurPred = Cur;
@@ -260,6 +284,8 @@ private:
         Syn[I] = Known;
         C.CyclesSaved += Load->estimatedCycles();
         ++C.OptimizationsTriggered;
+        ++C.Opportunities.ReadEliminations;
+        ++read_eliminations;
         if (Stats)
           ++Stats->ReadEliminations;
         return 0;
@@ -274,6 +300,8 @@ private:
       if (Memory.lookup(Obj, Store->getFieldIndex()) == Val) {
         C.CyclesSaved += Store->estimatedCycles();
         ++C.OptimizationsTriggered;
+        ++C.Opportunities.ReadEliminations;
+        ++read_eliminations;
         if (Stats)
           ++Stats->ReadEliminations;
         return 0;
@@ -304,12 +332,16 @@ private:
       ScratchNodes.push_back(Repl);
       C.CyclesSaved +=
           static_cast<double>(I->estimatedCycles()) - Repl->estimatedCycles();
+      ++C.Opportunities.StrengthReductions;
+      ++strength_reductions;
       if (Stats)
         ++Stats->StrengthReductions;
       return Repl->estimatedSize();
     }
     // Folded to an existing value: the copy disappears entirely.
     C.CyclesSaved += I->estimatedCycles();
+    ++C.Opportunities.ConstantFolds;
+    ++constant_folds;
     if (Stats)
       ++Stats->ConstantFolds;
     return 0;
@@ -326,6 +358,8 @@ private:
         C.CyclesSaved += static_cast<double>(If->estimatedCycles()) -
                          opcodeCycles(Opcode::Jump);
         ++C.OptimizationsTriggered;
+        ++C.Opportunities.ConditionalEliminations;
+        ++conditional_eliminations;
         if (Stats)
           ++Stats->ConditionalEliminations;
         return opcodeSize(Opcode::Jump);

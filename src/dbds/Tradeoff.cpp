@@ -6,20 +6,53 @@
 
 #include "dbds/Candidate.h"
 
+#include "telemetry/Counters.h"
+
 using namespace dbds;
+
+DBDS_COUNTER(tradeoff, candidates_evaluated);
+DBDS_COUNTER(tradeoff, candidates_accepted);
+DBDS_COUNTER(tradeoff, rejected_no_cycles_saved);
+DBDS_COUNTER(tradeoff, rejected_benefit_vs_cost);
+DBDS_COUNTER(tradeoff, rejected_max_unit_size);
+DBDS_COUNTER(tradeoff, rejected_growth_budget);
+
+bool dbds::shouldDuplicate(double CyclesSaved, double Probability,
+                           int64_t SizeCost, uint64_t CurrentSize,
+                           uint64_t InitialSize, const DBDSConfig &Config,
+                           TradeoffClauses *Clauses) {
+  // All four §5.4 clauses are evaluated unconditionally so the decision
+  // log can report every clause's verdict, not just the first failure.
+  TradeoffClauses C;
+  C.PositiveCyclesSaved = CyclesSaved > 0.0;
+  double ScaledBenefit = CyclesSaved * Probability * Config.BenefitScale;
+  C.BenefitOutweighsCost = ScaledBenefit > static_cast<double>(SizeCost);
+  C.UnderMaxUnitSize = CurrentSize < Config.MaxUnitSize;
+  double Budget = static_cast<double>(InitialSize) * Config.IncreaseBudget;
+  C.WithinGrowthBudget =
+      static_cast<double>(CurrentSize) + static_cast<double>(SizeCost) <
+      Budget;
+  if (Clauses)
+    *Clauses = C;
+
+  ++candidates_evaluated;
+  if (!C.PositiveCyclesSaved)
+    ++rejected_no_cycles_saved;
+  else if (!C.BenefitOutweighsCost)
+    ++rejected_benefit_vs_cost;
+  else if (!C.UnderMaxUnitSize)
+    ++rejected_max_unit_size;
+  else if (!C.WithinGrowthBudget)
+    ++rejected_growth_budget;
+  else
+    ++candidates_accepted;
+
+  return C.pass();
+}
 
 bool dbds::shouldDuplicate(double CyclesSaved, double Probability,
                            int64_t SizeCost, uint64_t CurrentSize,
                            uint64_t InitialSize, const DBDSConfig &Config) {
-  if (CyclesSaved <= 0.0)
-    return false;
-  double ScaledBenefit = CyclesSaved * Probability * Config.BenefitScale;
-  if (!(ScaledBenefit > static_cast<double>(SizeCost)))
-    return false;
-  if (CurrentSize >= Config.MaxUnitSize)
-    return false;
-  double Budget =
-      static_cast<double>(InitialSize) * Config.IncreaseBudget;
-  return static_cast<double>(CurrentSize) + static_cast<double>(SizeCost) <
-         Budget;
+  return shouldDuplicate(CyclesSaved, Probability, SizeCost, CurrentSize,
+                         InitialSize, Config, /*Clauses=*/nullptr);
 }

@@ -10,11 +10,19 @@
 #include "support/Budget.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 
 using namespace dbds;
+
+DBDS_COUNTER(phase_manager, phases_run);
+DBDS_COUNTER(phase_manager, rounds_run);
+DBDS_COUNTER(phase_manager, phase_rollbacks);
+DBDS_COUNTER(phase_manager, phases_quarantined_skipped);
 
 bool dbds::corruptFunctionIR(Function &F, uint64_t Entropy) {
   // Preferred corruption: drop one phi input, breaking the phi/predecessor
@@ -49,7 +57,13 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
   const bool Checking = Verify || Auditing;
   const bool Transactional = Checking && !FailFast;
 
+  TraceSession *TS = TraceSession::active();
+  TraceSpan PipelineSpan(TS, "pipeline", "phase",
+                         TS ? "\"function\":" + jsonString(F.getName())
+                            : std::string());
+
   for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    ++rounds_run;
     // Budget gate: the first round always runs (every function gets at
     // least the single-round baseline pipeline), further fixpoint rounds
     // are shed when the wall-clock allowance is gone.
@@ -66,12 +80,28 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
     bool RoundChanged = false;
     for (unsigned Idx = 0; Idx != Phases.size(); ++Idx) {
       const auto &P = Phases[Idx];
-      if (isQuarantined(F.getName(), Idx))
+      if (isQuarantined(F.getName(), Idx)) {
+        ++phases_quarantined_skipped;
         continue;
+      }
+      ++phases_run;
+
+      // One span per phase per function (per fixpoint round).
+      TraceSpan PhaseSpan(TS, P->name(), "phase",
+                          TS ? "\"function\":" + jsonString(F.getName()) +
+                                   ",\"round\":" + jsonNumber(Round)
+                             : std::string());
 
       std::unique_ptr<Function> Snapshot;
       if (Transactional)
         Snapshot = F.clone();
+
+      // Audit mode attaches the phase's own counter activity to any
+      // quarantine diagnostic: snapshot the registry before the phase so
+      // the delta isolates what this phase did.
+      std::vector<CounterSample> PreCounters;
+      if (Auditing)
+        PreCounters = CounterRegistry::instance().snapshot();
 
       // Audit baseline: the pre-phase lint findings. New findings after
       // the phase are the phase's effect; pre-existing ones are not.
@@ -150,6 +180,23 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
                  "rollback restored an invalid snapshot");
           Quarantined[F.getName()].insert(Idx);
           ++Rollbacks;
+          ++phase_rollbacks;
+          if (Auditing && !PreCounters.empty()) {
+            std::vector<CounterSample> Delta = CounterRegistry::delta(
+                PreCounters, CounterRegistry::instance().snapshot());
+            if (!Delta.empty()) {
+              Error += " [counters:";
+              for (const CounterSample &Sample : Delta)
+                Error += " " + Sample.Name + "=" +
+                         std::to_string(Sample.Value);
+              Error += "]";
+            }
+          }
+          if (TS)
+            TS->instant("quarantine", "phase",
+                        "\"phase\":" + jsonString(P->name()) +
+                            ",\"function\":" + jsonString(F.getName()) +
+                            ",\"error\":" + jsonString(Error));
           if (Diags)
             Diags->warning(P->name(), F.getName(),
                            "phase rolled back and quarantined: " + Error);

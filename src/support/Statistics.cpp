@@ -6,8 +6,10 @@
 
 #include "support/Statistics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 using namespace dbds;
 
@@ -45,4 +47,25 @@ double dbds::maximum(ArrayRef<double> Values) {
   for (double V : Values)
     Max = V > Max ? V : Max;
   return Max;
+}
+
+double dbds::median(ArrayRef<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::vector<double> Sorted(Values.begin(), Values.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Mid = Sorted.size() / 2;
+  if (Sorted.size() % 2 != 0)
+    return Sorted[Mid];
+  return (Sorted[Mid - 1] + Sorted[Mid]) / 2.0;
+}
+
+double dbds::stddev(ArrayRef<double> Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double Mean = arithmeticMean(Values);
+  double SumSq = 0.0;
+  for (double V : Values)
+    SumSq += (V - Mean) * (V - Mean);
+  return std::sqrt(SumSq / static_cast<double>(Values.size() - 1));
 }

@@ -31,6 +31,15 @@ double arithmeticMean(ArrayRef<double> Values);
 double minimum(ArrayRef<double> Values);
 double maximum(ArrayRef<double> Values);
 
+/// Median (average of the two middle elements for even sizes). Returns
+/// 0.0 for an empty input. The input is copied, not reordered.
+double median(ArrayRef<double> Values);
+
+/// Sample standard deviation (n-1 denominator; the paper's suites are a
+/// sample of each workload class, and several are variance-sensitive).
+/// Returns 0.0 for fewer than two values.
+double stddev(ArrayRef<double> Values);
+
 } // namespace dbds
 
 #endif // DBDS_SUPPORT_STATISTICS_H

@@ -6,7 +6,9 @@
 ///
 /// \file
 /// Lightweight wall-clock timers used to measure compile time, mirroring
-/// Graal's in-compiler timing statements (paper §6.1).
+/// Graal's in-compiler timing statements (paper §6.1). The telemetry trace
+/// spans (telemetry/Trace.h) are stamped from the same clock, so trace
+/// timestamps and compile-time measurements are directly comparable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,18 +20,30 @@
 
 namespace dbds {
 
-/// Accumulating nanosecond timer. start()/stop() pairs may be nested across
-/// calls; total() reports the accumulated time.
+/// Accumulating nanosecond timer with assert-free nesting semantics:
+/// start()/stop() calls may nest, and only the outermost start/stop pair
+/// accumulates (the inner pairs are already covered by the enclosing
+/// window). stop() without a matching start() is a no-op rather than
+/// accumulating garbage from a default-constructed begin timestamp.
 class Timer {
 public:
-  void start() { Begin = Clock::now(); }
+  void start() {
+    if (Depth++ == 0)
+      Begin = Clock::now();
+  }
 
   void stop() {
-    AccumulatedNs +=
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             Begin)
-            .count();
+    if (Depth == 0)
+      return; // unmatched stop: nothing is running
+    if (--Depth == 0)
+      AccumulatedNs +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               Begin)
+              .count();
   }
+
+  /// True between the outermost start() and its matching stop().
+  bool isRunning() const { return Depth != 0; }
 
   /// Total accumulated time in nanoseconds.
   uint64_t totalNs() const { return AccumulatedNs; }
@@ -37,12 +51,25 @@ public:
   /// Total accumulated time in milliseconds.
   double totalMs() const { return static_cast<double>(AccumulatedNs) / 1e6; }
 
-  void reset() { AccumulatedNs = 0; }
+  void reset() {
+    AccumulatedNs = 0;
+    Depth = 0;
+  }
+
+  /// Nanoseconds on the shared steady clock (the timestamp source for
+  /// telemetry trace events).
+  static uint64_t nowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
 
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Begin;
   uint64_t AccumulatedNs = 0;
+  unsigned Depth = 0;
 };
 
 /// RAII region timer: accumulates the lifetime of the scope into a Timer.

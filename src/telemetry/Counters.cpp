@@ -1,0 +1,92 @@
+//===- telemetry/Counters.cpp - Named-counter registry ---------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Counters.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+
+using namespace dbds;
+
+TelemetryCounter::TelemetryCounter(const char *Component, const char *Name)
+    : Component(Component), Name(Name) {
+  CounterRegistry::instance().add(this);
+}
+
+CounterRegistry &CounterRegistry::instance() {
+  static CounterRegistry Registry;
+  return Registry;
+}
+
+void CounterRegistry::add(TelemetryCounter *C) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.push_back(C);
+}
+
+std::vector<CounterSample> CounterRegistry::snapshot(bool SkipZero) const {
+  std::vector<CounterSample> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out.reserve(Counters.size());
+    for (const TelemetryCounter *C : Counters) {
+      uint64_t V = C->value();
+      if (SkipZero && V == 0)
+        continue;
+      Out.push_back({C->qualifiedName(), V});
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CounterSample &A, const CounterSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void CounterRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (TelemetryCounter *C : Counters)
+    C->reset();
+}
+
+std::vector<CounterSample>
+CounterRegistry::delta(const std::vector<CounterSample> &Before,
+                       const std::vector<CounterSample> &After) {
+  std::vector<CounterSample> Out;
+  // Both snapshots are sorted by name; walk them together. A counter
+  // missing from Before (registered later) contributes its full value.
+  size_t BI = 0;
+  for (const CounterSample &A : After) {
+    while (BI != Before.size() && Before[BI].Name < A.Name)
+      ++BI;
+    uint64_t Base =
+        (BI != Before.size() && Before[BI].Name == A.Name) ? Before[BI].Value
+                                                           : 0;
+    if (A.Value > Base)
+      Out.push_back({A.Name, A.Value - Base});
+  }
+  return Out;
+}
+
+std::string
+CounterRegistry::renderText(const std::vector<CounterSample> &Samples) {
+  std::string Out;
+  for (const CounterSample &S : Samples)
+    Out += S.Name + " = " + std::to_string(S.Value) + "\n";
+  return Out;
+}
+
+std::string
+CounterRegistry::renderJson(const std::vector<CounterSample> &Samples) {
+  std::string Out = "{";
+  for (size_t I = 0; I != Samples.size(); ++I) {
+    if (I != 0)
+      Out += ",";
+    Out += jsonString(Samples[I].Name) + ":" + jsonNumber(Samples[I].Value);
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,116 @@
+//===- telemetry/Counters.h - Named-counter registry ------------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LLVM-STATISTIC-style registry of named counters. A counter is a
+/// file-scope static declared with DBDS_COUNTER(component, name); it
+/// registers itself on first use and is incremented with ++ from anywhere
+/// (relaxed atomics, so hot paths pay one uncontended add). The registry
+/// can be snapshotted at any time; drivers report either the absolute
+/// values (--counters) or the delta across a measured region
+/// (ConfigMeasurement's per-configuration counters).
+///
+///   DBDS_COUNTER(simulator, constant_folds);
+///   ...
+///   ++constant_folds;
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TELEMETRY_COUNTERS_H
+#define DBDS_TELEMETRY_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+/// One registered counter. Construction registers it process-wide;
+/// counters are expected to be static-storage objects that live forever.
+class TelemetryCounter {
+public:
+  TelemetryCounter(const char *Component, const char *Name);
+
+  TelemetryCounter(const TelemetryCounter &) = delete;
+  TelemetryCounter &operator=(const TelemetryCounter &) = delete;
+
+  TelemetryCounter &operator++() {
+    Value.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+
+  TelemetryCounter &operator+=(uint64_t N) {
+    Value.fetch_add(N, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+  const char *component() const { return Component; }
+  const char *name() const { return Name; }
+
+  /// "component.name", the stable key used in dumps and reports.
+  std::string qualifiedName() const {
+    return std::string(Component) + "." + Name;
+  }
+
+private:
+  const char *Component;
+  const char *Name;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A point-in-time reading of one counter.
+struct CounterSample {
+  std::string Name; ///< Qualified "component.name".
+  uint64_t Value = 0;
+};
+
+/// Process-wide registry of all counters.
+class CounterRegistry {
+public:
+  static CounterRegistry &instance();
+
+  /// All counters' current values, sorted by qualified name. \p SkipZero
+  /// drops counters that never fired (the common dump mode).
+  std::vector<CounterSample> snapshot(bool SkipZero = false) const;
+
+  /// Zeroes every counter (tests and per-run measurement baselines).
+  void resetAll();
+
+  /// Per-counter difference \p After - \p Before, dropping zero deltas.
+  /// Counters only grow, so both snapshots must come from this process in
+  /// order.
+  static std::vector<CounterSample>
+  delta(const std::vector<CounterSample> &Before,
+        const std::vector<CounterSample> &After);
+
+  /// "component.name = value" lines, one per counter.
+  static std::string renderText(const std::vector<CounterSample> &Samples);
+
+  /// A JSON object {"component.name": value, ...}.
+  static std::string renderJson(const std::vector<CounterSample> &Samples);
+
+private:
+  friend class TelemetryCounter;
+  void add(TelemetryCounter *C);
+
+  mutable std::mutex Mu;
+  std::vector<TelemetryCounter *> Counters;
+};
+
+/// Declares (and registers) a static counter named \p NAME under
+/// \p COMPONENT. Usable at file or function scope; increment with
+/// ++NAME or NAME += n.
+#define DBDS_COUNTER(COMPONENT, NAME)                                         \
+  static ::dbds::TelemetryCounter NAME(#COMPONENT, #NAME)
+
+} // namespace dbds
+
+#endif // DBDS_TELEMETRY_COUNTERS_H

@@ -1,0 +1,136 @@
+//===- telemetry/DecisionLog.cpp - DBDS duplication decision log -----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/DecisionLog.h"
+
+#include "telemetry/Json.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+const char *dbds::decisionVerdictName(DecisionVerdict V) {
+  switch (V) {
+  case DecisionVerdict::Accepted:
+    return "accepted";
+  case DecisionVerdict::RejectedTradeoff:
+    return "rejected-tradeoff";
+  case DecisionVerdict::RejectedNoBenefit:
+    return "rejected-no-benefit";
+  case DecisionVerdict::RejectedSizeLimit:
+    return "rejected-size-limit";
+  case DecisionVerdict::RejectedStale:
+    return "rejected-stale";
+  case DecisionVerdict::RolledBack:
+    return "rolled-back";
+  }
+  return "?";
+}
+
+std::string DuplicationDecision::renderJson() const {
+  std::string Out = "{";
+  Out += "\"function\":" + jsonString(FunctionName);
+  Out += ",\"iteration\":" + jsonNumber(Iteration);
+  Out += ",\"merge\":" + jsonNumber(MergeId);
+  Out += ",\"pred\":" + jsonNumber(PredId);
+  if (SecondMergeId != InvalidBlock)
+    Out += ",\"second_merge\":" + jsonNumber(SecondMergeId);
+  Out += ",\"cycles_saved\":" + jsonNumber(CyclesSaved);
+  Out += ",\"probability\":" + jsonNumber(Probability);
+  Out += ",\"size_cost\":" + jsonNumber(SizeCost);
+  Out += ",\"current_size\":" + jsonNumber(CurrentSize);
+  Out += ",\"initial_size\":" + jsonNumber(InitialSize);
+  Out += ",\"opportunities\":{";
+  Out += "\"constant_folds\":" + jsonNumber(Opportunities.ConstantFolds);
+  Out += ",\"strength_reductions\":" +
+         jsonNumber(Opportunities.StrengthReductions);
+  Out += ",\"conditional_eliminations\":" +
+         jsonNumber(Opportunities.ConditionalEliminations);
+  Out += ",\"read_eliminations\":" + jsonNumber(Opportunities.ReadEliminations);
+  Out += ",\"allocation_sinks\":" + jsonNumber(Opportunities.AllocationSinks);
+  Out += "}";
+  if (TradeoffEvaluated) {
+    Out += ",\"clauses\":{";
+    Out += std::string("\"positive_cycles_saved\":") +
+           jsonBool(Clauses.PositiveCyclesSaved);
+    Out += std::string(",\"benefit_outweighs_cost\":") +
+           jsonBool(Clauses.BenefitOutweighsCost);
+    Out += std::string(",\"under_max_unit_size\":") +
+           jsonBool(Clauses.UnderMaxUnitSize);
+    Out += std::string(",\"within_growth_budget\":") +
+           jsonBool(Clauses.WithinGrowthBudget);
+    Out += "}";
+    if (const char *Failing = Clauses.firstFailing(); *Failing)
+      Out += ",\"failed_clause\":" + jsonString(Failing);
+  }
+  Out += ",\"verdict\":" + jsonString(decisionVerdictName(Verdict));
+  if (DuplicationsPerformed != 0)
+    Out += ",\"duplications\":" + jsonNumber(DuplicationsPerformed);
+  Out += "}";
+  return Out;
+}
+
+size_t DecisionLog::append(DuplicationDecision D) {
+  Decisions.push_back(std::move(D));
+  return Decisions.size() - 1;
+}
+
+void DecisionLog::markRolledBackFrom(size_t FirstIndex,
+                                     const std::string &FunctionName) {
+  for (size_t I = FirstIndex; I < Decisions.size(); ++I) {
+    DuplicationDecision &D = Decisions[I];
+    if (D.FunctionName == FunctionName &&
+        D.Verdict == DecisionVerdict::Accepted)
+      D.Verdict = DecisionVerdict::RolledBack;
+  }
+}
+
+std::string DecisionLog::renderJsonl() const {
+  std::string Out;
+  for (const DuplicationDecision &D : Decisions)
+    Out += D.renderJson() + "\n";
+  return Out;
+}
+
+std::string DecisionLog::renderText() const {
+  std::string Out;
+  char Buf[256];
+  for (const DuplicationDecision &D : Decisions) {
+    snprintf(Buf, sizeof(Buf),
+             "%s @%s iter %u merge b%u <- pred b%u: b=%.2f p=%.3f c=%lld "
+             "cs=%llu is=%llu",
+             decisionVerdictName(D.Verdict), D.FunctionName.c_str(),
+             D.Iteration, D.MergeId, D.PredId, D.CyclesSaved, D.Probability,
+             static_cast<long long>(D.SizeCost),
+             static_cast<unsigned long long>(D.CurrentSize),
+             static_cast<unsigned long long>(D.InitialSize));
+    Out += Buf;
+    if (D.TradeoffEvaluated)
+      if (const char *Failing = D.Clauses.firstFailing(); *Failing)
+        Out += std::string(" [failed: ") + Failing + "]";
+    Out += "\n";
+  }
+  return Out;
+}
+
+bool DecisionLog::writeJsonl(const std::string &Path,
+                             std::string *Error) const {
+  FILE *File = fopen(Path.c_str(), "wb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Out = renderJsonl();
+  size_t Written = fwrite(Out.data(), 1, Out.size(), File);
+  fclose(File);
+  if (Written != Out.size()) {
+    if (Error)
+      *Error = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}

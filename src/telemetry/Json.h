@@ -1,0 +1,87 @@
+//===- telemetry/Json.h - Minimal JSON emission helpers ---------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny header-only helpers shared by the telemetry emitters (trace
+/// events, counter dumps, decision logs, bench reports). Emission only —
+/// the repo never needs to parse general JSON, so there is no reader here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TELEMETRY_JSON_H
+#define DBDS_TELEMETRY_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dbds {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes not
+/// included).
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// A quoted, escaped JSON string literal.
+inline std::string jsonString(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
+  return Out;
+}
+
+/// A JSON number for a double. Non-finite values have no JSON spelling and
+/// are emitted as 0.
+inline std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+inline std::string jsonNumber(uint64_t V) { return std::to_string(V); }
+inline std::string jsonNumber(int64_t V) { return std::to_string(V); }
+inline std::string jsonNumber(unsigned V) { return std::to_string(V); }
+
+inline const char *jsonBool(bool B) { return B ? "true" : "false"; }
+
+} // namespace dbds
+
+#endif // DBDS_TELEMETRY_JSON_H

@@ -1,0 +1,121 @@
+//===- telemetry/Report.cpp - Machine-readable bench reports ---------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Depends on workloads/Runner.h for the measurement types only — every
+// member used here is defined inline in the header, so dbds_telemetry
+// stays a leaf library (support only) and everything above it can link
+// telemetry without a cycle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Report.h"
+
+#include "support/Statistics.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Json.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+namespace {
+
+std::string renderConfig(const ConfigMeasurement &C) {
+  std::string Out = "{";
+  Out += "\"dynamic_cycles\":" + jsonNumber(C.DynamicCycles);
+  Out += ",\"compile_time_ms\":" + jsonNumber(C.CompileTimeMs);
+  Out += ",\"code_size\":" + jsonNumber(C.CodeSize);
+  Out += ",\"duplications\":" + jsonNumber(C.Duplications);
+  Out += ",\"rollbacks\":" + jsonNumber(C.Rollbacks);
+  Out += ",\"run_failures\":" + jsonNumber(C.RunFailures);
+  Out += ",\"functions_degraded\":" + jsonNumber(C.FunctionsDegraded);
+  Out += ",\"max_degradation\":" +
+         jsonString(degradationLevelName(C.MaxDegradation));
+  if (!C.Counters.empty())
+    Out += ",\"counters\":" + CounterRegistry::renderJson(C.Counters);
+  Out += "}";
+  return Out;
+}
+
+std::string renderVsBaseline(const BenchmarkMeasurement &M,
+                             const ConfigMeasurement &C) {
+  std::string Out = "{";
+  Out += "\"peak_pct\":" + jsonNumber(M.peakImprovementPercent(C));
+  Out += ",\"compile_time_pct\":" +
+         jsonNumber(M.compileTimeIncreasePercent(C));
+  Out += ",\"code_size_pct\":" + jsonNumber(M.codeSizeIncreasePercent(C));
+  Out += "}";
+  return Out;
+}
+
+} // namespace
+
+std::string
+dbds::renderBenchJson(const std::string &SuiteName,
+                      const std::vector<BenchmarkMeasurement> &Rows) {
+  std::string Out = "{\"schema\":\"dbds-bench-report\",\"version\":1";
+  Out += ",\"suite\":" + jsonString(SuiteName);
+  Out += ",\"benchmarks\":[";
+
+  std::vector<double> DPeak, DCt, DCs, APeak, ACt, ACs;
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const BenchmarkMeasurement &M = Rows[I];
+    if (I != 0)
+      Out += ",";
+    Out += "\n{\"name\":" + jsonString(M.Name);
+    Out += std::string(",\"results_agree\":") + jsonBool(M.ResultsAgree);
+    Out += ",\"configs\":{";
+    Out += "\"baseline\":" + renderConfig(M.Baseline);
+    Out += ",\"dbds\":" + renderConfig(M.DBDS);
+    Out += ",\"dupalot\":" + renderConfig(M.DupALot);
+    Out += "},\"vs_baseline\":{";
+    Out += "\"dbds\":" + renderVsBaseline(M, M.DBDS);
+    Out += ",\"dupalot\":" + renderVsBaseline(M, M.DupALot);
+    Out += "}}";
+
+    DPeak.push_back(1.0 + M.peakImprovementPercent(M.DBDS) / 100.0);
+    DCt.push_back(1.0 + M.compileTimeIncreasePercent(M.DBDS) / 100.0);
+    DCs.push_back(1.0 + M.codeSizeIncreasePercent(M.DBDS) / 100.0);
+    APeak.push_back(1.0 + M.peakImprovementPercent(M.DupALot) / 100.0);
+    ACt.push_back(1.0 + M.compileTimeIncreasePercent(M.DupALot) / 100.0);
+    ACs.push_back(1.0 + M.codeSizeIncreasePercent(M.DupALot) / 100.0);
+  }
+
+  auto Geo = [](std::vector<double> &V) {
+    return (geometricMean(ArrayRef<double>(V)) - 1.0) * 100.0;
+  };
+  Out += "\n],\"geomean\":{";
+  Out += "\"dbds\":{\"peak_pct\":" + jsonNumber(Geo(DPeak));
+  Out += ",\"compile_time_pct\":" + jsonNumber(Geo(DCt));
+  Out += ",\"code_size_pct\":" + jsonNumber(Geo(DCs));
+  Out += "},\"dupalot\":{\"peak_pct\":" + jsonNumber(Geo(APeak));
+  Out += ",\"compile_time_pct\":" + jsonNumber(Geo(ACt));
+  Out += ",\"code_size_pct\":" + jsonNumber(Geo(ACs));
+  Out += "}}}\n";
+  return Out;
+}
+
+bool dbds::writeBenchJson(const std::string &Path,
+                          const std::string &SuiteName,
+                          const std::vector<BenchmarkMeasurement> &Rows,
+                          std::string *Error) {
+  FILE *File = fopen(Path.c_str(), "wb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Json = renderBenchJson(SuiteName, Rows);
+  size_t Written = fwrite(Json.data(), 1, Json.size(), File);
+  fclose(File);
+  if (Written != Json.size()) {
+    if (Error)
+      *Error = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}

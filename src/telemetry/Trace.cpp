@@ -1,0 +1,159 @@
+//===- telemetry/Trace.cpp - Chrome trace_event span recording -------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Trace.h"
+
+#include "telemetry/Json.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace dbds;
+
+std::atomic<TraceSession *> TraceSession::ActiveSession{nullptr};
+
+TraceSession::TraceSession() : StartNs(Timer::nowNs()) {}
+
+TraceSession::~TraceSession() {
+  // A dying session must never stay attached.
+  TraceSession *Expected = this;
+  ActiveSession.compare_exchange_strong(Expected, nullptr);
+}
+
+uint32_t TraceSession::threadIndex() {
+  auto [It, Inserted] = ThreadIds.try_emplace(
+      std::this_thread::get_id(), static_cast<uint32_t>(ThreadIds.size()));
+  (void)Inserted;
+  return It->second;
+}
+
+void TraceSession::record(char Phase, const char *Name, const char *Category,
+                          std::string Args) {
+  uint64_t Now = Timer::nowNs();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back({Phase, Name, Category, Now - StartNs, threadIndex(),
+                    std::move(Args)});
+}
+
+void TraceSession::beginSpan(const char *Name, const char *Category,
+                             std::string Args) {
+  record('B', Name, Category, std::move(Args));
+}
+
+void TraceSession::endSpan(const char *Name) {
+  record('E', Name, "", std::string());
+}
+
+void TraceSession::instant(const char *Name, const char *Category,
+                           std::string Args) {
+  record('i', Name, Category, std::move(Args));
+}
+
+size_t TraceSession::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+bool TraceSession::checkBalance(std::vector<std::string> *Errors) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  bool Ok = true;
+  auto fail = [&](const std::string &Msg) {
+    Ok = false;
+    if (Errors)
+      Errors->push_back("telemetry-span-balance: " + Msg);
+  };
+
+  // Per-thread stacks of open span names, in event order.
+  std::unordered_map<uint32_t, std::vector<const char *>> Open;
+  for (const TraceEvent &E : Events) {
+    if (E.Phase == 'B') {
+      Open[E.ThreadId].push_back(E.Name);
+    } else if (E.Phase == 'E') {
+      std::vector<const char *> &Stack = Open[E.ThreadId];
+      if (Stack.empty()) {
+        fail("end event '" + std::string(E.Name) + "' on tid " +
+             std::to_string(E.ThreadId) + " without a matching begin");
+        continue;
+      }
+      if (std::string(Stack.back()) != E.Name)
+        fail("end event '" + std::string(E.Name) + "' on tid " +
+             std::to_string(E.ThreadId) + " crosses open span '" +
+             Stack.back() + "'");
+      Stack.pop_back();
+    }
+  }
+  for (const auto &[Tid, Stack] : Open)
+    for (const char *Name : Stack)
+      fail("span '" + std::string(Name) + "' on tid " + std::to_string(Tid) +
+           " was never closed");
+  return Ok;
+}
+
+std::string TraceSession::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  char Buf[128];
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"ph\":\"";
+    Out += E.Phase;
+    Out += "\",\"name\":" + jsonString(E.Name);
+    if (E.Phase != 'E')
+      Out += ",\"cat\":" + jsonString(E.Category);
+    if (E.Phase == 'i')
+      Out += ",\"s\":\"t\""; // thread-scoped instant
+    // Microsecond timestamps with nanosecond fraction preserved.
+    snprintf(Buf, sizeof(Buf), ",\"ts\":%llu.%03u,\"pid\":1,\"tid\":%u",
+             static_cast<unsigned long long>(E.TimestampNs / 1000),
+             static_cast<unsigned>(E.TimestampNs % 1000), E.ThreadId);
+    Out += Buf;
+    if (!E.Args.empty())
+      Out += ",\"args\":{" + E.Args + "}";
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool TraceSession::writeJson(const std::string &Path,
+                             std::string *Error) const {
+  std::vector<std::string> Violations;
+  if (!checkBalance(&Violations)) {
+    if (Error) {
+      *Error = "refusing to write unbalanced trace:";
+      for (const std::string &V : Violations)
+        *Error += "\n  " + V;
+    }
+    return false;
+  }
+  FILE *File = fopen(Path.c_str(), "wb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Json = renderJson();
+  size_t Written = fwrite(Json.data(), 1, Json.size(), File);
+  fclose(File);
+  if (Written != Json.size()) {
+    if (Error)
+      *Error = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+TraceSession *TraceSession::attach() {
+  return ActiveSession.exchange(this);
+}
+
+void TraceSession::detach(TraceSession *Previous) {
+  TraceSession *Expected = this;
+  ActiveSession.compare_exchange_strong(Expected, Previous);
+}

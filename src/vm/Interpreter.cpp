@@ -7,8 +7,14 @@
 #include "vm/Interpreter.h"
 
 #include "ir/Semantics.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
 
 using namespace dbds;
+
+DBDS_COUNTER(interpreter, runs);
+DBDS_COUNTER(interpreter, instructions_executed);
 
 void dbds::applyProfile(Function &F, const ProfileSummary &Profile) {
   for (Block *B : F.blocks()) {
@@ -68,8 +74,19 @@ ExecutionResult Interpreter::run(Function &F, ArrayRef<int64_t> Args,
 
 ExecutionResult Interpreter::run(Function &F, ArrayRef<RuntimeValue> Args,
                                  uint64_t Fuel, ProfileSummary *Profile) {
+  // One span per interpretation; the profile flag distinguishes training
+  // runs (feeding DBDS probabilities, §5.3) from measurement runs.
+  TraceSession *TS = TraceSession::active();
+  TraceSpan RunSpan(TS, "interpret", "vm",
+                    TS ? "\"function\":" + jsonString(F.getName()) +
+                             ",\"profiled\":" + jsonBool(Profile != nullptr)
+                       : std::string());
+  ++runs;
   uint64_t FuelRemaining = Fuel;
-  return execute(F, Args, FuelRemaining, Profile, /*Depth=*/0);
+  ExecutionResult Result = execute(F, Args, FuelRemaining, Profile,
+                                   /*Depth=*/0);
+  instructions_executed += Result.Steps;
+  return Result;
 }
 
 ExecutionResult Interpreter::execute(Function &F, ArrayRef<RuntimeValue> Args,

@@ -11,6 +11,9 @@
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
+#include "telemetry/DecisionLog.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
@@ -53,6 +56,14 @@ void diagnose(const RunnerOptions &Opts, DiagKind Kind,
 
 ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
                                 const RunnerOptions &Opts) {
+  TraceSession *TS = TraceSession::active();
+  TraceSpan ConfigSpan(TS, runConfigName(Config), "runner",
+                       TS ? "\"benchmark\":" + jsonString(Spec.Name)
+                          : std::string());
+  std::vector<CounterSample> PreCounters;
+  if (Opts.CollectCounters)
+    PreCounters = CounterRegistry::instance().snapshot();
+
   // Regenerate from the seed: each configuration optimizes an identical
   // program (block/instruction pointers differ; semantics do not).
   GeneratedWorkload W = generateWorkload(Spec.Config);
@@ -70,6 +81,9 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
 
     // Profile on training inputs (the JIT's interpreter tier).
     ProfileSummary Profile;
+    TraceSpan TrainSpan(TS, "train", "runner",
+                        TS ? "\"function\":" + jsonString(F.getName())
+                           : std::string());
     for (const auto &Args : W.TrainInputs[FIdx]) {
       Interp.reset();
       ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24,
@@ -85,6 +99,7 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
         break; // Profile what we have; the compile still proceeds.
       }
     }
+    TrainSpan.close();
     applyProfile(F, Profile);
 
     // Compile (timed) under a per-function budget. The budget degrades the
@@ -94,6 +109,9 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
     Timer CompileTimer;
     unsigned Rollbacks = 0;
     {
+      TraceSpan CompileSpan(TS, "compile", "runner",
+                            TS ? "\"function\":" + jsonString(F.getName())
+                               : std::string());
       TimerScope Scope(CompileTimer);
       PhaseManager Pipeline =
           PhaseManager::standardPipeline(Opts.Verify, W.Mod.get());
@@ -112,6 +130,7 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
         DC.Diags = Opts.Diags;
         DC.Injector = Opts.Injector;
         DC.Budget = &Budget;
+        DC.Decisions = Opts.Decisions;
         DBDSResult R = runDBDS(F, DC);
         Out.Duplications += R.DuplicationsPerformed;
         Rollbacks += R.RollbacksPerformed;
@@ -126,6 +145,9 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
     }
 
     // Peak performance: dynamic cost-model cycles on evaluation inputs.
+    TraceSpan EvalSpan(TS, "eval", "runner",
+                       TS ? "\"function\":" + jsonString(F.getName())
+                          : std::string());
     for (const auto &Args : W.EvalInputs[FIdx]) {
       Interp.reset();
       ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24);
@@ -147,7 +169,11 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
               ? static_cast<uint64_t>(R.Result.Scalar)
               : 0);
     }
+    EvalSpan.close();
   }
+  if (Opts.CollectCounters)
+    Out.Counters = CounterRegistry::delta(
+        PreCounters, CounterRegistry::instance().snapshot());
   return Out;
 }
 
@@ -259,6 +285,25 @@ dbds::formatSuiteReport(const std::string &SuiteName,
            "%-14s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
            "geomean", Geo(DPeak), Geo(DCt), Geo(DCs), Geo(APeak), Geo(ACt),
            Geo(ACs));
+  Out += Line;
+  // Spread summary: the geomean hides skew (one octane-raytrace-style
+  // regression vanishes into it, §6.2), so report median and sample
+  // stddev of the same per-benchmark percentages.
+  auto Med = [](std::vector<double> &V) {
+    return (median(ArrayRef<double>(V)) - 1.0) * 100.0;
+  };
+  auto Sd = [](std::vector<double> &V) {
+    return stddev(ArrayRef<double>(V)) * 100.0;
+  };
+  snprintf(Line, sizeof(Line),
+           "%-14s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+           "median", Med(DPeak), Med(DCt), Med(DCs), Med(APeak), Med(ACt),
+           Med(ACs));
+  Out += Line;
+  snprintf(Line, sizeof(Line),
+           "%-14s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+           "stddev", Sd(DPeak), Sd(DCt), Sd(DCs), Sd(APeak), Sd(ACt),
+           Sd(ACs));
   Out += Line;
   Out += Notes;
   return Out;

@@ -20,12 +20,14 @@
 #define DBDS_WORKLOADS_RUNNER_H
 
 #include "support/Budget.h"
+#include "telemetry/Counters.h"
 #include "workloads/Suites.h"
 
 #include <string>
 
 namespace dbds {
 
+class DecisionLog;
 class DiagnosticEngine;
 class FaultInjector;
 
@@ -57,6 +59,15 @@ struct RunnerOptions {
 
   /// Optional sink for structured diagnostics (not owned).
   DiagnosticEngine *Diags = nullptr;
+
+  /// Optional sink for per-candidate DBDS duplication decisions (not
+  /// owned) — the optimization-remarks stream (drivers expose --remarks).
+  DecisionLog *Decisions = nullptr;
+
+  /// When set, each ConfigMeasurement carries the telemetry-counter delta
+  /// of its compilation+measurement region (drivers expose --counters;
+  /// folded into the machine-readable bench report).
+  bool CollectCounters = false;
 };
 
 /// Raw measurements of one benchmark under one configuration.
@@ -71,6 +82,9 @@ struct ConfigMeasurement {
   DegradationLevel MaxDegradation = DegradationLevel::None;
   unsigned Rollbacks = 0;    ///< Phase/DBDS rollbacks during compilation.
   unsigned RunFailures = 0;  ///< Training/eval runs that did not terminate.
+  /// Telemetry-counter delta over this configuration's region (empty
+  /// unless RunnerOptions::CollectCounters was set).
+  std::vector<CounterSample> Counters;
 };
 
 /// One benchmark's results across all three configurations.

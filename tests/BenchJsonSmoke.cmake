@@ -1,0 +1,81 @@
+# Smoke test for the machine-readable bench report (telemetry tentpole):
+# runs the micro figure driver with --json-out and validates the emitted
+# JSON with cmake's string(JSON) parser — the report must parse, carry the
+# dbds-bench-report schema, and measure all three configurations for every
+# benchmark.
+#
+# Invoked as:
+#   cmake -DBENCH_BIN=<bench_fig7_micro> -DWORK_DIR=<dir> -P BenchJsonSmoke.cmake
+
+if(NOT BENCH_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "BenchJsonSmoke.cmake needs -DBENCH_BIN and -DWORK_DIR")
+endif()
+
+set(REPORT "${WORK_DIR}/BENCH_micro_smoke.json")
+file(REMOVE "${REPORT}")
+
+execute_process(
+  COMMAND "${BENCH_BIN}" "--json-out=${REPORT}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE RUN_RESULT
+  OUTPUT_VARIABLE RUN_OUTPUT
+  ERROR_VARIABLE RUN_ERROR)
+if(NOT RUN_RESULT EQUAL 0)
+  message(FATAL_ERROR "bench driver failed (${RUN_RESULT}):\n${RUN_OUTPUT}\n${RUN_ERROR}")
+endif()
+if(NOT EXISTS "${REPORT}")
+  message(FATAL_ERROR "bench driver did not write ${REPORT}")
+endif()
+
+file(READ "${REPORT}" DOC)
+
+# The document must parse as JSON with the expected schema/version/suite.
+string(JSON SCHEMA ERROR_VARIABLE JSON_ERR GET "${DOC}" schema)
+if(JSON_ERR)
+  message(FATAL_ERROR "report is not valid JSON: ${JSON_ERR}")
+endif()
+if(NOT SCHEMA STREQUAL "dbds-bench-report")
+  message(FATAL_ERROR "unexpected schema '${SCHEMA}'")
+endif()
+string(JSON VERSION GET "${DOC}" version)
+if(NOT VERSION EQUAL 1)
+  message(FATAL_ERROR "unexpected schema version '${VERSION}'")
+endif()
+string(JSON SUITE GET "${DOC}" suite)
+if(NOT SUITE STREQUAL "micro")
+  message(FATAL_ERROR "unexpected suite '${SUITE}'")
+endif()
+
+# Every benchmark must carry all three configurations with a measured
+# code size, and the geomean summary must cover dbds and dupalot.
+string(JSON NBENCH LENGTH "${DOC}" benchmarks)
+if(NBENCH LESS 1)
+  message(FATAL_ERROR "report has no benchmarks")
+endif()
+math(EXPR LAST "${NBENCH} - 1")
+foreach(I RANGE ${LAST})
+  string(JSON NAME GET "${DOC}" benchmarks ${I} name)
+  foreach(CONFIG baseline dbds dupalot)
+    string(JSON SIZE ERROR_VARIABLE JSON_ERR GET "${DOC}" benchmarks ${I}
+           configs ${CONFIG} code_size)
+    if(JSON_ERR)
+      message(FATAL_ERROR "benchmark '${NAME}' lacks config '${CONFIG}': ${JSON_ERR}")
+    endif()
+    if(SIZE LESS 1)
+      message(FATAL_ERROR "benchmark '${NAME}' config '${CONFIG}' measured no code")
+    endif()
+  endforeach()
+  string(JSON AGREE GET "${DOC}" benchmarks ${I} results_agree)
+  if(NOT AGREE STREQUAL "ON" AND NOT AGREE STREQUAL "true")
+    message(FATAL_ERROR "benchmark '${NAME}' diverged across configurations")
+  endif()
+endforeach()
+
+foreach(CONFIG dbds dupalot)
+  string(JSON PEAK ERROR_VARIABLE JSON_ERR GET "${DOC}" geomean ${CONFIG} peak_pct)
+  if(JSON_ERR)
+    message(FATAL_ERROR "geomean lacks '${CONFIG}': ${JSON_ERR}")
+  endif()
+endforeach()
+
+message(STATUS "bench_json_smoke: ${NBENCH} benchmarks x 3 configs validated")

@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 #include <string>
 
 using namespace dbds;
@@ -211,6 +213,29 @@ TEST(StatisticsTest, ArithmeticMeanAndExtremes) {
   EXPECT_DOUBLE_EQ(maximum({3.0, 1.0, 2.0}), 3.0);
 }
 
+TEST(StatisticsTest, Median) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);       // odd: middle
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);  // even: middle avg
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median(ArrayRef<double>()), 0.0);
+  // The input is not reordered.
+  std::vector<double> V = {3.0, 1.0, 2.0};
+  median(ArrayRef<double>(V));
+  EXPECT_EQ(V[0], 3.0);
+  EXPECT_EQ(V[1], 1.0);
+  // Unlike the geomean, the median shrugs off one outlier.
+  EXPECT_DOUBLE_EQ(median({1.0, 1.0, 1.0, 1.0, 1000.0}), 1.0);
+}
+
+TEST(StatisticsTest, SampleStddev) {
+  EXPECT_DOUBLE_EQ(stddev(ArrayRef<double>()), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0); // n < 2: undefined, reported as 0
+  EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sum of squares 32, n-1 = 7.
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
 // ---- Casting ----------------------------------------------------------------
 
 TEST(CastingTest, IsaCastDynCastOverInstructions) {
@@ -245,6 +270,54 @@ TEST(TimerTest, AccumulatesAcrossScopes) {
   T.reset();
   EXPECT_EQ(T.totalNs(), 0u);
   EXPECT_DOUBLE_EQ(T.totalMs(), 0.0);
+}
+
+TEST(TimerTest, StopWithoutStartIsANoOp) {
+  Timer T;
+  T.stop(); // must not accumulate garbage from an unset begin timestamp
+  EXPECT_EQ(T.totalNs(), 0u);
+  EXPECT_FALSE(T.isRunning());
+  T.start();
+  EXPECT_TRUE(T.isRunning());
+  T.stop();
+  EXPECT_FALSE(T.isRunning());
+  T.stop(); // extra stop after a balanced pair: still a no-op
+  uint64_t Total = T.totalNs();
+  T.stop();
+  EXPECT_EQ(T.totalNs(), Total);
+}
+
+TEST(TimerTest, NestedStartStopAccumulatesOutermostWindowOnly) {
+  Timer T;
+  T.start();
+  T.start(); // nested: already covered by the outer window
+  EXPECT_TRUE(T.isRunning());
+  T.stop();
+  EXPECT_TRUE(T.isRunning()); // inner stop does not end the window
+  EXPECT_EQ(T.totalNs(), 0u); // nothing accumulated until the outer stop
+  T.stop();
+  EXPECT_FALSE(T.isRunning());
+  uint64_t Outer = T.totalNs();
+  EXPECT_GT(Outer, 0u);
+  // Nested TimerScopes (e.g. a phase timing inside a whole-compile
+  // timing) behave identically.
+  T.reset();
+  {
+    TimerScope A(T);
+    TimerScope B(T);
+    EXPECT_TRUE(T.isRunning());
+  }
+  EXPECT_FALSE(T.isRunning());
+  EXPECT_GT(T.totalNs(), 0u);
+}
+
+TEST(TimerTest, ResetClearsNestingDepth) {
+  Timer T;
+  T.start();
+  T.reset(); // reset mid-window: the dangling start must not linger
+  EXPECT_FALSE(T.isRunning());
+  T.stop(); // and its stop is now unmatched -> no-op
+  EXPECT_EQ(T.totalNs(), 0u);
 }
 
 } // namespace

@@ -1,0 +1,333 @@
+//===- tests/telemetry_test.cpp - Trace, counters, decisions, reports ------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbds/DBDSPhase.h"
+#include "ir/Parser.h"
+#include "telemetry/Counters.h"
+#include "telemetry/DecisionLog.h"
+#include "telemetry/Json.h"
+#include "telemetry/Report.h"
+#include "telemetry/Trace.h"
+#include "workloads/Runner.h"
+
+#include "PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace dbds;
+
+namespace {
+
+Function *parseInto(std::unique_ptr<Module> &Mod, const char *Source) {
+  ParseResult R = parseModule(Source);
+  EXPECT_TRUE(R) << R.Error;
+  Mod = std::move(R.Mod);
+  return Mod->functions()[0];
+}
+
+// ---- JSON helpers --------------------------------------------------------
+
+TEST(JsonTest, EscapesAndFormats) {
+  EXPECT_EQ(jsonString("plain"), "\"plain\"");
+  EXPECT_EQ(jsonString("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(jsonNumber(uint64_t(42)), "42");
+  EXPECT_EQ(jsonNumber(int64_t(-7)), "-7");
+  EXPECT_EQ(jsonNumber(1.5), "1.5");
+  // Non-finite doubles have no JSON spelling.
+  EXPECT_EQ(jsonNumber(std::nan("")), "0");
+  EXPECT_STREQ(jsonBool(true), "true");
+  EXPECT_STREQ(jsonBool(false), "false");
+}
+
+// ---- Trace sessions ------------------------------------------------------
+
+TEST(TraceSessionTest, RecordsBalancedSpansAndRenders) {
+  TraceSession S;
+  S.beginSpan("outer", "test", "\"k\":1");
+  S.beginSpan("inner", "test");
+  S.instant("marker", "test");
+  S.endSpan("inner");
+  S.endSpan("outer");
+  EXPECT_EQ(S.eventCount(), 5u);
+  EXPECT_TRUE(S.checkBalance());
+
+  std::string Json = S.renderJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"k\":1"), std::string::npos);
+}
+
+// The telemetry-span-balance check: each malformed stream shape must be
+// flagged before JSON emission, and writeJson must refuse to emit it.
+TEST(TraceSessionTest, BalanceCheckFlagsUnmatchedEnd) {
+  TraceSession S;
+  S.endSpan("never-begun");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(S.checkBalance(&Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("telemetry-span-balance"), std::string::npos);
+}
+
+TEST(TraceSessionTest, BalanceCheckFlagsCrossingSpans) {
+  TraceSession S;
+  S.beginSpan("a", "test");
+  S.beginSpan("b", "test");
+  S.endSpan("a"); // crosses the still-open "b"
+  S.endSpan("b");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(S.checkBalance(&Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(TraceSessionTest, BalanceCheckFlagsDanglingOpen) {
+  TraceSession S;
+  S.beginSpan("open", "test");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(S.checkBalance(&Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(TraceSessionTest, WriteJsonRefusesUnbalancedStream) {
+  TraceSession S;
+  S.beginSpan("open", "test");
+  std::string Error;
+  std::string Path = testing::TempDir() + "dbds_unbalanced_trace.json";
+  EXPECT_FALSE(S.writeJson(Path, &Error));
+  EXPECT_NE(Error.find("telemetry-span-balance"), std::string::npos);
+}
+
+TEST(TraceSessionTest, SpansAreFreeWhenDetached) {
+  EXPECT_EQ(TraceSession::active(), nullptr);
+  {
+    TraceSpan Span("unattached", "test");
+  }
+  TraceSession S;
+  EXPECT_EQ(S.eventCount(), 0u);
+}
+
+TEST(TraceSessionTest, ScopedAttachRestoresPreviousSession) {
+  TraceSession Outer;
+  {
+    ScopedTraceAttach AttachOuter(Outer);
+    EXPECT_EQ(TraceSession::active(), &Outer);
+    {
+      TraceSession Inner;
+      ScopedTraceAttach AttachInner(Inner);
+      EXPECT_EQ(TraceSession::active(), &Inner);
+      TraceSpan Span("nested", "test");
+    }
+    // The inner session detached; the outer one is active again.
+    EXPECT_EQ(TraceSession::active(), &Outer);
+    TraceSpan Span("outer-span", "test");
+  }
+  EXPECT_EQ(TraceSession::active(), nullptr);
+  EXPECT_EQ(Outer.eventCount(), 2u); // outer-span B+E only
+  EXPECT_TRUE(Outer.checkBalance());
+}
+
+// ---- Counter registry ----------------------------------------------------
+
+DBDS_COUNTER(telemetry_test, test_counter);
+
+TEST(CounterRegistryTest, RegistersIncrementsAndSnapshots) {
+  uint64_t Before = test_counter.value();
+  ++test_counter;
+  test_counter += 2;
+  EXPECT_EQ(test_counter.value(), Before + 3);
+  EXPECT_EQ(test_counter.qualifiedName(), "telemetry_test.test_counter");
+
+  bool Found = false;
+  for (const CounterSample &S : CounterRegistry::instance().snapshot())
+    if (S.Name == "telemetry_test.test_counter") {
+      Found = true;
+      EXPECT_EQ(S.Value, Before + 3);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CounterRegistryTest, DeltaIsolatesARegionAndDropsZeros) {
+  auto Before = CounterRegistry::instance().snapshot();
+  ++test_counter;
+  auto Delta =
+      CounterRegistry::delta(Before, CounterRegistry::instance().snapshot());
+  ASSERT_EQ(Delta.size(), 1u);
+  EXPECT_EQ(Delta[0].Name, "telemetry_test.test_counter");
+  EXPECT_EQ(Delta[0].Value, 1u);
+
+  std::string Text = CounterRegistry::renderText(Delta);
+  EXPECT_NE(Text.find("telemetry_test.test_counter = 1"), std::string::npos);
+  std::string Json = CounterRegistry::renderJson(Delta);
+  EXPECT_NE(Json.find("\"telemetry_test.test_counter\":1"),
+            std::string::npos);
+}
+
+// ---- Decision log --------------------------------------------------------
+
+TEST(DecisionLogTest, TradeoffClauseNames) {
+  TradeoffClauses C;
+  EXPECT_FALSE(C.pass());
+  EXPECT_STREQ(C.firstFailing(), "positive-cycles-saved");
+  C.PositiveCyclesSaved = true;
+  EXPECT_STREQ(C.firstFailing(), "benefit-outweighs-cost");
+  C.BenefitOutweighsCost = true;
+  EXPECT_STREQ(C.firstFailing(), "under-max-unit-size");
+  C.UnderMaxUnitSize = true;
+  EXPECT_STREQ(C.firstFailing(), "within-growth-budget");
+  C.WithinGrowthBudget = true;
+  EXPECT_TRUE(C.pass());
+  EXPECT_STREQ(C.firstFailing(), "");
+}
+
+TEST(DecisionLogTest, RollbackReverdictsAcceptedDecisions) {
+  DecisionLog Log;
+  DuplicationDecision D;
+  D.FunctionName = "f";
+  D.Verdict = DecisionVerdict::Accepted;
+  size_t First = Log.append(D);
+  D.Verdict = DecisionVerdict::RejectedTradeoff;
+  Log.append(D);
+  D.FunctionName = "g";
+  D.Verdict = DecisionVerdict::Accepted;
+  Log.append(D);
+
+  Log.markRolledBackFrom(First, "f");
+  // Only @f's Accepted record is re-verdicted; the rejection and the
+  // other function's record are untouched.
+  EXPECT_EQ(Log.decisions()[0].Verdict, DecisionVerdict::RolledBack);
+  EXPECT_EQ(Log.decisions()[1].Verdict, DecisionVerdict::RejectedTradeoff);
+  EXPECT_EQ(Log.decisions()[2].Verdict, DecisionVerdict::Accepted);
+}
+
+// ---- End-to-end: the paper example through DBDS with telemetry on --------
+
+// Figure 3 (§4.1): dividing by the phi {x+1, 2} strength-reduces to a
+// shift after duplication. The expected candidate must be accepted, with
+// its exact shouldDuplicate inputs and the strength-reduction opportunity
+// recorded.
+TEST(TelemetryIntegrationTest, Figure3CandidateIsAcceptedWithInputs) {
+  std::unique_ptr<Module> Mod;
+  Function *F = parseInto(Mod, paper::Figure3);
+  DecisionLog Log;
+  DBDSConfig Config;
+  Config.ClassTable = Mod.get();
+  Config.Decisions = &Log;
+  DBDSResult R = runDBDS(*F, Config);
+  EXPECT_GE(R.DuplicationsPerformed, 1u);
+  ASSERT_FALSE(Log.empty());
+
+  const DuplicationDecision *Accepted = nullptr;
+  for (const DuplicationDecision &D : Log.decisions())
+    if (D.Verdict == DecisionVerdict::Accepted &&
+        D.Opportunities.StrengthReductions >= 1) {
+      Accepted = &D;
+      break;
+    }
+  ASSERT_NE(Accepted, nullptr)
+      << "no accepted decision with a strength-reduction opportunity";
+  EXPECT_EQ(Accepted->FunctionName, "f");
+  // §4.1: CS = 32 - 1 = 31 (plus the removed jump).
+  EXPECT_GE(Accepted->CyclesSaved, 31.0);
+  EXPECT_GT(Accepted->Probability, 0.0);
+  EXPECT_TRUE(Accepted->TradeoffEvaluated);
+  EXPECT_TRUE(Accepted->Clauses.pass());
+  EXPECT_GE(Accepted->DuplicationsPerformed, 1u);
+  EXPECT_GT(Accepted->InitialSize, 0u);
+  EXPECT_GE(Accepted->CurrentSize, Accepted->InitialSize);
+
+  // The JSONL record carries the verdict and the clause results.
+  std::string Json = Accepted->renderJson();
+  EXPECT_NE(Json.find("\"verdict\":\"accepted\""), std::string::npos);
+  EXPECT_NE(Json.find("\"strength_reductions\":"), std::string::npos);
+}
+
+// A size-budget-violating candidate must be rejected with the failing
+// clause named in the record.
+TEST(TelemetryIntegrationTest, SizeBudgetViolationLogsFailingClause) {
+  std::unique_ptr<Module> Mod;
+  Function *F = parseInto(Mod, paper::Figure3);
+  DecisionLog Log;
+  DBDSConfig Config;
+  Config.ClassTable = Mod.get();
+  Config.Decisions = &Log;
+  Config.MaxUnitSize = 1; // hard VM limit below any real unit size
+  DBDSResult R = runDBDS(*F, Config);
+  EXPECT_EQ(R.DuplicationsPerformed, 0u);
+  ASSERT_FALSE(Log.empty());
+
+  bool FoundSizeReject = false;
+  for (const DuplicationDecision &D : Log.decisions()) {
+    EXPECT_NE(D.Verdict, DecisionVerdict::Accepted);
+    if (D.Verdict == DecisionVerdict::RejectedTradeoff &&
+        !D.Clauses.UnderMaxUnitSize) {
+      FoundSizeReject = true;
+      EXPECT_STREQ(D.Clauses.firstFailing(), "under-max-unit-size");
+      std::string Json = D.renderJson();
+      EXPECT_NE(Json.find("\"failed_clause\":\"under-max-unit-size\""),
+                std::string::npos);
+      EXPECT_NE(Json.find("\"verdict\":\"rejected-tradeoff\""),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(FoundSizeReject);
+}
+
+// The three DBDS tiers each emit a span per iteration, nested inside the
+// per-function dbds span, and the stream balances.
+TEST(TelemetryIntegrationTest, DBDSTierSpansAreRecordedAndBalanced) {
+  std::unique_ptr<Module> Mod;
+  Function *F = parseInto(Mod, paper::Figure3);
+  TraceSession Session;
+  {
+    ScopedTraceAttach Attach(Session);
+    DBDSConfig Config;
+    Config.ClassTable = Mod.get();
+    runDBDS(*F, Config);
+  }
+  EXPECT_TRUE(Session.checkBalance());
+  std::string Json = Session.renderJson();
+  for (const char *Name : {"\"name\":\"dbds\"", "\"name\":\"simulate\"",
+                           "\"name\":\"tradeoff\"", "\"name\":\"optimize\"",
+                           "\"name\":\"dst\"", "\"name\":\"duplicate\""})
+    EXPECT_NE(Json.find(Name), std::string::npos) << Name;
+}
+
+// ---- Bench report --------------------------------------------------------
+
+TEST(BenchReportTest, RendersSchemaWithAllConfigsAndGeomean) {
+  BenchmarkMeasurement M;
+  M.Name = "toy";
+  M.Baseline.DynamicCycles = 1000;
+  M.Baseline.CompileTimeMs = 2.0;
+  M.Baseline.CodeSize = 100;
+  M.DBDS.DynamicCycles = 800;
+  M.DBDS.CompileTimeMs = 2.5;
+  M.DBDS.CodeSize = 110;
+  M.DBDS.Duplications = 3;
+  M.DBDS.Counters.push_back({"simulator.pairs_simulated", 7});
+  M.DupALot.DynamicCycles = 900;
+  M.DupALot.CompileTimeMs = 3.0;
+  M.DupALot.CodeSize = 150;
+
+  std::string Json = renderBenchJson("unit", {M});
+  EXPECT_NE(Json.find("\"schema\":\"dbds-bench-report\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"suite\":\"unit\""), std::string::npos);
+  for (const char *Key :
+       {"\"baseline\"", "\"dbds\"", "\"dupalot\"", "\"vs_baseline\"",
+        "\"geomean\"", "\"peak_pct\"", "\"dynamic_cycles\"",
+        "\"results_agree\":true",
+        "\"counters\":{\"simulator.pairs_simulated\":7}"})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key;
+
+  std::string Error;
+  std::string Path = testing::TempDir() + "dbds_bench_unit.json";
+  EXPECT_TRUE(writeBenchJson(Path, "unit", {M}, &Error)) << Error;
+}
+
+} // namespace

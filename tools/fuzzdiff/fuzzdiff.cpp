@@ -8,7 +8,7 @@
 //
 //   fuzzdiff [--seed=N] [--count=N] [--max-seconds=N] [--out-dir=DIR]
 //            [--functions=N] [--segments=N] [--inject=SEED] [--sabotage]
-//            [--fail-fast] [--quiet]
+//            [--fail-fast] [--quiet] [--trace=FILE]
 //
 // For each seed it generates a program (workloads/ProgramGenerator),
 // optimizes a copy under each of the paper's three configurations —
@@ -39,6 +39,7 @@
 #include "opts/Phase.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
+#include "telemetry/Trace.h"
 #include "tooling/Reducer.h"
 #include "tooling/Sabotage.h"
 #include "vm/Interpreter.h"
@@ -47,6 +48,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <optional>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,13 +73,14 @@ struct Options {
   bool Sabotage = false;
   bool FailFast = false;
   bool Quiet = false;
+  std::string TracePath; ///< Whole-run trace ("" = tracing off).
 };
 
 int usage(const char *Prog) {
   fprintf(stderr,
           "usage: %s [--seed=N] [--count=N] [--max-seconds=N] "
           "[--out-dir=DIR] [--functions=N] [--segments=N] [--inject=SEED] "
-          "[--sabotage] [--fail-fast] [--quiet]\n",
+          "[--sabotage] [--fail-fast] [--quiet] [--trace=FILE]\n",
           Prog);
   return 2;
 }
@@ -225,7 +228,21 @@ void reportFinding(Finding &F, const GeneratedWorkload &Ref, unsigned FnIdx,
     return false;
   };
 
-  ReductionResult R = reduceFunction(*Ref.Mod, F.FunctionName, Oracle);
+  // Every reduced reproducer ships with its own trace: the reduction
+  // oracle re-compiles the shrinking module over and over, so the spans
+  // show exactly which phases ran while the divergence still reproduced.
+  // The session nests inside any whole-run --trace session and restores
+  // it afterwards.
+  TraceSession ReduceTrace;
+  ReductionResult R = [&] {
+    ScopedTraceAttach Attach(ReduceTrace);
+    return reduceFunction(*Ref.Mod, F.FunctionName, Oracle);
+  }();
+  std::string TracePath = Base + "_trace.json";
+  std::string TraceError;
+  if (!ReduceTrace.writeJson(TracePath, &TraceError))
+    fprintf(stderr, "fuzzdiff: cannot write '%s': %s\n", TracePath.c_str(),
+            TraceError.c_str());
   F.OriginalInstructions = R.OriginalInstructions;
   F.ReducedInstructions = R.ReducedInstructions;
   F.Reduced = R.Reduced;
@@ -282,6 +299,8 @@ int main(int Argc, char **Argv) {
       O.FailFast = true;
     else if (strcmp(Argv[I], "--quiet") == 0)
       O.Quiet = true;
+    else if (strncmp(Argv[I], "--trace=", 8) == 0)
+      O.TracePath = Argv[I] + 8;
     else
       return usage(Argv[0]);
   }
@@ -292,6 +311,11 @@ int main(int Argc, char **Argv) {
             O.OutDir.c_str());
     return 2;
   }
+
+  TraceSession RunTrace;
+  std::optional<ScopedTraceAttach> RunAttach;
+  if (!O.TracePath.empty())
+    RunAttach.emplace(RunTrace);
 
   DiagnosticEngine Diags;
   FaultInjector Injector(O.InjectSeed);
@@ -372,6 +396,18 @@ int main(int Argc, char **Argv) {
            Findings.size(), elapsedSeconds(), InjectNote.c_str());
     if (!Diags.empty())
       printf("%s", Diags.render().c_str());
+  }
+
+  if (!O.TracePath.empty()) {
+    RunAttach.reset();
+    std::string TraceError;
+    if (!RunTrace.writeJson(O.TracePath, &TraceError)) {
+      fprintf(stderr, "fuzzdiff: --trace: %s\n", TraceError.c_str());
+      return 2;
+    }
+    if (!O.Quiet)
+      printf("fuzzdiff: trace written to %s (%zu events)\n",
+             O.TracePath.c_str(), RunTrace.eventCount());
   }
 
   // Self-test mode must find something; normal mode must not.

@@ -17,6 +17,8 @@
 //
 // Common options:
 //   --json               machine-readable report instead of text
+//   --trace=FILE         write a Chrome trace_event JSON of the run
+//   --counters           dump the telemetry counter registry after the run
 //   --Werror             warnings fail the run like errors
 //   --disable=RULE       disable a rule (repeatable)
 //   --enable=RULE        re-enable a previously disabled rule
@@ -43,6 +45,8 @@
 #include "ir/Printer.h"
 #include "opts/Phase.h"
 #include "support/Diagnostics.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Trace.h"
 #include "tooling/LintFixtures.h"
 #include "tooling/LintHarness.h"
 #include "tooling/Sabotage.h"
@@ -53,6 +57,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,13 +84,15 @@ struct Options {
   std::vector<std::string> Disabled;
   std::vector<std::string> Enabled;
   std::vector<std::string> Files;
+  std::string TracePath;     ///< "" = tracing off.
+  bool DumpCounters = false;
 };
 
 int usage(const char *Prog) {
   fprintf(stderr,
           "usage: %s [--selftest | --corpus | file.ir...]\n"
           "  [--json] [--Werror] [--disable=RULE] [--enable=RULE]\n"
-          "  [--list-rules] [--quiet]\n"
+          "  [--list-rules] [--quiet] [--trace=FILE] [--counters]\n"
           "  corpus: [--seed=N] [--count=N] [--functions=N] [--segments=N]\n"
           "          [--dynamic] [--audit] [--sabotage]\n",
           Prog);
@@ -351,6 +358,10 @@ int main(int Argc, char **Argv) {
       O.Functions = static_cast<unsigned>(atoi(Arg + 12));
     else if (strncmp(Arg, "--segments=", 11) == 0)
       O.Segments = static_cast<unsigned>(atoi(Arg + 11));
+    else if (strncmp(Arg, "--trace=", 8) == 0)
+      O.TracePath = Arg + 8;
+    else if (strcmp(Arg, "--counters") == 0)
+      O.DumpCounters = true;
     else if (strncmp(Arg, "--", 2) == 0)
       return usage(Argv[0]);
     else
@@ -359,11 +370,37 @@ int main(int Argc, char **Argv) {
 
   if (O.ListRules)
     return listRules();
+
+  TraceSession Trace;
+  std::optional<ScopedTraceAttach> Attach;
+  if (!O.TracePath.empty())
+    Attach.emplace(Trace);
+
+  int Exit;
   if (O.Selftest)
-    return runSelftest(O);
-  if (O.Corpus)
-    return runCorpus(O);
-  if (O.Files.empty())
+    Exit = runSelftest(O);
+  else if (O.Corpus)
+    Exit = runCorpus(O);
+  else if (O.Files.empty())
     return usage(Argv[0]);
-  return lintFiles(O);
+  else
+    Exit = lintFiles(O);
+
+  if (O.DumpCounters)
+    printf("=== telemetry counters ===\n%s",
+           CounterRegistry::renderText(
+               CounterRegistry::instance().snapshot(/*SkipZero=*/true))
+               .c_str());
+  if (!O.TracePath.empty()) {
+    Attach.reset();
+    std::string Error;
+    if (!Trace.writeJson(O.TracePath, &Error)) {
+      fprintf(stderr, "irlint: --trace: %s\n", Error.c_str());
+      return 2;
+    }
+    if (!O.Quiet)
+      printf("irlint: trace written to %s (%zu events)\n",
+             O.TracePath.c_str(), Trace.eventCount());
+  }
+  return Exit;
 }
