@@ -18,6 +18,9 @@
 ///   --counters      dump the telemetry counter registry after the run
 ///   --json-out[=F]  write the machine-readable BENCH_<suite>.json report
 ///                   (default file name when =F is omitted)
+///   --jobs=N        compile functions on N worker threads (0 = one per
+///                   hardware thread; default 1). Every output except
+///                   wall-clock compile time is identical to --jobs=1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +34,7 @@
 #include "workloads/Runner.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -58,6 +62,7 @@ struct FigureOptions {
   std::string RemarksPath;
   std::string JsonOutPath;
   bool DumpCounters = false;
+  unsigned Jobs = 1;
   bool Ok = true;
 };
 
@@ -76,10 +81,13 @@ inline FigureOptions parseFigureOptions(int argc, char **argv,
       O.JsonOutPath = "BENCH_" + Suite.Name + ".json";
     } else if (strncmp(Arg, "--json-out=", 11) == 0) {
       O.JsonOutPath = Arg + 11;
+    } else if (strncmp(Arg, "--jobs=", 7) == 0) {
+      O.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
     } else {
       fprintf(stderr,
               "unknown option: %s\nusage: %s [--trace=FILE] "
-              "[--remarks=FILE] [--counters] [--json-out[=FILE]]\n",
+              "[--remarks=FILE] [--counters] [--json-out[=FILE]] "
+              "[--jobs=N]\n",
               Arg, argv[0]);
       O.Ok = false;
       return O;
@@ -111,6 +119,7 @@ inline int runFigureMain(int argc, char **argv, const char *FigureName,
   if (!O.RemarksPath.empty())
     Opts.Decisions = &Decisions;
   Opts.CollectCounters = O.DumpCounters || !O.JsonOutPath.empty();
+  Opts.Jobs = O.Jobs;
 
   std::vector<BenchmarkMeasurement> Rows;
   {

@@ -22,10 +22,23 @@
 #include "workloads/Runner.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace dbds;
 
-int main() {
+int main(int argc, char **argv) {
+  RunnerOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    if (strncmp(argv[I], "--jobs=", 7) == 0) {
+      Opts.Jobs = static_cast<unsigned>(strtoul(argv[I] + 7, nullptr, 10));
+    } else {
+      fprintf(stderr, "unknown option: %s\nusage: %s [--jobs=N]\n", argv[I],
+              argv[0]);
+      return 2;
+    }
+  }
+
   std::vector<double> DBDSPeak, DBDSCt, DBDSCs;
   std::vector<double> DupPeak, DupCt, DupCs;
   double MaxPeak = 0.0;
@@ -33,7 +46,7 @@ int main() {
 
   for (const SuiteSpec &Suite : allSuites()) {
     printf("measuring %s...\n", Suite.Name.c_str());
-    for (const BenchmarkMeasurement &M : measureSuite(Suite)) {
+    for (const BenchmarkMeasurement &M : measureSuite(Suite, Opts)) {
       double Peak = M.peakImprovementPercent(M.DBDS);
       DBDSPeak.push_back(1.0 + Peak / 100.0);
       DBDSCt.push_back(1.0 + M.compileTimeIncreasePercent(M.DBDS) / 100.0);

@@ -97,11 +97,16 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
         Snapshot = F.clone();
 
       // Audit mode attaches the phase's own counter activity to any
-      // quarantine diagnostic: snapshot the registry before the phase so
-      // the delta isolates what this phase did.
+      // quarantine diagnostic: snapshot before the phase so the delta
+      // isolates what this phase did. Under the parallel compile service a
+      // CounterShard is installed, and the snapshot MUST come from it —
+      // the global registry would fold in every concurrent worker's
+      // increments and misattribute them to this phase.
+      CounterShard *Shard = CounterShard::active();
       std::vector<CounterSample> PreCounters;
       if (Auditing)
-        PreCounters = CounterRegistry::instance().snapshot();
+        PreCounters =
+            Shard ? Shard->snapshot() : CounterRegistry::instance().snapshot();
 
       // Audit baseline: the pre-phase lint findings. New findings after
       // the phase are the phase's effect; pre-existing ones are not.
@@ -181,9 +186,10 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
           Quarantined[F.getName()].insert(Idx);
           ++Rollbacks;
           ++phase_rollbacks;
-          if (Auditing && !PreCounters.empty()) {
+          if (Auditing) {
             std::vector<CounterSample> Delta = CounterRegistry::delta(
-                PreCounters, CounterRegistry::instance().snapshot());
+                PreCounters, Shard ? Shard->snapshot()
+                                   : CounterRegistry::instance().snapshot());
             if (!Delta.empty()) {
               Error += " [counters:";
               for (const CounterSample &Sample : Delta)

@@ -60,6 +60,22 @@ public:
            std::move(Msg));
   }
 
+  /// Splices every diagnostic of \p Other (in Other's order) onto the end
+  /// of this engine, leaving \p Other empty. The parallel compile service
+  /// gives each function task its own engine and merges them here in
+  /// function index order, so --jobs=N diagnostics read identically to a
+  /// serial run's.
+  void mergeFrom(DiagnosticEngine &Other) {
+    if (Diags.empty()) {
+      Diags = std::move(Other.Diags);
+    } else {
+      Diags.reserve(Diags.size() + Other.Diags.size());
+      for (Diagnostic &D : Other.Diags)
+        Diags.push_back(std::move(D));
+    }
+    Other.Diags.clear();
+  }
+
   const std::vector<Diagnostic> &all() const { return Diags; }
   bool empty() const { return Diags.empty(); }
   unsigned count(DiagKind Kind) const;

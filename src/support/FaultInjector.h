@@ -38,7 +38,7 @@ enum class FaultKind : uint8_t {
 class FaultInjector {
 public:
   explicit FaultInjector(uint64_t Seed, double Rate = 0.25)
-      : Gen(Seed), Rate(Rate) {}
+      : Seed(Seed), Gen(Seed), Rate(Rate) {}
 
   /// Decides whether a fault fires at the named injection point. Advances
   /// the deterministic decision stream by one step.
@@ -48,10 +48,31 @@ public:
   /// with the decisions).
   uint64_t entropy() { return Gen.next(); }
 
+  uint64_t seed() const { return Seed; }
+  double rate() const { return Rate; }
   unsigned sitesVisited() const { return Sites; }
   unsigned faultsInjected() const { return Injected; }
 
+  /// Derives the independent injector for parallel task \p Index: seeded
+  /// from (seed, Index) only, so a task's fault stream is the same
+  /// regardless of which worker runs it, in which order, at which --jobs
+  /// level — the per-task RNG-stream rule of the compile service. The
+  /// decision stream starts fresh (zero counts).
+  FaultInjector forTask(uint64_t Index) const {
+    SplitMix64 Mix(Seed ^ (0x9e3779b97f4a7c15ULL * (Index + 1)));
+    return FaultInjector(Mix.next(), Rate);
+  }
+
+  /// Folds a finished task injector's site/fault counts back into this
+  /// base injector (called at join time, in task index order, so summary
+  /// lines stay deterministic).
+  void absorbCounts(const FaultInjector &Task) {
+    Sites += Task.Sites;
+    Injected += Task.Injected;
+  }
+
 private:
+  uint64_t Seed;
   RNG Gen;
   double Rate;
   unsigned Sites = 0;

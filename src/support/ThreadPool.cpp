@@ -1,0 +1,120 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace dbds;
+
+unsigned ThreadPool::defaultWorkerCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  if (WorkerCount == 0)
+    WorkerCount = 1;
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I != WorkerCount; ++I)
+    Workers.push_back(std::make_unique<WorkerState>());
+  Threads.reserve(WorkerCount);
+  for (unsigned I = 0; I != WorkerCount; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(BatchMu);
+    ShuttingDown = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::runIndexed(
+    size_t NumTasks, std::function<void(size_t Index, unsigned Worker)> Task) {
+  if (NumTasks == 0)
+    return;
+  assert(Remaining.load(std::memory_order_relaxed) == 0 &&
+         "reentrant or concurrent runIndexed batches are not supported");
+
+  {
+    std::lock_guard<std::mutex> Lock(BatchMu);
+    // Install the task before dealing indices: a worker that picks up an
+    // index of this batch from a deque observes the deal through that
+    // deque's mutex, which also publishes this assignment.
+    TaskFn = std::move(Task);
+    Remaining.store(NumTasks, std::memory_order_relaxed);
+    // Deal indices round-robin so every worker starts with a share and
+    // stealing only happens once the shares get unbalanced.
+    for (size_t Index = 0; Index != NumTasks; ++Index) {
+      WorkerState &W = *Workers[Index % Workers.size()];
+      std::lock_guard<std::mutex> QLock(W.Mu);
+      W.Deque.push_back(Index);
+    }
+    ++Generation;
+  }
+  WorkCV.notify_all();
+
+  std::unique_lock<std::mutex> Lock(BatchMu);
+  DoneCV.wait(Lock, [this] {
+    return Remaining.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+bool ThreadPool::popOrSteal(unsigned Me, size_t &Index) {
+  // Own deque first, front end (the dealer pushed in index order, so the
+  // owner drains its share in that order — friendlier to any caller-side
+  // locality).
+  {
+    WorkerState &Own = *Workers[Me];
+    std::lock_guard<std::mutex> Lock(Own.Mu);
+    if (!Own.Deque.empty()) {
+      Index = Own.Deque.front();
+      Own.Deque.pop_front();
+      return true;
+    }
+  }
+  // Steal from siblings, back end, in ring order starting after us.
+  for (unsigned Off = 1; Off != Workers.size(); ++Off) {
+    WorkerState &Victim = *Workers[(Me + Off) % Workers.size()];
+    std::lock_guard<std::mutex> Lock(Victim.Mu);
+    if (!Victim.Deque.empty()) {
+      Index = Victim.Deque.back();
+      Victim.Deque.pop_back();
+      Steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(BatchMu);
+      WorkCV.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+    }
+    size_t Index;
+    while (popOrSteal(Me, Index)) {
+      TaskFn(Index, Me);
+      if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task of the batch: wake the submitter. Taking the lock
+        // orders this notify after the submitter entered its wait.
+        std::lock_guard<std::mutex> Lock(BatchMu);
+        DoneCV.notify_all();
+      }
+    }
+  }
+}

@@ -1,0 +1,107 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel compile service
+/// (workloads/CompileService.h). Design:
+///
+///  - a fixed worker count, chosen at construction (the compile service
+///    maps --jobs onto it; ThreadPool::defaultWorkerCount() reports the
+///    hardware thread count);
+///  - one deque per worker: a batch's task indices are dealt round-robin
+///    across the deques, each worker pops from the front of its own deque
+///    and, when empty, steals from the back of a sibling's — the classic
+///    owner-LIFO/thief-FIFO split that keeps contention off the hot path;
+///  - condition-variable parking: idle workers sleep between batches
+///    instead of spinning, so an attached-but-idle pool costs nothing.
+///
+/// The pool schedules *indices*, not closures: runIndexed(N, Task) calls
+/// Task(Index, Worker) exactly once for every Index in [0, N), in an
+/// unspecified order and thread assignment, and returns when all N calls
+/// have finished. Determinism is therefore the caller's contract: tasks
+/// must be independent, and any order-sensitive output must be buffered
+/// per index and merged in index order after runIndexed returns (exactly
+/// what CompileService does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_THREADPOOL_H
+#define DBDS_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbds {
+
+class ThreadPool {
+public:
+  /// Spawns \p Workers worker threads (at least one).
+  explicit ThreadPool(unsigned Workers);
+
+  /// Joins all workers. Must not be called while a batch is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// The hardware thread count (>= 1) — what --jobs=0 resolves to.
+  static unsigned defaultWorkerCount();
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Runs Task(Index, Worker) once for every Index in [0, NumTasks) across
+  /// the workers and blocks until all calls have returned. Worker is the
+  /// dense index of the executing worker in [0, workerCount()). Reentrant
+  /// batches (submitting from inside a task) are not supported.
+  void runIndexed(size_t NumTasks,
+                  std::function<void(size_t Index, unsigned Worker)> Task);
+
+  /// Tasks executed over the pool's lifetime that were stolen from another
+  /// worker's deque (telemetry for the scheduling tests; approximate only
+  /// in the sense that it is updated with relaxed atomics).
+  uint64_t stealCount() const {
+    return Steals.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One worker's deque. Each deque has its own lock so the owner's pop
+  /// and a thief's steal only collide when they race for the same deque.
+  struct WorkerState {
+    std::mutex Mu;
+    std::deque<size_t> Deque;
+  };
+
+  void workerLoop(unsigned Me);
+  bool popOrSteal(unsigned Me, size_t &Index);
+
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+  std::vector<std::thread> Threads;
+
+  // Batch state. TaskFn is written only while no tasks are outstanding and
+  // read by workers only after they dequeued an index of the new batch;
+  // the deque mutexes order those accesses.
+  std::mutex BatchMu;
+  std::condition_variable WorkCV; ///< Workers park here between batches.
+  std::condition_variable DoneCV; ///< runIndexed parks here until drained.
+  std::function<void(size_t, unsigned)> TaskFn;
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+  std::atomic<size_t> Remaining{0};
+  std::atomic<uint64_t> Steals{0};
+};
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_THREADPOOL_H

@@ -17,6 +17,57 @@ TelemetryCounter::TelemetryCounter(const char *Component, const char *Name)
   CounterRegistry::instance().add(this);
 }
 
+namespace {
+/// The calling thread's innermost shard (null = increments hit the global
+/// atomics directly).
+thread_local CounterShard *ActiveShard = nullptr;
+} // namespace
+
+void TelemetryCounter::bump(uint64_t N) {
+  if (CounterShard *Shard = ActiveShard) {
+    Shard->bump(this, N);
+    return;
+  }
+  Value.fetch_add(N, std::memory_order_relaxed);
+}
+
+CounterShard::CounterShard() : Previous(ActiveShard) { ActiveShard = this; }
+
+CounterShard::~CounterShard() {
+  flush();
+  ActiveShard = Previous;
+}
+
+CounterShard *CounterShard::active() { return ActiveShard; }
+
+void CounterShard::bump(TelemetryCounter *C, uint64_t N) {
+  for (auto &[Counter, Value] : Buffered) {
+    if (Counter == C) {
+      Value += N;
+      return;
+    }
+  }
+  Buffered.emplace_back(C, N);
+}
+
+std::vector<CounterSample> CounterShard::snapshot() const {
+  std::vector<CounterSample> Out;
+  Out.reserve(Buffered.size());
+  for (const auto &[Counter, Value] : Buffered)
+    Out.push_back({Counter->qualifiedName(), Value});
+  std::sort(Out.begin(), Out.end(),
+            [](const CounterSample &A, const CounterSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void CounterShard::flush() {
+  for (auto &[Counter, Value] : Buffered)
+    Counter->addGlobal(Value);
+  Buffered.clear();
+}
+
 CounterRegistry &CounterRegistry::instance() {
   static CounterRegistry Registry;
   return Registry;

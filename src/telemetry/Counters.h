@@ -17,6 +17,16 @@
 ///   ...
 ///   ++constant_folds;
 ///
+/// Parallel compilation (workloads/CompileService.h) adds per-worker
+/// sharding on top: while a CounterShard is installed on a thread, that
+/// thread's increments accumulate in the shard's private buffer instead of
+/// the global atomics, and are published in one batch when the shard
+/// flushes (at task join). Totals are identical either way — counter
+/// addition commutes — but sharding keeps the hot path contention-free
+/// and gives the phase auditor a view of *this thread's* activity only,
+/// which is what makes audit-mode counter attribution correct when
+/// several functions compile concurrently.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DBDS_TELEMETRY_COUNTERS_H
@@ -40,15 +50,27 @@ public:
   TelemetryCounter &operator=(const TelemetryCounter &) = delete;
 
   TelemetryCounter &operator++() {
-    Value.fetch_add(1, std::memory_order_relaxed);
+    bump(1);
     return *this;
   }
 
   TelemetryCounter &operator+=(uint64_t N) {
-    Value.fetch_add(N, std::memory_order_relaxed);
+    bump(N);
     return *this;
   }
 
+  /// Adds \p N: into this thread's active CounterShard when one is
+  /// installed, directly into the global atomic otherwise.
+  void bump(uint64_t N);
+
+  /// Adds \p N directly to the global value, bypassing any shard (the
+  /// shard flush path).
+  void addGlobal(uint64_t N) {
+    Value.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// The *published* value: shard-buffered increments are invisible here
+  /// until their shard flushes.
   uint64_t value() const { return Value.load(std::memory_order_relaxed); }
   void reset() { Value.store(0, std::memory_order_relaxed); }
 
@@ -103,6 +125,45 @@ private:
 
   mutable std::mutex Mu;
   std::vector<TelemetryCounter *> Counters;
+};
+
+/// Per-worker counter shard: while installed (RAII, per thread), this
+/// thread's counter increments buffer privately and publish to the global
+/// registry in one batch when the shard flushes (destruction, or an
+/// explicit flush()). Shards nest; the previously installed shard is
+/// restored on destruction. The parallel compile service installs one per
+/// task, so (a) workers never contend on the global atomics mid-compile
+/// and (b) a thread can ask "what did *I* increment?" — the snapshot the
+/// PhaseManager auditor uses to attribute counter activity to a phase
+/// without picking up concurrent workers' noise.
+class CounterShard {
+public:
+  CounterShard();
+  ~CounterShard(); ///< Flushes, then restores the previous shard.
+
+  CounterShard(const CounterShard &) = delete;
+  CounterShard &operator=(const CounterShard &) = delete;
+
+  /// The shard installed on the calling thread (null when increments go
+  /// straight to the globals).
+  static CounterShard *active();
+
+  /// Buffers \p N for \p C (called by TelemetryCounter::bump).
+  void bump(TelemetryCounter *C, uint64_t N);
+
+  /// This shard's buffered values, sorted by qualified name — the
+  /// thread-local analogue of CounterRegistry::snapshot().
+  std::vector<CounterSample> snapshot() const;
+
+  /// Publishes all buffered values into the global counters and clears
+  /// the buffer.
+  void flush();
+
+private:
+  CounterShard *Previous;
+  /// Linear map: a compile task touches a handful of distinct counters,
+  /// so a vector scan beats hashing.
+  std::vector<std::pair<TelemetryCounter *, uint64_t>> Buffered;
 };
 
 /// Declares (and registers) a static counter named \p NAME under

@@ -78,6 +78,17 @@ size_t DecisionLog::append(DuplicationDecision D) {
   return Decisions.size() - 1;
 }
 
+void DecisionLog::merge(DecisionLog &&Other) {
+  if (Decisions.empty()) {
+    Decisions = std::move(Other.Decisions);
+  } else {
+    Decisions.reserve(Decisions.size() + Other.Decisions.size());
+    for (DuplicationDecision &D : Other.Decisions)
+      Decisions.push_back(std::move(D));
+  }
+  Other.Decisions.clear();
+}
+
 void DecisionLog::markRolledBackFrom(size_t FirstIndex,
                                      const std::string &FunctionName) {
   for (size_t I = FirstIndex; I < Decisions.size(); ++I) {

@@ -127,6 +127,13 @@ public:
   /// no longer exist in the IR.
   void markRolledBackFrom(size_t FirstIndex, const std::string &FunctionName);
 
+  /// Splices every record of \p Other (in Other's order) onto the end of
+  /// this log, leaving \p Other empty. The parallel compile service gives
+  /// each function task its own log and merges them here in function index
+  /// order at join time, so a --jobs=N remarks stream is byte-identical to
+  /// the serial one.
+  void merge(DecisionLog &&Other);
+
   const std::vector<DuplicationDecision> &decisions() const {
     return Decisions;
   }

@@ -1,0 +1,237 @@
+//===- workloads/CompileService.cpp - Parallel compile service -------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CompileService.h"
+
+#include "dbds/DBDSPhase.h"
+#include "opts/Phase.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
+#include "support/Timer.h"
+#include "telemetry/Counters.h"
+#include "telemetry/DecisionLog.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
+#include "vm/Interpreter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dbds;
+
+// Note: deliberately no counter distinguishing parallel from serial batches —
+// every telemetry counter must total identically at --jobs=1 and --jobs=N
+// (the determinism contract), so nothing scheduling-dependent may be counted.
+DBDS_COUNTER(compile_service, functions_compiled);
+
+uint64_t dbds::resultHashCombine(uint64_t Hash, uint64_t Value) {
+  Hash ^= Value + 0x9e3779b97f4a7c15ULL + (Hash << 6) + (Hash >> 2);
+  return Hash * 0xbf58476d1ce4e5b9ULL;
+}
+
+unsigned CompileService::resolveJobs(unsigned Requested) {
+  if (Requested == 0)
+    return ThreadPool::defaultWorkerCount();
+  return Requested;
+}
+
+CompileService::CompileService(unsigned RequestedJobs)
+    : Jobs(resolveJobs(RequestedJobs)) {
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+}
+
+CompileService::~CompileService() = default;
+
+void CompileService::forEachIndex(
+    size_t NumTasks, std::function<void(size_t Index, unsigned Worker)> Task) {
+  if (!Pool) {
+    for (size_t Index = 0; Index != NumTasks; ++Index)
+      Task(Index, 0);
+    return;
+  }
+  Pool->runIndexed(NumTasks, std::move(Task));
+}
+
+namespace {
+
+/// Sentinel hashed in place of a result when a run does not terminate, so
+/// configurations that fail identically still agree and a configuration
+/// that *newly* fails shows up as a hash divergence. (Mirrors the runner's
+/// historical value.)
+constexpr uint64_t NonTerminationSentinel = 0x6e6f2d7465726d21ULL;
+
+/// Task-local sinks: everything order-sensitive a task produces lands
+/// here, never in the shared RunnerOptions sinks.
+struct TaskBuffers {
+  DecisionLog Decisions;
+  DiagnosticEngine Diags;
+  FaultInjector Injector{0}; ///< Valid only when HasInjector.
+  bool HasInjector = false;
+};
+
+void bufferDiagnostic(FunctionCompileOutcome &Out, TaskBuffers &Buffers,
+                      bool WantDiags, DiagKind Kind, const std::string &Fn,
+                      const std::string &Msg) {
+  Out.LogLines.push_back(Msg);
+  if (WantDiags)
+    Buffers.Diags.report(Kind, "runner", Fn, Msg);
+}
+
+} // namespace
+
+std::vector<FunctionCompileOutcome>
+dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
+                               RunConfig Config, const RunnerOptions &Opts,
+                               const std::string &BenchName) {
+  auto Functions = W.Mod->functions();
+  const size_t N = Functions.size();
+  std::vector<FunctionCompileOutcome> Outcomes(N);
+  std::vector<TaskBuffers> Buffers(N);
+
+  Service.forEachIndex(N, [&](size_t FIdx, unsigned /*Worker*/) {
+    Function &F = *Functions[FIdx];
+    FunctionCompileOutcome &Out = Outcomes[FIdx];
+    TaskBuffers &Buf = Buffers[FIdx];
+
+    // Per-worker telemetry shard: this task's counter increments buffer
+    // thread-locally and publish in one batch when the shard dies at the
+    // end of the task. Totals are identical to unsharded counting; what
+    // the shard buys is a contention-free hot path and a correct per-task
+    // view for the phase auditor.
+    CounterShard Shard;
+    ++functions_compiled;
+
+    // Per-task fault stream, derived from (seed, function index) so it is
+    // independent of worker assignment and completion order.
+    FaultInjector *Injector = nullptr;
+    if (Opts.Injector) {
+      Buf.Injector = Opts.Injector->forTask(FIdx);
+      Buf.HasInjector = true;
+      Injector = &Buf.Injector;
+    }
+
+    TraceSession *TS = TraceSession::active();
+
+    // Profile on training inputs (the JIT's interpreter tier). Each task
+    // owns its interpreter; the heap is task-private, the module is only
+    // read.
+    Interpreter Interp(*W.Mod);
+    // Peak performance is measured with instruction-cache pressure: code
+    // growth beyond ~192 size units per unit costs extra cycles per block
+    // transition (DESIGN.md §2; this is what lets unbounded duplication
+    // regress, as the paper observes for octane raytrace).
+    Interp.enableCodeSizePenalty(/*Threshold=*/192, /*Step=*/160,
+                                 /*Cap=*/1u << 20);
+
+    ProfileSummary Profile;
+    {
+      TraceSpan TrainSpan(TS, "train", "runner",
+                          TS ? "\"function\":" + jsonString(F.getName())
+                             : std::string());
+      for (const auto &Args : W.TrainInputs[FIdx]) {
+        Interp.reset();
+        ExecutionResult R =
+            Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24, &Profile);
+        if (!R.Ok) {
+          if (Opts.FailFast) {
+            fprintf(stderr, "training run did not terminate on %s/%s\n",
+                    BenchName.c_str(), F.getName().c_str());
+            abort();
+          }
+          ++Out.RunFailures;
+          bufferDiagnostic(Out, Buf, Opts.Diags != nullptr, DiagKind::Warning,
+                           F.getName(),
+                           "training run did not terminate on " + BenchName);
+          break; // Profile what we have; the compile still proceeds.
+        }
+      }
+    }
+    applyProfile(F, Profile);
+
+    // Compile (timed) under a per-function budget. The budget degrades the
+    // pipeline stepwise instead of letting one function hang the harness.
+    CompileBudget Budget(Opts.CompileBudgetMs);
+    Budget.arm();
+    Timer CompileTimer;
+    {
+      TraceSpan CompileSpan(TS, "compile", "runner",
+                            TS ? "\"function\":" + jsonString(F.getName())
+                               : std::string());
+      TimerScope Scope(CompileTimer);
+      PhaseManager Pipeline =
+          PhaseManager::standardPipeline(Opts.Verify, W.Mod.get());
+      Pipeline.setFailFast(Opts.FailFast);
+      Pipeline.setDiagnostics(Opts.Diags ? &Buf.Diags : nullptr);
+      Pipeline.setFaultInjector(Injector);
+      Pipeline.setBudget(&Budget);
+      Pipeline.run(F);
+      Out.Rollbacks += Pipeline.rollbackCount();
+      if (Config != RunConfig::Baseline) {
+        DBDSConfig DC;
+        DC.UseTradeoff = Config == RunConfig::DBDS;
+        DC.ClassTable = W.Mod.get();
+        DC.Verify = Opts.Verify;
+        DC.FailFast = Opts.FailFast;
+        DC.Diags = Opts.Diags ? &Buf.Diags : nullptr;
+        DC.Injector = Injector;
+        DC.Budget = &Budget;
+        DC.Decisions = Opts.Decisions ? &Buf.Decisions : nullptr;
+        DBDSResult R = runDBDS(F, DC);
+        Out.Duplications += R.DuplicationsPerformed;
+        Out.Rollbacks += R.RollbacksPerformed;
+      }
+    }
+    Out.CompileTimeMs = CompileTimer.totalMs();
+    Out.CodeSize = F.estimatedCodeSize();
+    Out.Degradation = Budget.level();
+
+    // Peak performance: dynamic cost-model cycles on evaluation inputs.
+    TraceSpan EvalSpan(TS, "eval", "runner",
+                       TS ? "\"function\":" + jsonString(F.getName())
+                          : std::string());
+    for (const auto &Args : W.EvalInputs[FIdx]) {
+      Interp.reset();
+      ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24);
+      if (!R.Ok) {
+        if (Opts.FailFast) {
+          fprintf(stderr, "evaluation run did not terminate on %s/%s\n",
+                  BenchName.c_str(), F.getName().c_str());
+          abort();
+        }
+        ++Out.RunFailures;
+        bufferDiagnostic(Out, Buf, Opts.Diags != nullptr, DiagKind::Error,
+                         F.getName(),
+                         "evaluation run did not terminate on " + BenchName);
+        Out.ResultHash =
+            resultHashCombine(Out.ResultHash, NonTerminationSentinel);
+        continue;
+      }
+      Out.DynamicCycles += R.DynamicCycles;
+      Out.ResultHash = resultHashCombine(
+          Out.ResultHash,
+          R.HasResult && !R.Result.IsObject
+              ? static_cast<uint64_t>(R.Result.Scalar)
+              : 0);
+    }
+  });
+
+  // Deterministic join: fold every order-sensitive stream back into the
+  // shared sinks in function index order, regardless of completion order.
+  for (size_t FIdx = 0; FIdx != N; ++FIdx) {
+    for (const std::string &Line : Outcomes[FIdx].LogLines)
+      fprintf(stderr, "%s/%s: %s\n", BenchName.c_str(),
+              Functions[FIdx]->getName().c_str(), Line.c_str());
+    if (Opts.Decisions)
+      Opts.Decisions->merge(std::move(Buffers[FIdx].Decisions));
+    if (Opts.Diags)
+      Opts.Diags->mergeFrom(Buffers[FIdx].Diags);
+    if (Opts.Injector && Buffers[FIdx].HasInjector)
+      Opts.Injector->absorbCounts(Buffers[FIdx].Injector);
+  }
+  return Outcomes;
+}

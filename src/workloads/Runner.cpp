@@ -6,15 +6,11 @@
 
 #include "workloads/Runner.h"
 
-#include "dbds/DBDSPhase.h"
-#include "opts/Phase.h"
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
-#include "support/Timer.h"
-#include "telemetry/DecisionLog.h"
 #include "telemetry/Json.h"
 #include "telemetry/Trace.h"
-#include "vm/Interpreter.h"
+#include "workloads/CompileService.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -37,16 +33,6 @@ const char *dbds::runConfigName(RunConfig Config) {
 
 namespace {
 
-uint64_t hashCombine(uint64_t Hash, uint64_t Value) {
-  Hash ^= Value + 0x9e3779b97f4a7c15ULL + (Hash << 6) + (Hash >> 2);
-  return Hash * 0xbf58476d1ce4e5b9ULL;
-}
-
-/// Sentinel hashed in place of a result when a run does not terminate, so
-/// configurations that fail identically still agree and a configuration
-/// that *newly* fails shows up as a hash divergence.
-constexpr uint64_t NonTerminationSentinel = 0x6e6f2d7465726d21ULL;
-
 void diagnose(const RunnerOptions &Opts, DiagKind Kind,
               const std::string &Component, const std::string &Fn,
               const std::string &Msg) {
@@ -54,7 +40,8 @@ void diagnose(const RunnerOptions &Opts, DiagKind Kind,
     Opts.Diags->report(Kind, Component, Fn, Msg);
 }
 
-ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
+ConfigMeasurement measureConfig(CompileService &Service,
+                                const BenchmarkSpec &Spec, RunConfig Config,
                                 const RunnerOptions &Opts) {
   TraceSession *TS = TraceSession::active();
   TraceSpan ConfigSpan(TS, runConfigName(Config), "runner",
@@ -67,109 +54,28 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
   // Regenerate from the seed: each configuration optimizes an identical
   // program (block/instruction pointers differ; semantics do not).
   GeneratedWorkload W = generateWorkload(Spec.Config);
+
+  // The per-function pipeline runs on the compile service — sharded across
+  // workers at --jobs=N, inline at --jobs=1 — and hands back per-function
+  // outcomes in function index order either way.
+  std::vector<FunctionCompileOutcome> Outcomes =
+      compileFunctionsParallel(Service, W, Config, Opts, Spec.Name);
+
   ConfigMeasurement Out;
-  Interpreter Interp(*W.Mod);
-  // Peak performance is measured with instruction-cache pressure: code
-  // growth beyond ~192 size units per unit costs extra cycles per block
-  // transition (DESIGN.md §2; this is what lets unbounded duplication
-  // regress, as the paper observes for octane raytrace).
-  Interp.enableCodeSizePenalty(/*Threshold=*/192, /*Step=*/160, /*Cap=*/1u << 20);
-
-  auto Functions = W.Mod->functions();
-  for (unsigned FIdx = 0; FIdx != Functions.size(); ++FIdx) {
-    Function &F = *Functions[FIdx];
-
-    // Profile on training inputs (the JIT's interpreter tier).
-    ProfileSummary Profile;
-    TraceSpan TrainSpan(TS, "train", "runner",
-                        TS ? "\"function\":" + jsonString(F.getName())
-                           : std::string());
-    for (const auto &Args : W.TrainInputs[FIdx]) {
-      Interp.reset();
-      ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24,
-                                     &Profile);
-      if (!R.Ok) {
-        fprintf(stderr, "training run did not terminate on %s/%s\n",
-                Spec.Name.c_str(), F.getName().c_str());
-        if (Opts.FailFast)
-          abort();
-        ++Out.RunFailures;
-        diagnose(Opts, DiagKind::Warning, "runner", F.getName(),
-                 "training run did not terminate on " + Spec.Name);
-        break; // Profile what we have; the compile still proceeds.
-      }
-    }
-    TrainSpan.close();
-    applyProfile(F, Profile);
-
-    // Compile (timed) under a per-function budget. The budget degrades the
-    // pipeline stepwise instead of letting one function hang the harness.
-    CompileBudget Budget(Opts.CompileBudgetMs);
-    Budget.arm();
-    Timer CompileTimer;
-    unsigned Rollbacks = 0;
-    {
-      TraceSpan CompileSpan(TS, "compile", "runner",
-                            TS ? "\"function\":" + jsonString(F.getName())
-                               : std::string());
-      TimerScope Scope(CompileTimer);
-      PhaseManager Pipeline =
-          PhaseManager::standardPipeline(Opts.Verify, W.Mod.get());
-      Pipeline.setFailFast(Opts.FailFast);
-      Pipeline.setDiagnostics(Opts.Diags);
-      Pipeline.setFaultInjector(Opts.Injector);
-      Pipeline.setBudget(&Budget);
-      Pipeline.run(F);
-      Rollbacks += Pipeline.rollbackCount();
-      if (Config != RunConfig::Baseline) {
-        DBDSConfig DC;
-        DC.UseTradeoff = Config == RunConfig::DBDS;
-        DC.ClassTable = W.Mod.get();
-        DC.Verify = Opts.Verify;
-        DC.FailFast = Opts.FailFast;
-        DC.Diags = Opts.Diags;
-        DC.Injector = Opts.Injector;
-        DC.Budget = &Budget;
-        DC.Decisions = Opts.Decisions;
-        DBDSResult R = runDBDS(F, DC);
-        Out.Duplications += R.DuplicationsPerformed;
-        Rollbacks += R.RollbacksPerformed;
-      }
-    }
-    Out.CompileTimeMs += CompileTimer.totalMs();
-    Out.CodeSize += F.estimatedCodeSize();
-    Out.Rollbacks += Rollbacks;
-    if (Budget.level() != DegradationLevel::None) {
+  for (const FunctionCompileOutcome &O : Outcomes) {
+    Out.DynamicCycles += O.DynamicCycles;
+    Out.CompileTimeMs += O.CompileTimeMs;
+    Out.CodeSize += O.CodeSize;
+    Out.Duplications += O.Duplications;
+    Out.Rollbacks += O.Rollbacks;
+    Out.RunFailures += O.RunFailures;
+    if (O.Degradation != DegradationLevel::None) {
       ++Out.FunctionsDegraded;
-      Out.MaxDegradation = std::max(Out.MaxDegradation, Budget.level());
+      Out.MaxDegradation = std::max(Out.MaxDegradation, O.Degradation);
     }
-
-    // Peak performance: dynamic cost-model cycles on evaluation inputs.
-    TraceSpan EvalSpan(TS, "eval", "runner",
-                       TS ? "\"function\":" + jsonString(F.getName())
-                          : std::string());
-    for (const auto &Args : W.EvalInputs[FIdx]) {
-      Interp.reset();
-      ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24);
-      if (!R.Ok) {
-        fprintf(stderr, "evaluation run did not terminate on %s/%s\n",
-                Spec.Name.c_str(), F.getName().c_str());
-        if (Opts.FailFast)
-          abort();
-        ++Out.RunFailures;
-        diagnose(Opts, DiagKind::Error, "runner", F.getName(),
-                 "evaluation run did not terminate on " + Spec.Name);
-        Out.ResultHash = hashCombine(Out.ResultHash, NonTerminationSentinel);
-        continue;
-      }
-      Out.DynamicCycles += R.DynamicCycles;
-      Out.ResultHash = hashCombine(
-          Out.ResultHash,
-          R.HasResult && !R.Result.IsObject
-              ? static_cast<uint64_t>(R.Result.Scalar)
-              : 0);
-    }
-    EvalSpan.close();
+    // Module hash = index-ordered fold of per-function hashes, so it is
+    // independent of completion order.
+    Out.ResultHash = resultHashCombine(Out.ResultHash, O.ResultHash);
   }
   if (Opts.CollectCounters)
     Out.Counters = CounterRegistry::delta(
@@ -177,15 +83,14 @@ ConfigMeasurement measureConfig(const BenchmarkSpec &Spec, RunConfig Config,
   return Out;
 }
 
-} // namespace
-
-BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec,
-                                            const RunnerOptions &Opts) {
+BenchmarkMeasurement measureBenchmarkOn(CompileService &Service,
+                                        const BenchmarkSpec &Spec,
+                                        const RunnerOptions &Opts) {
   BenchmarkMeasurement M;
   M.Name = Spec.Name;
-  M.Baseline = measureConfig(Spec, RunConfig::Baseline, Opts);
-  M.DBDS = measureConfig(Spec, RunConfig::DBDS, Opts);
-  M.DupALot = measureConfig(Spec, RunConfig::DupALot, Opts);
+  M.Baseline = measureConfig(Service, Spec, RunConfig::Baseline, Opts);
+  M.DBDS = measureConfig(Service, Spec, RunConfig::DBDS, Opts);
+  M.DupALot = measureConfig(Service, Spec, RunConfig::DupALot, Opts);
 
   // Correctness gate: optimization must not change program results. A
   // divergence is a finding, not a process death — one bad candidate must
@@ -204,16 +109,27 @@ BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec,
   return M;
 }
 
+} // namespace
+
+BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec,
+                                            const RunnerOptions &Opts) {
+  CompileService Service(Opts.Jobs);
+  return measureBenchmarkOn(Service, Spec, Opts);
+}
+
 BenchmarkMeasurement dbds::measureBenchmark(const BenchmarkSpec &Spec) {
   return measureBenchmark(Spec, RunnerOptions());
 }
 
 std::vector<BenchmarkMeasurement> dbds::measureSuite(const SuiteSpec &Suite,
                                                      const RunnerOptions &Opts) {
+  // One service for the whole suite: workers park between benchmarks
+  // instead of being respawned per measurement.
+  CompileService Service(Opts.Jobs);
   std::vector<BenchmarkMeasurement> Rows;
   Rows.reserve(Suite.Benchmarks.size());
   for (const BenchmarkSpec &Spec : Suite.Benchmarks)
-    Rows.push_back(measureBenchmark(Spec, Opts));
+    Rows.push_back(measureBenchmarkOn(Service, Spec, Opts));
   return Rows;
 }
 

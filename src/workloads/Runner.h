@@ -68,6 +68,12 @@ struct RunnerOptions {
   /// of its compilation+measurement region (drivers expose --counters;
   /// folded into the machine-readable bench report).
   bool CollectCounters = false;
+
+  /// Worker threads for the parallel compile service (drivers expose
+  /// --jobs). 1 = serial (same code path, run inline); 0 = one worker per
+  /// hardware thread. Every observable output except wall-clock timing is
+  /// identical across jobs settings (see workloads/CompileService.h).
+  unsigned Jobs = 1;
 };
 
 /// Raw measurements of one benchmark under one configuration.

@@ -184,3 +184,21 @@ SuiteSpec dbds::octaneSuite() {
 std::vector<SuiteSpec> dbds::allSuites() {
   return {javaDaCapoSuite(), scalaDaCapoSuite(), microSuite(), octaneSuite()};
 }
+
+SuiteSpec dbds::generatorCorpusSuite(uint64_t Seed, unsigned Benchmarks,
+                                     unsigned Functions, unsigned Segments) {
+  SuiteSpec Suite{"corpus", {}};
+  Suite.Benchmarks.reserve(Benchmarks);
+  for (unsigned N = 0; N != Benchmarks; ++N) {
+    GeneratorConfig Config;
+    Config.Seed = Seed + N;
+    Config.NumFunctions = Functions;
+    Config.SegmentsPerFunction = Segments;
+    // A middle-of-the-road mix: enough opportunities that DBDS transforms
+    // fire (so the determinism wall exercises real duplication), enough
+    // noise that baseline and dbds differ.
+    Config.Mix = dacapoMix(1.0);
+    Suite.Benchmarks.push_back({"seed" + std::to_string(Config.Seed), Config});
+  }
+  return Suite;
+}

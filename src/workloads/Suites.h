@@ -49,6 +49,14 @@ SuiteSpec octaneSuite();      ///< Figure 8 (14 benchmarks).
 /// All four suites.
 std::vector<SuiteSpec> allSuites();
 
+/// A seed-parameterized corpus suite for harness testing (the determinism
+/// wall and the parallel soak runs): \p Benchmarks generated programs with
+/// a mixed opportunity profile, seeds Seed, Seed+1, ... Not part of the
+/// paper's evaluation; figure drivers never use it.
+SuiteSpec generatorCorpusSuite(uint64_t Seed, unsigned Benchmarks,
+                               unsigned Functions = 4,
+                               unsigned Segments = 4);
+
 } // namespace dbds
 
 #endif // DBDS_WORKLOADS_SUITES_H

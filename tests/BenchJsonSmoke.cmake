@@ -78,4 +78,66 @@ foreach(CONFIG dbds dupalot)
   endif()
 endforeach()
 
-message(STATUS "bench_json_smoke: ${NBENCH} benchmarks x 3 configs validated")
+# Parallel-compile determinism: rerun the driver at --jobs=4 and assert the
+# report's aggregate fields match the serial one. Compile time is wall
+# clock and legitimately differs; everything else — cost-model cycles, code
+# size, duplication/rollback counts, embedded telemetry counters, and the
+# derived geomean percentages — must be byte-for-byte identical (the
+# determinism contract of DESIGN.md §9).
+set(PAR_REPORT "${WORK_DIR}/BENCH_micro_smoke_jobs4.json")
+file(REMOVE "${PAR_REPORT}")
+execute_process(
+  COMMAND "${BENCH_BIN}" "--json-out=${PAR_REPORT}" "--jobs=4"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE RUN_RESULT
+  OUTPUT_VARIABLE RUN_OUTPUT
+  ERROR_VARIABLE RUN_ERROR)
+if(NOT RUN_RESULT EQUAL 0)
+  message(FATAL_ERROR "bench driver --jobs=4 failed (${RUN_RESULT}):\n${RUN_OUTPUT}\n${RUN_ERROR}")
+endif()
+if(NOT EXISTS "${PAR_REPORT}")
+  message(FATAL_ERROR "bench driver --jobs=4 did not write ${PAR_REPORT}")
+endif()
+file(READ "${PAR_REPORT}" PAR_DOC)
+
+string(JSON PAR_NBENCH LENGTH "${PAR_DOC}" benchmarks)
+if(NOT PAR_NBENCH EQUAL NBENCH)
+  message(FATAL_ERROR "--jobs=4 report has ${PAR_NBENCH} benchmarks, serial has ${NBENCH}")
+endif()
+foreach(I RANGE ${LAST})
+  string(JSON NAME GET "${DOC}" benchmarks ${I} name)
+  string(JSON PAR_NAME GET "${PAR_DOC}" benchmarks ${I} name)
+  if(NOT PAR_NAME STREQUAL NAME)
+    message(FATAL_ERROR "benchmark ${I} renamed under --jobs=4: '${NAME}' vs '${PAR_NAME}'")
+  endif()
+  string(JSON AGREE GET "${DOC}" benchmarks ${I} results_agree)
+  string(JSON PAR_AGREE GET "${PAR_DOC}" benchmarks ${I} results_agree)
+  if(NOT PAR_AGREE STREQUAL AGREE)
+    message(FATAL_ERROR "benchmark '${NAME}' results_agree diverged under --jobs=4")
+  endif()
+  foreach(CONFIG baseline dbds dupalot)
+    foreach(FIELD dynamic_cycles code_size duplications rollbacks run_failures)
+      string(JSON SERIAL_V GET "${DOC}" benchmarks ${I} configs ${CONFIG} ${FIELD})
+      string(JSON PAR_V GET "${PAR_DOC}" benchmarks ${I} configs ${CONFIG} ${FIELD})
+      if(NOT PAR_V STREQUAL SERIAL_V)
+        message(FATAL_ERROR "benchmark '${NAME}' ${CONFIG}.${FIELD} diverged: serial=${SERIAL_V} --jobs=4=${PAR_V}")
+      endif()
+    endforeach()
+    string(JSON SERIAL_V GET "${DOC}" benchmarks ${I} configs ${CONFIG} counters)
+    string(JSON PAR_V GET "${PAR_DOC}" benchmarks ${I} configs ${CONFIG} counters)
+    if(NOT PAR_V STREQUAL SERIAL_V)
+      message(FATAL_ERROR "benchmark '${NAME}' ${CONFIG} counter totals diverged under --jobs=4")
+    endif()
+  endforeach()
+endforeach()
+foreach(CONFIG dbds dupalot)
+  foreach(FIELD peak_pct code_size_pct)
+    string(JSON SERIAL_V GET "${DOC}" geomean ${CONFIG} ${FIELD})
+    string(JSON PAR_V GET "${PAR_DOC}" geomean ${CONFIG} ${FIELD})
+    if(NOT PAR_V STREQUAL SERIAL_V)
+      message(FATAL_ERROR "geomean ${CONFIG}.${FIELD} diverged: serial=${SERIAL_V} --jobs=4=${PAR_V}")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "bench_json_smoke: ${NBENCH} benchmarks x 3 configs validated; --jobs=4 report matches serial aggregates")

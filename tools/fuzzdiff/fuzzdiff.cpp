@@ -8,7 +8,7 @@
 //
 //   fuzzdiff [--seed=N] [--count=N] [--max-seconds=N] [--out-dir=DIR]
 //            [--functions=N] [--segments=N] [--inject=SEED] [--sabotage]
-//            [--fail-fast] [--quiet] [--trace=FILE]
+//            [--fail-fast] [--quiet] [--trace=FILE] [--jobs=N]
 //
 // For each seed it generates a program (workloads/ProgramGenerator),
 // optimizes a copy under each of the paper's three configurations —
@@ -30,6 +30,14 @@
 // a fuzzing pass with injection enabled doubles as the fault-tolerance
 // acceptance test (no aborts, no divergence from rolled-back faults).
 //
+// --jobs=N fuzzes N seeds concurrently on the compile service's worker
+// pool (0 = one worker per hardware thread). Each seed's fault stream
+// derives from (inject seed, seed index), findings are buffered per seed,
+// and reduction/artifact writing happens serially after the join in seed
+// order — so the artifacts, diagnostics, and summary counts match a
+// --jobs=1 run (the inherently timing-dependent --max-seconds cutoff and
+// the --sabotage early exit excepted).
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
@@ -43,9 +51,11 @@
 #include "tooling/Reducer.h"
 #include "tooling/Sabotage.h"
 #include "vm/Interpreter.h"
+#include "workloads/CompileService.h"
 #include "workloads/ProgramGenerator.h"
 #include "workloads/Runner.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <optional>
@@ -74,13 +84,14 @@ struct Options {
   bool FailFast = false;
   bool Quiet = false;
   std::string TracePath; ///< Whole-run trace ("" = tracing off).
+  unsigned Jobs = 1;     ///< Concurrent seeds (0 = hardware threads).
 };
 
 int usage(const char *Prog) {
   fprintf(stderr,
           "usage: %s [--seed=N] [--count=N] [--max-seconds=N] "
           "[--out-dir=DIR] [--functions=N] [--segments=N] [--inject=SEED] "
-          "[--sabotage] [--fail-fast] [--quiet] [--trace=FILE]\n",
+          "[--sabotage] [--fail-fast] [--quiet] [--trace=FILE] [--jobs=N]\n",
           Prog);
   return 2;
 }
@@ -301,6 +312,8 @@ int main(int Argc, char **Argv) {
       O.Quiet = true;
     else if (strncmp(Argv[I], "--trace=", 8) == 0)
       O.TracePath = Argv[I] + 8;
+    else if (strncmp(Argv[I], "--jobs=", 7) == 0)
+      O.Jobs = static_cast<unsigned>(strtoul(Argv[I] + 7, nullptr, 10));
     else
       return usage(Argv[0]);
   }
@@ -328,20 +341,49 @@ int main(int Argc, char **Argv) {
         .count();
   };
 
-  std::vector<Finding> Findings;
-  unsigned SeedsRun = 0;
+  // One seed = one task. Tasks buffer everything order-sensitive —
+  // findings, diagnostics, fault-injection counts, and the reference
+  // workload a finding needs for reduction — and the join below replays
+  // them in seed order, so the artifacts and the summary are identical at
+  // every --jobs level.
+  struct PendingFinding {
+    Finding F;
+    unsigned FnIdx = 0;
+  };
+  struct SeedOutcome {
+    bool Ran = false;
+    DiagnosticEngine Diags;
+    FaultInjector Injector{0}; ///< Valid only when HasInjector.
+    bool HasInjector = false;
+    std::optional<GeneratedWorkload> Ref; ///< Kept only when findings exist.
+    std::vector<PendingFinding> Findings;
+  };
+  std::vector<SeedOutcome> Outcomes(O.Count);
+  std::atomic<bool> SabotageFound{false};
   const RunConfig Configs[] = {RunConfig::Baseline, RunConfig::DBDS,
                                RunConfig::DupALot};
-  for (unsigned N = 0; N != O.Count; ++N) {
+
+  CompileService Service(O.Jobs);
+  Service.forEachIndex(O.Count, [&](size_t N, unsigned /*Worker*/) {
     if (O.MaxSeconds > 0.0 && elapsedSeconds() >= O.MaxSeconds)
-      break;
+      return;
     // The self-test only needs to prove one divergence is caught and
     // reduced; every further one costs a full reduction run.
-    if (O.Sabotage && !Findings.empty())
-      break;
+    if (O.Sabotage && SabotageFound.load(std::memory_order_acquire))
+      return;
+    SeedOutcome &Out = Outcomes[N];
+    Out.Ran = true;
     uint64_t Seed = O.Seed + N;
-    ++SeedsRun;
     GeneratorConfig GC = makeGeneratorConfig(Seed, O);
+
+    // The seed's fault stream derives from (inject seed, N) — identical
+    // regardless of which worker runs it, in which order.
+    FaultInjector *TaskInjector = nullptr;
+    if (InjectorPtr) {
+      Out.Injector = InjectorPtr->forTask(N);
+      Out.HasInjector = true;
+      TaskInjector = &Out.Injector;
+    }
 
     // The reference stays untouched; each configuration optimizes its own
     // identically-generated copy (the module is deterministic in the seed).
@@ -356,7 +398,7 @@ int main(int Argc, char **Argv) {
       for (unsigned FIdx = 0; FIdx != OptFns.size(); ++FIdx) {
         Function &OF = *OptFns[FIdx];
         compileFunction(OF, Opt.Mod.get(), Config, Opt.TrainInputs[FIdx], O,
-                        &Diags, InjectorPtr);
+                        &Out.Diags, TaskInjector);
         for (const auto &Args : Ref.EvalInputs[FIdx]) {
           RefInterp.reset();
           ExecutionResult RA =
@@ -372,17 +414,45 @@ int main(int Argc, char **Argv) {
           F.Config = Config;
           F.Detail = "expected " + describeRun(RA) + ", got " +
                      describeRun(RB);
-          reportFinding(F, Ref, FIdx, O);
-          Findings.push_back(std::move(F));
-          if (O.FailFast)
+          Out.Findings.push_back({std::move(F), FIdx});
+          if (O.FailFast) {
+            // Debug mode: write the artifact before dying so there is
+            // something to look at.
+            reportFinding(Out.Findings.back().F, Ref, FIdx, O);
             abort();
+          }
           break; // one finding per function/config is enough
         }
-        if (O.Sabotage && !Findings.empty())
+        if (O.Sabotage && !Out.Findings.empty())
           break;
       }
-      if (O.Sabotage && !Findings.empty())
+      if (O.Sabotage && !Out.Findings.empty())
         break;
+    }
+    if (!Out.Findings.empty()) {
+      if (O.Sabotage)
+        SabotageFound.store(true, std::memory_order_release);
+      Out.Ref.emplace(std::move(Ref));
+    }
+  });
+
+  // Deterministic join in seed order: merge diagnostics and injection
+  // counts, then run the expensive reduction + artifact pipeline serially
+  // (reduction retraces via the process-wide session; it must not race).
+  std::vector<Finding> Findings;
+  unsigned SeedsRun = 0;
+  for (unsigned N = 0; N != O.Count; ++N) {
+    SeedOutcome &Out = Outcomes[N];
+    if (Out.Ran)
+      ++SeedsRun;
+    Diags.mergeFrom(Out.Diags);
+    if (InjectorPtr && Out.HasInjector)
+      InjectorPtr->absorbCounts(Out.Injector);
+    for (PendingFinding &PF : Out.Findings) {
+      if (O.Sabotage && !Findings.empty())
+        break; // one proven catch is enough
+      reportFinding(PF.F, *Out.Ref, PF.FnIdx, O);
+      Findings.push_back(std::move(PF.F));
     }
   }
 

@@ -19,6 +19,9 @@
 //   --json               machine-readable report instead of text
 //   --trace=FILE         write a Chrome trace_event JSON of the run
 //   --counters           dump the telemetry counter registry after the run
+//   --jobs=N             corpus mode: lint N seeds concurrently (0 = one
+//                        worker per hardware thread); reports are merged
+//                        in seed order, so output matches --jobs=1
 //   --Werror             warnings fail the run like errors
 //   --disable=RULE       disable a rule (repeatable)
 //   --enable=RULE        re-enable a previously disabled rule
@@ -51,6 +54,7 @@
 #include "tooling/LintHarness.h"
 #include "tooling/Sabotage.h"
 #include "vm/Interpreter.h"
+#include "workloads/CompileService.h"
 #include "workloads/ProgramGenerator.h"
 #include "workloads/Runner.h"
 
@@ -86,6 +90,7 @@ struct Options {
   std::vector<std::string> Files;
   std::string TracePath;     ///< "" = tracing off.
   bool DumpCounters = false;
+  unsigned Jobs = 1; ///< Concurrent corpus seeds (0 = hardware threads).
 };
 
 int usage(const char *Prog) {
@@ -94,7 +99,7 @@ int usage(const char *Prog) {
           "  [--json] [--Werror] [--disable=RULE] [--enable=RULE]\n"
           "  [--list-rules] [--quiet] [--trace=FILE] [--counters]\n"
           "  corpus: [--seed=N] [--count=N] [--functions=N] [--segments=N]\n"
-          "          [--dynamic] [--audit] [--sabotage]\n",
+          "          [--dynamic] [--audit] [--sabotage] [--jobs=N]\n",
           Prog);
   return 2;
 }
@@ -220,6 +225,14 @@ void optimizeFunction(Function &F, Module *M, RunConfig Config,
 }
 
 int runCorpus(const Options &O) {
+  // Unknown rule ids are a usage error; validate once up front so the
+  // per-seed tasks below cannot fail.
+  {
+    Linter Probe = Linter::standard();
+    if (!configureLinter(Probe, O))
+      return 2;
+  }
+
   DiagnosticEngine Diags;
   LintReport Combined;
   unsigned FunctionsLinted = 0;
@@ -227,9 +240,24 @@ int runCorpus(const Options &O) {
   unsigned Corrupted = 0;
   unsigned CorruptionsCaught = 0;
 
+  // One seed = one task; everything a task produces is buffered and merged
+  // in seed order at the join, so the report and summary are identical at
+  // every --jobs level.
+  struct SeedResult {
+    LintReport Report;
+    DiagnosticEngine Diags;
+    unsigned FunctionsLinted = 0;
+    unsigned AuditRollbacks = 0;
+    unsigned Corrupted = 0;
+    unsigned CorruptionsCaught = 0;
+  };
+  std::vector<SeedResult> Results(O.Count);
+
   const RunConfig Configs[] = {RunConfig::Baseline, RunConfig::DBDS,
                                RunConfig::DupALot};
-  for (unsigned N = 0; N != O.Count; ++N) {
+  CompileService Service(O.Jobs);
+  Service.forEachIndex(O.Count, [&](size_t N, unsigned /*Worker*/) {
+    SeedResult &R = Results[N];
     GeneratorConfig GC;
     GC.Seed = O.Seed + N;
     GC.NumFunctions = O.Functions;
@@ -239,14 +267,13 @@ int runCorpus(const Options &O) {
       GeneratedWorkload Work = generateWorkload(GC);
       Module *M = Work.Mod.get();
       Linter L = Linter::standard(M);
-      if (!configureLinter(L, O))
-        return 2;
+      configureLinter(L, O); // validated above; cannot fail
 
       auto Fns = M->functions();
       for (unsigned FIdx = 0; FIdx != Fns.size(); ++FIdx) {
         Function &F = *Fns[FIdx];
-        optimizeFunction(F, M, Config, Work.TrainInputs[FIdx], O, &L, &Diags,
-                         &AuditRollbacks);
+        optimizeFunction(F, M, Config, Work.TrainInputs[FIdx], O, &L,
+                         &R.Diags, &R.AuditRollbacks);
 
         // Static pass (plus dynamic stamp cross-checks when requested).
         LintReport Report;
@@ -258,11 +285,11 @@ int runCorpus(const Options &O) {
         } else {
           Report = L.lint(F);
         }
-        ++FunctionsLinted;
+        ++R.FunctionsLinted;
         for (LintFinding &Finding : Report.Findings) {
           Finding.Message += " [seed " + std::to_string(GC.Seed) + ", " +
                              runConfigName(Config) + "]";
-          Combined.Findings.push_back(std::move(Finding));
+          R.Report.Findings.push_back(std::move(Finding));
         }
 
         // Known-positive control: corrupt the optimized function and
@@ -273,12 +300,12 @@ int runCorpus(const Options &O) {
           std::unique_ptr<Function> Pristine = F.clone();
           SabotagePhase Saboteur;
           if (Saboteur.run(F)) {
-            ++Corrupted;
+            ++R.Corrupted;
             std::string Detail;
             AuditOracle Oracle =
                 makeInterpreterOracle(*M, Work.EvalInputs[FIdx], RunFuel);
             if (!Oracle(*Pristine, F, Detail)) {
-              ++CorruptionsCaught;
+              ++R.CorruptionsCaught;
               LintFinding Synthetic;
               Synthetic.RuleId = "dynamic-divergence";
               Synthetic.Severity = LintSeverity::Error;
@@ -286,13 +313,23 @@ int runCorpus(const Options &O) {
               Synthetic.Message = "sabotaged function diverges: " + Detail +
                                   " [seed " + std::to_string(GC.Seed) + ", " +
                                   runConfigName(Config) + "]";
-              Combined.Findings.push_back(std::move(Synthetic));
+              R.Report.Findings.push_back(std::move(Synthetic));
             }
             F.restoreFrom(*Pristine);
           }
         }
       }
     }
+  });
+
+  // Deterministic join in seed order.
+  for (SeedResult &R : Results) {
+    Combined.append(std::move(R.Report));
+    Diags.mergeFrom(R.Diags);
+    FunctionsLinted += R.FunctionsLinted;
+    AuditRollbacks += R.AuditRollbacks;
+    Corrupted += R.Corrupted;
+    CorruptionsCaught += R.CorruptionsCaught;
   }
 
   printReport(Combined, O);
@@ -362,6 +399,8 @@ int main(int Argc, char **Argv) {
       O.TracePath = Arg + 8;
     else if (strcmp(Arg, "--counters") == 0)
       O.DumpCounters = true;
+    else if (strncmp(Arg, "--jobs=", 7) == 0)
+      O.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
     else if (strncmp(Arg, "--", 2) == 0)
       return usage(Argv[0]);
     else
