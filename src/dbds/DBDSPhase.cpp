@@ -14,6 +14,7 @@
 #include "dbds/Simulator.h"
 #include "opts/Phase.h"
 #include "support/Budget.h"
+#include "support/Cancellation.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
 #include "telemetry/Counters.h"
@@ -88,6 +89,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
   Cleanup.setFailFast(Config.FailFast);
   Cleanup.setDiagnostics(Config.Diags);
   Cleanup.setBudget(Config.Budget);
+  Cleanup.setCancellation(Config.Cancel);
+  Cleanup.setDisabledPhases(Config.DisabledPhases);
 
   // Transactional mode: each duplication round runs against a pre-round
   // snapshot; a verifier failure rolls the whole round back and stops DBDS
@@ -110,8 +113,20 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     return true;
   };
 
+  auto cancelled = [&Result, &Config, &F]() {
+    if (!Config.Cancel || !Config.Cancel->checkpoint())
+      return false;
+    if (!Result.Cancelled && Config.Diags)
+      Config.Diags->note("dbds", F.getName(),
+                         std::string("compilation cancelled (") +
+                             cancelReasonName(Config.Cancel->reason()) +
+                             "); dropping duplication");
+    Result.Cancelled = true;
+    return true;
+  };
+
   for (unsigned Iter = 0; Iter != Config.MaxIterations; ++Iter) {
-    if (budgetExpired())
+    if (budgetExpired() || cancelled())
       break;
     ++Result.IterationsRun;
     ++iterations_run;
@@ -129,7 +144,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
                            : std::string());
       Candidates = simulateDuplications(
           F, Config.ClassTable, /*Stats=*/nullptr,
-          /*MaxPathLength=*/Config.EnablePathDuplication ? 2 : 1);
+          /*MaxPathLength=*/Config.EnablePathDuplication ? 2 : 1,
+          Config.Cancel);
     }
     Result.CandidatesSimulated += Candidates.size();
 
@@ -189,9 +205,18 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
         return true;
       // Fault injection point: deterministically corrupt the IR right
       // after a duplication to exercise the rollback machinery.
-      if (Config.Injector &&
-          Config.Injector->at("dbds-duplicate") == FaultKind::CorruptIR)
-        corruptFunctionIR(F, Config.Injector->entropy());
+      if (Config.Injector) {
+        switch (Config.Injector->at("dbds-duplicate")) {
+        case FaultKind::CorruptIR:
+          corruptFunctionIR(F, Config.Injector->entropy());
+          break;
+        case FaultKind::Hang:
+          hangUntilCancelled(Config.Cancel);
+          break;
+        default:
+          break; // PhaseFailure/ResourceExhaustion: not duplication faults.
+        }
+      }
       std::string Error = checkAfterMutation(F, When, Config);
       if (Error.empty())
         return true;
@@ -215,7 +240,7 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
                       TS ? "\"iteration\":" + jsonNumber(Iter)
                          : std::string());
     for (const DuplicationCandidate &C : Candidates) {
-      if (budgetExpired())
+      if (budgetExpired() || cancelled())
         break;
       Block *M = nullptr, *P = nullptr;
       if (!candidateStillValid(F, C, M, P)) {
@@ -256,7 +281,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
           continue;
         }
       }
-      duplicateIntoPredecessor(F, M, P);
+      if (!duplicateIntoPredecessor(F, M, P, Config.Cancel))
+        break; // Cancelled before the transformation started; IR untouched.
       if (!verifyOrRollback("after duplication")) {
         if (DL) {
           DuplicationDecision D = makeDecision(C, CurrentSize);
@@ -281,8 +307,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
         DominatorTree DT(F);
         LoopInfo LI(F, DT);
         if (M2 && canDuplicateInto(M2, P) && DT.isReachable(M2) &&
-            !LI.isLoopHeader(M2)) {
-          duplicateIntoPredecessor(F, M2, P);
+            !LI.isLoopHeader(M2) &&
+            duplicateIntoPredecessor(F, M2, P, Config.Cancel)) {
           if (!verifyOrRollback("after path duplication")) {
             if (DL) {
               DuplicationDecision D = makeDecision(C, CurrentSize);

@@ -9,6 +9,7 @@
 #include "analysis/BlockFrequency.h"
 #include "analysis/DominatorTree.h"
 #include "opts/Canonicalize.h"
+#include "support/Cancellation.h"
 #include "opts/MemoryState.h"
 #include "opts/ScopedStamps.h"
 #include "telemetry/Counters.h"
@@ -34,9 +35,10 @@ namespace {
 class SimulationDriver {
 public:
   SimulationDriver(Function &F, const Module *ClassTable,
-                   SimulationStats *Stats, unsigned MaxPathLength)
+                   SimulationStats *Stats, unsigned MaxPathLength,
+                   CancellationToken *Cancel)
       : F(F), ClassTable(ClassTable), Stats(Stats),
-        MaxPathLength(MaxPathLength), DT(F), LI(F, DT),
+        MaxPathLength(MaxPathLength), Cancel(Cancel), DT(F), LI(F, DT),
         Freq(BlockFrequency::computeStatic(F, DT, LI)), Scope(Stamps) {}
 
   std::vector<DuplicationCandidate> run() {
@@ -77,6 +79,11 @@ private:
   /// Main traversal: mirrors CE + read elimination context building, read
   /// only. \p State is the memory knowledge at block entry.
   void visit(Block *B, MemoryState State) {
+    // Cancellation checkpoint: a cancelled attempt's partial candidate
+    // list is discarded by the retry ladder, so stopping mid-walk is safe
+    // (the simulation mutates no IR; scratch cleanup still runs in run()).
+    if (Cancel && Cancel->checkpoint())
+      return;
     ScopedStamps::UndoLog Undo;
     if (Block *Idom = DT.getIdom(B)) {
       if (B->getNumPreds() == 1 && B->preds()[0] == Idom) {
@@ -372,6 +379,7 @@ private:
   const Module *ClassTable;
   SimulationStats *Stats;
   unsigned MaxPathLength;
+  CancellationToken *Cancel;
   DominatorTree DT;
   LoopInfo LI;
   BlockFrequency Freq;
@@ -385,9 +393,9 @@ private:
 
 std::vector<DuplicationCandidate>
 dbds::simulateDuplications(Function &F, const Module *ClassTable,
-                           SimulationStats *Stats,
-                           unsigned MaxPathLength) {
+                           SimulationStats *Stats, unsigned MaxPathLength,
+                           CancellationToken *Cancel) {
   assert(MaxPathLength >= 1 && "at least the merge itself is simulated");
-  SimulationDriver Driver(F, ClassTable, Stats, MaxPathLength);
+  SimulationDriver Driver(F, ClassTable, Stats, MaxPathLength, Cancel);
   return Driver.run();
 }

@@ -1,0 +1,150 @@
+//===- support/Cancellation.h - Cooperative task cancellation ---*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation for compile tasks: a CancellationToken that can
+/// be cancelled externally or armed with a wall-clock Deadline, polled at
+/// safe checkpoints by the phase driver, the DBDS tiers, and the
+/// interpreter. Cancellation is strictly cooperative — a task stops at the
+/// next checkpoint, never mid-mutation, so the IR a cancelled task leaves
+/// behind is always verifier-clean (every checkpoint sits between whole
+/// transformations).
+///
+/// Determinism (DESIGN.md §9/§10): the *flag* propagates deterministically
+/// — once a token is cancelled, every subsequent checkpoint observes it —
+/// but deadline expiry itself is wall-clock-driven and remains the one
+/// documented nondeterminism. Supervision decisions (retry scheduling,
+/// breaker trips) therefore key on recorded attempt outcomes, never on
+/// when a deadline happened to fire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_SUPPORT_CANCELLATION_H
+#define DBDS_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace dbds {
+
+/// Why a token was cancelled.
+enum class CancelReason : uint8_t {
+  None = 0,     ///< Not cancelled.
+  External = 1, ///< requestCancel() from the driver/service.
+  Deadline = 2, ///< The armed wall-clock deadline expired.
+};
+
+inline const char *cancelReasonName(CancelReason R) {
+  switch (R) {
+  case CancelReason::None:
+    return "none";
+  case CancelReason::External:
+    return "external";
+  case CancelReason::Deadline:
+    return "deadline";
+  }
+  return "?";
+}
+
+/// A wall-clock point after which a task should stop. Default-constructed
+/// deadlines are unlimited and never expire.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// A deadline \p Ms milliseconds from now (<= 0 means unlimited).
+  static Deadline afterMs(double Ms) {
+    Deadline D;
+    if (Ms > 0.0) {
+      D.Limited = true;
+      D.End = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(Ms));
+    }
+    return D;
+  }
+
+  bool limited() const { return Limited; }
+  bool expired() const { return Limited && Clock::now() >= End; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point End{};
+  bool Limited = false;
+};
+
+/// A cooperative stop signal for one compile task. Cancelled externally
+/// (requestCancel, possibly from another thread) or by an armed Deadline,
+/// observed at checkpoints. A token may chain to a parent (the service's
+/// batch-wide token): cancelling the parent cancels every child.
+class CancellationToken {
+public:
+  CancellationToken() = default;
+  explicit CancellationToken(const CancellationToken *Parent)
+      : Parent(Parent) {}
+
+  /// Arms the wall-clock deadline checkpoints poll against.
+  void arm(Deadline D) { TaskDeadline = D; }
+
+  const Deadline &deadline() const { return TaskDeadline; }
+
+  /// Cancels the token (thread-safe; the first reason wins).
+  void requestCancel(CancelReason R = CancelReason::External) {
+    uint8_t Expected = 0;
+    State.compare_exchange_strong(Expected, static_cast<uint8_t>(R),
+                                  std::memory_order_relaxed);
+  }
+
+  /// True once this token (or its parent) was cancelled. Reads the flag
+  /// only — cheap enough for per-phase and per-candidate gates; the
+  /// deadline is polled by checkpoint().
+  bool cancelled() const {
+    return State.load(std::memory_order_relaxed) != 0 ||
+           (Parent && Parent->cancelled());
+  }
+
+  CancelReason reason() const {
+    uint8_t Own = State.load(std::memory_order_relaxed);
+    if (Own != 0)
+      return static_cast<CancelReason>(Own);
+    return Parent ? Parent->reason() : CancelReason::None;
+  }
+
+  /// The cooperative checkpoint: returns true once the task should stop,
+  /// additionally polling the armed deadline (and latching expiry as a
+  /// cancellation, so later cancelled() reads agree).
+  bool checkpoint() {
+    if (cancelled())
+      return true;
+    if (TaskDeadline.expired()) {
+      requestCancel(CancelReason::Deadline);
+      return true;
+    }
+    return false;
+  }
+
+private:
+  std::atomic<uint8_t> State{0};
+  const CancellationToken *Parent = nullptr;
+  Deadline TaskDeadline;
+};
+
+/// The Hang fault's containment probe: spins (yielding) at an injection
+/// point until \p T reports cancellation. A null token, or a live token
+/// with no deadline armed, makes this a no-op — an injected hang must
+/// never wedge a pipeline that has nothing armed to break it.
+inline void hangUntilCancelled(CancellationToken *T) {
+  if (!T)
+    return;
+  if (!T->deadline().limited() && !T->cancelled())
+    return;
+  while (!T->checkpoint())
+    std::this_thread::yield();
+}
+
+} // namespace dbds
+
+#endif // DBDS_SUPPORT_CANCELLATION_H

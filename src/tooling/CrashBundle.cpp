@@ -1,0 +1,255 @@
+//===- tooling/CrashBundle.cpp - Self-contained crash reports --------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tooling/CrashBundle.h"
+
+#include "analysis/Lint.h"
+#include "dbds/DBDSPhase.h"
+#include "ir/Function.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opts/Phase.h"
+#include "support/FaultInjector.h"
+#include "telemetry/Json.h"
+#include "telemetry/Trace.h"
+#include "tooling/Reducer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+using namespace dbds;
+
+namespace {
+
+/// Creates \p Path and its parents (mkdir -p). POSIX-only, like the
+/// fuzzdiff artifact writer.
+bool makeDirs(const std::string &Path, std::string &Error) {
+  std::string Partial;
+  size_t Pos = 0;
+  while (Pos <= Path.size()) {
+    size_t Slash = Path.find('/', Pos);
+    if (Slash == std::string::npos)
+      Slash = Path.size();
+    Partial = Path.substr(0, Slash);
+    Pos = Slash + 1;
+    if (Partial.empty() || Partial == ".")
+      continue;
+    if (mkdir(Partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      Error = "mkdir " + Partial + ": " + strerror(errno);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Contents,
+               std::string &Error) {
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F) {
+    Error = "open " + Path + ": " + strerror(errno);
+    return false;
+  }
+  bool Ok = fwrite(Contents.data(), 1, Contents.size(), F) == Contents.size();
+  Ok &= fclose(F) == 0;
+  if (!Ok)
+    Error = "write " + Path + " failed";
+  return Ok;
+}
+
+/// The bundle's module: a fresh class table copied from the workload plus
+/// one pristine clone of the failing function — everything a replay needs,
+/// nothing it does not.
+std::unique_ptr<Module> buildReproModule(const CrashBundleSpec &Spec) {
+  auto Repro = std::make_unique<Module>();
+  if (Spec.ClassTable)
+    for (unsigned Id = 0; Id != Spec.ClassTable->getNumClasses(); ++Id) {
+      const ClassInfo &CI = Spec.ClassTable->getClass(Id);
+      Repro->addClass(CI.Name, CI.NumFields);
+    }
+  if (Spec.Pristine)
+    Repro->addFunction(Spec.Pristine->clone());
+  return Repro;
+}
+
+std::string irHeader(const CrashBundleSpec &Spec, const char *What) {
+  return std::string("# dbds-crash-bundle ") + What + "\n# benchmark: " +
+         Spec.Benchmark + "  config: " + Spec.ConfigName + "  function: " +
+         Spec.FunctionName + "\n";
+}
+
+std::string attemptJson(const CrashBundleAttempt &A) {
+  std::string Out = "{";
+  Out += "\"attempt\":" + jsonNumber(A.Attempt);
+  Out += ",\"forced_level\":" +
+         jsonString(degradationLevelName(A.ForcedLevel));
+  Out += ",\"fault_seed\":" + jsonNumber(A.FaultSeed);
+  Out += ",\"fault_sites\":" + jsonNumber(A.FaultSites);
+  Out += ",\"faults_injected\":" + jsonNumber(A.FaultsInjected);
+  Out += ",\"rollbacks\":" + jsonNumber(A.Rollbacks);
+  Out += ",\"run_failures\":" + jsonNumber(A.RunFailures);
+  Out += std::string(",\"cancelled\":") + jsonBool(A.Cancelled);
+  Out += std::string(",\"budget_tripped\":") + jsonBool(A.BudgetTripped);
+  Out += ",\"reason\":" + jsonString(A.Reason);
+  Out += "}";
+  return Out;
+}
+
+} // namespace
+
+unsigned dbds::replayCrashCompile(Module &M, Function &Focus,
+                                  uint64_t FaultSeed, double FaultRate,
+                                  unsigned FaultKindMask,
+                                  DegradationLevel ForcedLevel,
+                                  const std::string &ConfigName) {
+  FaultInjector Inj(FaultSeed, FaultRate,
+                    FaultKindMask == 0 ? FaultInjector::MaskLegacy
+                                       : FaultKindMask);
+  FaultInjector *Injector = FaultKindMask == 0 ? nullptr : &Inj;
+  unsigned Rollbacks = 0;
+
+  // Site order mirrors the supervised task exactly: the interp-train fault
+  // gate, the verified standard pipeline, DBDS (config and forced level
+  // permitting), the interp-eval fault gate. A replay has no interpreter
+  // runs and no deadline, so Hang sites no-op and ResourceExhaustion sites
+  // only advance the stream — which is all alignment needs.
+  if (Injector)
+    (void)Injector->at("interp-train");
+
+  PhaseManager Pipeline =
+      PhaseManager::standardPipeline(/*Verify=*/true, &M);
+  Pipeline.setFaultInjector(Injector);
+  Pipeline.run(Focus,
+               ForcedLevel >= DegradationLevel::NoFixpoint ? 1u : 4u);
+  Rollbacks += Pipeline.rollbackCount();
+
+  if (ConfigName != "baseline" && ForcedLevel == DegradationLevel::None) {
+    DBDSConfig DC;
+    DC.UseTradeoff = ConfigName != "dupalot";
+    DC.ClassTable = &M;
+    DC.Verify = true;
+    DC.Injector = Injector;
+    DBDSResult R = runDBDS(Focus, DC);
+    Rollbacks += R.RollbacksPerformed;
+  }
+
+  if (Injector)
+    (void)Injector->at("interp-eval");
+  return Rollbacks;
+}
+
+CrashBundleResult dbds::writeCrashBundle(const CrashBundleSpec &Spec) {
+  CrashBundleResult Result;
+  if (!Spec.Pristine) {
+    Result.Error = "no pristine IR snapshot";
+    return Result;
+  }
+  if (!makeDirs(Spec.Dir, Result.Error))
+    return Result;
+
+  std::unique_ptr<Module> Repro = buildReproModule(Spec);
+  std::string InputText = irHeader(Spec, "input IR") + printModule(Repro.get());
+  if (!writeFile(Spec.Dir + "/input.ir", InputText, Result.Error))
+    return Result;
+
+  // Self-containment gate: everything below runs on the *parsed artifact*,
+  // never on the in-memory module — if input.ir does not round-trip, the
+  // bundle is not replayable and says so.
+  ParseResult Parsed = parseModule(InputText);
+  if (!Parsed) {
+    Result.Error = "input.ir does not round-trip: " + Parsed.Error;
+    return Result;
+  }
+
+  const CrashBundleAttempt Final =
+      Spec.Attempts.empty() ? CrashBundleAttempt() : Spec.Attempts.back();
+  const unsigned ReplayMask = Spec.HasInjector ? Spec.FaultKindMask : 0;
+
+  // Replay the final attempt's recorded stream over the artifact, tracing
+  // the compile (the bundle's trace slice).
+  unsigned ReplayRollbacks = 0;
+  std::string TraceJson;
+  {
+    TraceSession Trace;
+    ScopedTraceAttach Attach(Trace);
+    Function *Focus = Parsed.Mod->getFunction(Spec.FunctionName);
+    if (!Focus) {
+      Result.Error = "function " + Spec.FunctionName + " lost in round trip";
+      return Result;
+    }
+    ReplayRollbacks = replayCrashCompile(*Parsed.Mod, *Focus, Final.FaultSeed,
+                                         Spec.FaultRate, ReplayMask,
+                                         Final.ForcedLevel, Spec.ConfigName);
+    TraceJson = Trace.renderJson();
+  }
+  Result.Reproduced = ReplayRollbacks > 0;
+
+  // Delta-reduce when the replay fires: the oracle re-runs the recorded
+  // stream over each candidate and keeps mutations that still roll back.
+  std::unique_ptr<Module> Reduced;
+  if (Result.Reproduced) {
+    ReductionResult RR = reduceFunction(
+        *Repro, Spec.FunctionName,
+        [&](Module &M, Function &Focus) {
+          return replayCrashCompile(M, Focus, Final.FaultSeed, Spec.FaultRate,
+                                    ReplayMask, Final.ForcedLevel,
+                                    Spec.ConfigName) > 0;
+        },
+        /*MaxOracleQueries=*/256);
+    Result.OriginalInstructions = RR.OriginalInstructions;
+    Result.ReducedInstructions = RR.ReducedInstructions;
+    Reduced = std::move(RR.Mod);
+  }
+  std::string ReducedText =
+      irHeader(Spec, "reduced reproducer") +
+      printModule(Reduced ? Reduced.get() : Repro.get());
+  if (!writeFile(Spec.Dir + "/reduced.ir", ReducedText, Result.Error))
+    return Result;
+
+  LintReport Lint = Linter::standard(Repro.get()).lintModule(*Repro);
+  if (!writeFile(Spec.Dir + "/lint.json", Lint.renderJSON(), Result.Error) ||
+      !writeFile(Spec.Dir + "/decisions.jsonl", Spec.DecisionsJsonl,
+                 Result.Error) ||
+      !writeFile(Spec.Dir + "/diagnostics.txt", Spec.DiagnosticsText,
+                 Result.Error) ||
+      !writeFile(Spec.Dir + "/trace.json", TraceJson, Result.Error))
+    return Result;
+
+  // Manifest last: its presence marks a complete bundle.
+  std::string M = "{\n";
+  M += "  \"schema\": \"dbds-crash-bundle\",\n";
+  M += "  \"version\": 1,\n";
+  M += "  \"benchmark\": " + jsonString(Spec.Benchmark) + ",\n";
+  M += "  \"config\": " + jsonString(Spec.ConfigName) + ",\n";
+  M += "  \"function\": " + jsonString(Spec.FunctionName) + ",\n";
+  M += std::string("  \"fault\": {\"injected\": ") +
+       jsonBool(Spec.HasInjector) +
+       ", \"rate\": " + jsonNumber(Spec.FaultRate) +
+       ", \"kind_mask\": " + jsonNumber(Spec.FaultKindMask) + "},\n";
+  M += "  \"attempts\": [";
+  for (size_t I = 0; I != Spec.Attempts.size(); ++I) {
+    if (I)
+      M += ", ";
+    M += attemptJson(Spec.Attempts[I]);
+  }
+  M += "],\n";
+  M += std::string("  \"reproduced\": ") + jsonBool(Result.Reproduced) +
+       ",\n";
+  M += "  \"replay_rollbacks\": " + jsonNumber(ReplayRollbacks) + ",\n";
+  M += "  \"original_instructions\": " +
+       jsonNumber(Result.OriginalInstructions) + ",\n";
+  M += "  \"reduced_instructions\": " +
+       jsonNumber(Result.ReducedInstructions) + ",\n";
+  M += "  \"files\": [\"input.ir\", \"reduced.ir\", \"lint.json\", "
+       "\"decisions.jsonl\", \"diagnostics.txt\", \"trace.json\"]\n";
+  M += "}\n";
+  if (!writeFile(Spec.Dir + "/manifest.json", M, Result.Error))
+    return Result;
+
+  Result.Written = true;
+  return Result;
+}

@@ -1,0 +1,111 @@
+//===- tooling/CrashBundle.h - Self-contained crash reports -----*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-report bundles for the supervised compile service: when a task
+/// exhausts its retry ladder, the service emits one self-contained
+/// directory holding everything needed to replay the failure from
+/// artifacts alone — the offending pre-profiling IR snapshot, a
+/// delta-reduced reproducer (tooling/Reducer), the lint report, the
+/// decision-log and diagnostics slices of every attempt, a trace slice of
+/// the replay, and the fault stream's seed/rate/kind-mask. The bundle is
+/// written at join time (serially, in function index order), never from a
+/// worker thread.
+///
+/// Bundle layout (\<dir\>/):
+///   manifest.json   schema "dbds-crash-bundle" v1: attempts, fault
+///                   stream, replay verdict, file inventory
+///   input.ir        pristine module snapshot (class table + function)
+///   reduced.ir      delta-reduced reproducer (== input when irreducible)
+///   lint.json       Linter::standard report over the snapshot
+///   decisions.jsonl decision-log slice across all attempts
+///   diagnostics.txt rendered diagnostics across all attempts
+///   trace.json      Chrome trace of the replay compile
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TOOLING_CRASHBUNDLE_H
+#define DBDS_TOOLING_CRASHBUNDLE_H
+
+#include "support/Budget.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+class Function;
+class Module;
+
+/// One retry-ladder attempt as recorded in the manifest.
+struct CrashBundleAttempt {
+  unsigned Attempt = 0; ///< 0-based rung of the retry ladder.
+  /// Level the ladder forced for this attempt (None on the first try).
+  DegradationLevel ForcedLevel = DegradationLevel::None;
+  uint64_t FaultSeed = 0; ///< forTask(index, attempt) seed of the stream.
+  unsigned FaultSites = 0;
+  unsigned FaultsInjected = 0;
+  unsigned Rollbacks = 0;
+  unsigned RunFailures = 0;
+  bool Cancelled = false;
+  bool BudgetTripped = false;
+  std::string Reason; ///< Human summary of why the attempt failed.
+};
+
+/// Everything the service hands over for one exhausted task.
+struct CrashBundleSpec {
+  std::string Dir; ///< Bundle directory; created (recursively) on write.
+  std::string Benchmark;
+  std::string ConfigName;   ///< runConfigName() of the failing config.
+  std::string FunctionName; ///< The task's function (replay focus).
+  /// Pre-profiling snapshot of the function (not owned; cloned into the
+  /// bundle module together with \p ClassTable's class table).
+  const Function *Pristine = nullptr;
+  const Module *ClassTable = nullptr;
+  /// The task-level fault stream parameters; HasInjector false when the
+  /// service ran without injection (replays then run fault-free).
+  bool HasInjector = false;
+  double FaultRate = 0.0;
+  unsigned FaultKindMask = 0;
+  std::vector<CrashBundleAttempt> Attempts;
+  std::string DiagnosticsText; ///< Rendered diagnostics, all attempts.
+  std::string DecisionsJsonl;  ///< Decision-log slice, all attempts.
+};
+
+/// Outcome of writing one bundle.
+struct CrashBundleResult {
+  bool Written = false;
+  std::string Error; ///< First I/O or round-trip failure ("" when none).
+  /// True when replaying the final attempt's recorded fault stream over
+  /// the round-tripped snapshot rolled back at least once — the bundle
+  /// demonstrably reproduces the failure from artifacts alone.
+  bool Reproduced = false;
+  unsigned OriginalInstructions = 0;
+  unsigned ReducedInstructions = 0;
+};
+
+/// Replays the compile portion of one supervised attempt over \p Focus in
+/// \p M: the interp-train fault gate, the standard verified pipeline, the
+/// DBDS tiers (when \p ConfigName enables them and \p ForcedLevel still
+/// permits them), and the interp-eval fault gate — consuming injector
+/// sites in exactly the order the service's task does, so a recorded
+/// (seed, rate, mask) stream lines up. \p FaultKindMask == 0 replays
+/// without injection. Returns the total rollbacks observed.
+unsigned replayCrashCompile(Module &M, Function &Focus, uint64_t FaultSeed,
+                            double FaultRate, unsigned FaultKindMask,
+                            DegradationLevel ForcedLevel,
+                            const std::string &ConfigName);
+
+/// Writes the bundle described by \p Spec: snapshots the module, replays
+/// the final attempt to confirm reproduction, delta-reduces the reproducer
+/// when it fires, and emits the manifest last (a manifest present on disk
+/// means the bundle is complete).
+CrashBundleResult writeCrashBundle(const CrashBundleSpec &Spec);
+
+} // namespace dbds
+
+#endif // DBDS_TOOLING_CRASHBUNDLE_H

@@ -7,6 +7,7 @@
 #include "vm/Interpreter.h"
 
 #include "ir/Semantics.h"
+#include "support/Cancellation.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Json.h"
 #include "telemetry/Trace.h"
@@ -110,7 +111,17 @@ ExecutionResult Interpreter::execute(Function &F, ArrayRef<RuntimeValue> Args,
 
   Block *Current = F.getEntry();
   Block *Previous = nullptr;
+  unsigned Polls = 0;
   while (true) {
+    // Cancellation guard, strided so the wall-clock poll stays off the hot
+    // path: every 128 block transitions (plus whenever the flag is already
+    // visibly set), end the run with Interrupted. Ok stays false; an
+    // interrupted run's partial cycles/steps are discarded by the caller.
+    if (Cancel && (((++Polls & 127u) == 0) || Cancel->cancelled()) &&
+        Cancel->checkpoint()) {
+      Result.Interrupted = true;
+      return Result;
+    }
     Result.DynamicCycles += BlockPenalty;
     if (Profile)
       ++Profile->BlockCounts[Current];

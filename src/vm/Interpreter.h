@@ -28,6 +28,8 @@
 
 namespace dbds {
 
+class CancellationToken;
+
 /// A runtime value: a 64-bit integer, or an object reference (heap index,
 /// -1 for null).
 struct RuntimeValue {
@@ -62,6 +64,10 @@ struct ExecutionResult {
   bool HasResult = false;     ///< True when the program returned a value.
   uint64_t DynamicCycles = 0; ///< Cost-model cycles of executed code.
   uint64_t Steps = 0;         ///< Instructions executed.
+  /// True when an installed cancellation token stopped the run early (Ok
+  /// stays false). Distinct from fuel exhaustion: an interrupted run says
+  /// nothing about the program, only that the task was cancelled.
+  bool Interrupted = false;
 };
 
 /// Observes every value an instruction produces during interpretation
@@ -97,6 +103,11 @@ public:
     PenaltyCap = Cap;
     PenaltyEnabled = true;
   }
+
+  /// Installs a cooperative cancellation token (not owned; null to
+  /// remove). Polled every few block transitions; a fired token ends the
+  /// run with Interrupted set.
+  void setCancellation(CancellationToken *C) { Cancel = C; }
 
   /// Discards all heap objects.
   void reset() { Heap.clear(); }
@@ -138,6 +149,7 @@ private:
 
   const Module &M;
   ValueObserver Observer;
+  CancellationToken *Cancel = nullptr;
   std::vector<HeapObject> Heap;
   bool PenaltyEnabled = false;
   uint64_t PenaltyThreshold = 256;

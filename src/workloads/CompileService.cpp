@@ -8,6 +8,7 @@
 
 #include "dbds/DBDSPhase.h"
 #include "opts/Phase.h"
+#include "support/Cancellation.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
 #include "support/Timer.h"
@@ -15,18 +16,28 @@
 #include "telemetry/DecisionLog.h"
 #include "telemetry/Json.h"
 #include "telemetry/Trace.h"
+#include "tooling/CrashBundle.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace dbds;
 
 // Note: deliberately no counter distinguishing parallel from serial batches —
 // every telemetry counter must total identically at --jobs=1 and --jobs=N
 // (the determinism contract), so nothing scheduling-dependent may be counted.
+// The supervision counters below are incremented only in the serial
+// between-wave folds, where retry and breaker decisions are themselves
+// schedule-independent.
 DBDS_COUNTER(compile_service, functions_compiled);
+DBDS_COUNTER(compile_service, tasks_retried);
+DBDS_COUNTER(compile_service, tasks_exhausted);
+DBDS_COUNTER(compile_service, breaker_trips);
+DBDS_COUNTER(compile_service, crash_bundles_written);
 
 uint64_t dbds::resultHashCombine(uint64_t Hash, uint64_t Value) {
   Hash ^= Value + 0x9e3779b97f4a7c15ULL + (Hash << 6) + (Hash >> 2);
@@ -65,38 +76,102 @@ namespace {
 /// historical value.)
 constexpr uint64_t NonTerminationSentinel = 0x6e6f2d7465726d21ULL;
 
-/// Task-local sinks: everything order-sensitive a task produces lands
-/// here, never in the shared RunnerOptions sinks.
-struct TaskBuffers {
+/// One ladder attempt's task-local state: everything order-sensitive the
+/// attempt produces lands here, never in the shared RunnerOptions sinks,
+/// and the attempt's scalar results wait here until the join picks the
+/// final attempt's.
+struct AttemptState {
+  CompileAttempt Info;
+  FunctionCompileOutcome Partial;
   DecisionLog Decisions;
   DiagnosticEngine Diags;
   FaultInjector Injector{0}; ///< Valid only when HasInjector.
   bool HasInjector = false;
+  /// Phase names this attempt's pipeline quarantined (breaker feed).
+  std::vector<std::string> QuarantineEvents;
 };
 
-void bufferDiagnostic(FunctionCompileOutcome &Out, TaskBuffers &Buffers,
+/// Per-function supervision state across the retry ladder.
+struct TaskState {
+  /// Pre-profiling IR snapshot; retries restore it, crash bundles embed
+  /// it. Taken only when supervision needs it.
+  std::unique_ptr<Function> Pristine;
+  std::vector<std::unique_ptr<AttemptState>> Attempts;
+};
+
+void bufferDiagnostic(FunctionCompileOutcome &Out, AttemptState &A,
                       bool WantDiags, DiagKind Kind, const std::string &Fn,
                       const std::string &Msg) {
   Out.LogLines.push_back(Msg);
   if (WantDiags)
-    Buffers.Diags.report(Kind, "runner", Fn, Msg);
+    A.Diags.report(Kind, "runner", Fn, Msg);
+}
+
+std::string describeAttempt(const CompileAttempt &Info,
+                            const CancellationToken &Token) {
+  if (!Info.Failed)
+    return "ok";
+  std::string Reason;
+  auto Add = [&Reason](const std::string &Piece) {
+    if (!Reason.empty())
+      Reason += "; ";
+    Reason += Piece;
+  };
+  if (Info.Cancelled)
+    Add(std::string("cancelled (") + cancelReasonName(Token.reason()) + ")");
+  if (Info.BudgetTripped)
+    Add("compile budget expired");
+  if (Info.Rollbacks != 0)
+    Add(std::to_string(Info.Rollbacks) + " rollback(s)");
+  if (Info.RunFailures != 0)
+    Add(std::to_string(Info.RunFailures) + " run failure(s)");
+  return Reason;
 }
 
 } // namespace
 
-std::vector<FunctionCompileOutcome>
-dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
-                               RunConfig Config, const RunnerOptions &Opts,
-                               const std::string &BenchName) {
+CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
+                                            GeneratedWorkload &W,
+                                            RunConfig Config,
+                                            const RunnerOptions &Opts,
+                                            const std::string &BenchName) {
   auto Functions = W.Mod->functions();
   const size_t N = Functions.size();
-  std::vector<FunctionCompileOutcome> Outcomes(N);
-  std::vector<TaskBuffers> Buffers(N);
+  const unsigned MaxAttempts =
+      std::min(std::max(Opts.MaxAttempts, 1u), 3u);
+  // Supervision is opt-in: without any of its knobs the service runs the
+  // exact pre-supervision task body (single attempt, no token, no extra
+  // fault sites), keeping legacy fault streams and outputs bit-identical.
+  const bool Supervised = MaxAttempts > 1 || Opts.TaskDeadlineMs > 0.0 ||
+                          Opts.Cancel != nullptr ||
+                          Opts.BreakerThreshold != 0 ||
+                          !Opts.CrashBundleDir.empty() ||
+                          Opts.AuditLinter != nullptr;
+  const bool NeedPristine =
+      MaxAttempts > 1 || !Opts.CrashBundleDir.empty();
 
-  Service.forEachIndex(N, [&](size_t FIdx, unsigned /*Worker*/) {
+  CompileBatch Batch;
+  Batch.Outcomes.resize(N);
+  std::vector<TaskState> State(N);
+
+  // Breaker state: mutated only in the serial between-wave folds; workers
+  // read Disabled concurrently during a wave (the set is stable then).
+  std::unordered_set<std::string> Disabled;
+  std::unordered_map<std::string, unsigned> CorruptionCounts;
+  const std::unordered_set<std::string> *DisabledView =
+      Opts.BreakerThreshold != 0 ? &Disabled : nullptr;
+
+  auto RunAttempt = [&](size_t FIdx, unsigned AttemptNo) {
     Function &F = *Functions[FIdx];
-    FunctionCompileOutcome &Out = Outcomes[FIdx];
-    TaskBuffers &Buf = Buffers[FIdx];
+    TaskState &T = State[FIdx];
+    AttemptState &A = *T.Attempts.back();
+    FunctionCompileOutcome &Out = A.Partial;
+    A.Info.Attempt = AttemptNo;
+    // The degradation ladder: attempt a runs with DBDS already shed at
+    // a >= 1 and fixpoint iteration shed at a >= 2.
+    const DegradationLevel Forced =
+        static_cast<DegradationLevel>(std::min(AttemptNo, 2u));
+    A.Info.Forced = Forced;
 
     // Per-worker telemetry shard: this task's counter increments buffer
     // thread-locally and publish in one batch when the shard dies at the
@@ -106,15 +181,32 @@ dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
     CounterShard Shard;
     ++functions_compiled;
 
-    // Per-task fault stream, derived from (seed, function index) so it is
-    // independent of worker assignment and completion order.
+    // Per-attempt fault stream, derived from (seed, function index,
+    // attempt) so it is independent of worker assignment and completion
+    // order, and fresh on every rung of the ladder.
     FaultInjector *Injector = nullptr;
     if (Opts.Injector) {
-      Buf.Injector = Opts.Injector->forTask(FIdx);
-      Buf.HasInjector = true;
-      Injector = &Buf.Injector;
+      A.Injector = Opts.Injector->forTask(FIdx, AttemptNo);
+      A.HasInjector = true;
+      Injector = &A.Injector;
+      A.Info.FaultSeed = A.Injector.seed();
     }
 
+    // The attempt's cooperative stop signal: chained to the batch token,
+    // armed with the per-attempt deadline. Null in unsupervised runs so
+    // the legacy hot paths stay checkpoint-free.
+    CancellationToken TaskCancel(Opts.Cancel);
+    TaskCancel.arm(Deadline::afterMs(Opts.TaskDeadlineMs));
+    CancellationToken *Cancel = Supervised ? &TaskCancel : nullptr;
+
+    if (NeedPristine && AttemptNo == 0)
+      T.Pristine = F.clone();
+    // A retry starts from the pristine pre-profiling IR: the failed
+    // attempt may have left rolled-back-but-profiled state behind.
+    if (AttemptNo != 0)
+      F.restoreFrom(*T.Pristine);
+
+    const bool WantDiags = Opts.Diags != nullptr || Supervised;
     TraceSession *TS = TraceSession::active();
 
     // Profile on training inputs (the JIT's interpreter tier). Each task
@@ -127,6 +219,23 @@ dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
     // regress, as the paper observes for octane raytrace).
     Interp.enableCodeSizePenalty(/*Threshold=*/192, /*Step=*/160,
                                  /*Cap=*/1u << 20);
+    Interp.setCancellation(Cancel);
+
+    // Interpreter-tier fault gates exist only under supervision: legacy
+    // (unsupervised) streams must keep their historical site alignment.
+    uint64_t TrainFuel = 1u << 24;
+    if (Supervised && Injector) {
+      switch (Injector->at("interp-train")) {
+      case FaultKind::ResourceExhaustion:
+        TrainFuel = 256; // starve the training runs of fuel
+        break;
+      case FaultKind::Hang:
+        hangUntilCancelled(Cancel);
+        break;
+      default:
+        break;
+      }
+    }
 
     ProfileSummary Profile;
     {
@@ -134,9 +243,13 @@ dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
                           TS ? "\"function\":" + jsonString(F.getName())
                              : std::string());
       for (const auto &Args : W.TrainInputs[FIdx]) {
+        if (Cancel && Cancel->checkpoint())
+          break;
         Interp.reset();
         ExecutionResult R =
-            Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24, &Profile);
+            Interp.run(F, ArrayRef<int64_t>(Args), TrainFuel, &Profile);
+        if (R.Interrupted)
+          break; // cancelled mid-run: not a verdict about the program
         if (!R.Ok) {
           if (Opts.FailFast) {
             fprintf(stderr, "training run did not terminate on %s/%s\n",
@@ -144,8 +257,7 @@ dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
             abort();
           }
           ++Out.RunFailures;
-          bufferDiagnostic(Out, Buf, Opts.Diags != nullptr, DiagKind::Warning,
-                           F.getName(),
+          bufferDiagnostic(Out, A, WantDiags, DiagKind::Warning, F.getName(),
                            "training run did not terminate on " + BenchName);
           break; // Profile what we have; the compile still proceeds.
         }
@@ -166,21 +278,29 @@ dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
       PhaseManager Pipeline =
           PhaseManager::standardPipeline(Opts.Verify, W.Mod.get());
       Pipeline.setFailFast(Opts.FailFast);
-      Pipeline.setDiagnostics(Opts.Diags ? &Buf.Diags : nullptr);
+      Pipeline.setDiagnostics(WantDiags ? &A.Diags : nullptr);
       Pipeline.setFaultInjector(Injector);
       Pipeline.setBudget(&Budget);
-      Pipeline.run(F);
+      Pipeline.setCancellation(Cancel);
+      Pipeline.setDisabledPhases(DisabledView);
+      if (Opts.AuditLinter)
+        Pipeline.setAuditLinter(Opts.AuditLinter);
+      Pipeline.run(F, Forced >= DegradationLevel::NoFixpoint ? 1u : 4u);
       Out.Rollbacks += Pipeline.rollbackCount();
-      if (Config != RunConfig::Baseline) {
+      A.QuarantineEvents = Pipeline.quarantineEvents();
+      if (Config != RunConfig::Baseline &&
+          Forced == DegradationLevel::None) {
         DBDSConfig DC;
         DC.UseTradeoff = Config == RunConfig::DBDS;
         DC.ClassTable = W.Mod.get();
         DC.Verify = Opts.Verify;
         DC.FailFast = Opts.FailFast;
-        DC.Diags = Opts.Diags ? &Buf.Diags : nullptr;
+        DC.Diags = WantDiags ? &A.Diags : nullptr;
         DC.Injector = Injector;
         DC.Budget = &Budget;
-        DC.Decisions = Opts.Decisions ? &Buf.Decisions : nullptr;
+        DC.Cancel = Cancel;
+        DC.DisabledPhases = DisabledView;
+        DC.Decisions = Opts.Decisions ? &A.Decisions : nullptr;
         DBDSResult R = runDBDS(F, DC);
         Out.Duplications += R.DuplicationsPerformed;
         Out.Rollbacks += R.RollbacksPerformed;
@@ -188,50 +308,201 @@ dbds::compileFunctionsParallel(CompileService &Service, GeneratedWorkload &W,
     }
     Out.CompileTimeMs = CompileTimer.totalMs();
     Out.CodeSize = F.estimatedCodeSize();
-    Out.Degradation = Budget.level();
+    A.Info.BudgetTripped = Budget.level() != DegradationLevel::None;
+    Out.Degradation = std::max(Budget.level(), Forced);
+
+    // Eval-side fault gate (supervised only), mirroring the train gate.
+    uint64_t EvalFuel = 1u << 24;
+    if (Supervised && Injector) {
+      switch (Injector->at("interp-eval")) {
+      case FaultKind::ResourceExhaustion:
+        EvalFuel = 256;
+        break;
+      case FaultKind::Hang:
+        hangUntilCancelled(Cancel);
+        break;
+      default:
+        break;
+      }
+    }
 
     // Peak performance: dynamic cost-model cycles on evaluation inputs.
-    TraceSpan EvalSpan(TS, "eval", "runner",
-                       TS ? "\"function\":" + jsonString(F.getName())
-                          : std::string());
-    for (const auto &Args : W.EvalInputs[FIdx]) {
-      Interp.reset();
-      ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), 1u << 24);
-      if (!R.Ok) {
-        if (Opts.FailFast) {
-          fprintf(stderr, "evaluation run did not terminate on %s/%s\n",
-                  BenchName.c_str(), F.getName().c_str());
-          abort();
+    {
+      TraceSpan EvalSpan(TS, "eval", "runner",
+                         TS ? "\"function\":" + jsonString(F.getName())
+                            : std::string());
+      for (const auto &Args : W.EvalInputs[FIdx]) {
+        if (Cancel && Cancel->checkpoint())
+          break;
+        Interp.reset();
+        ExecutionResult R = Interp.run(F, ArrayRef<int64_t>(Args), EvalFuel);
+        if (R.Interrupted)
+          break;
+        if (!R.Ok) {
+          if (Opts.FailFast) {
+            fprintf(stderr, "evaluation run did not terminate on %s/%s\n",
+                    BenchName.c_str(), F.getName().c_str());
+            abort();
+          }
+          ++Out.RunFailures;
+          bufferDiagnostic(Out, A, WantDiags, DiagKind::Error, F.getName(),
+                           "evaluation run did not terminate on " + BenchName);
+          Out.ResultHash =
+              resultHashCombine(Out.ResultHash, NonTerminationSentinel);
+          continue;
         }
-        ++Out.RunFailures;
-        bufferDiagnostic(Out, Buf, Opts.Diags != nullptr, DiagKind::Error,
-                         F.getName(),
-                         "evaluation run did not terminate on " + BenchName);
-        Out.ResultHash =
-            resultHashCombine(Out.ResultHash, NonTerminationSentinel);
-        continue;
+        Out.DynamicCycles += R.DynamicCycles;
+        Out.ResultHash = resultHashCombine(
+            Out.ResultHash,
+            R.HasResult && !R.Result.IsObject
+                ? static_cast<uint64_t>(R.Result.Scalar)
+                : 0);
       }
-      Out.DynamicCycles += R.DynamicCycles;
-      Out.ResultHash = resultHashCombine(
-          Out.ResultHash,
-          R.HasResult && !R.Result.IsObject
-              ? static_cast<uint64_t>(R.Result.Scalar)
-              : 0);
     }
-  });
 
-  // Deterministic join: fold every order-sensitive stream back into the
-  // shared sinks in function index order, regardless of completion order.
+    // Attempt verdict. BudgetTripped and Cancelled are the timing-driven
+    // inputs (DESIGN.md §9's documented nondeterminism); everything else
+    // is schedule-independent.
+    A.Info.Cancelled = TaskCancel.cancelled();
+    A.Info.Rollbacks = Out.Rollbacks;
+    A.Info.RunFailures = Out.RunFailures;
+    A.Info.Reached = Out.Degradation;
+    if (A.HasInjector) {
+      A.Info.FaultSites = A.Injector.sitesVisited();
+      A.Info.FaultsInjected = A.Injector.faultsInjected();
+    }
+    A.Info.Failed = Out.Rollbacks != 0 || Out.RunFailures != 0 ||
+                    A.Info.Cancelled || A.Info.BudgetTripped;
+    A.Info.Reason = describeAttempt(A.Info, TaskCancel);
+  };
+
+  // Wave-per-rung scheduling: attempt a runs every task that failed
+  // attempt a-1, in parallel; verdicts and breaker attribution fold
+  // serially in function index order between waves, so re-queue decisions
+  // and breaker trips are identical at any --jobs level.
+  std::vector<size_t> Pending(N);
+  for (size_t I = 0; I != N; ++I)
+    Pending[I] = I;
+  for (unsigned AttemptNo = 0; AttemptNo != MaxAttempts && !Pending.empty();
+       ++AttemptNo) {
+    for (size_t FIdx : Pending)
+      State[FIdx].Attempts.push_back(std::make_unique<AttemptState>());
+    Service.forEachIndex(Pending.size(), [&](size_t I, unsigned /*Worker*/) {
+      RunAttempt(Pending[I], AttemptNo);
+    });
+
+    std::vector<size_t> Next;
+    for (size_t FIdx : Pending) {
+      AttemptState &A = *State[FIdx].Attempts.back();
+      if (Opts.BreakerThreshold != 0) {
+        for (const std::string &Phase : A.QuarantineEvents) {
+          if (Disabled.count(Phase))
+            continue;
+          if (++CorruptionCounts[Phase] >= Opts.BreakerThreshold) {
+            Disabled.insert(Phase);
+            Batch.BreakerTrips.push_back(
+                Phase + " after " +
+                std::to_string(CorruptionCounts[Phase]) +
+                " attributed corruption(s)");
+            ++breaker_trips;
+            if (Opts.Diags)
+              Opts.Diags->warning("compile-service", "",
+                                  "circuit breaker tripped: phase " + Phase +
+                                      " disabled for remaining tasks of " +
+                                      BenchName + " after " +
+                                      std::to_string(CorruptionCounts[Phase]) +
+                                      " attributed corruption(s)");
+          }
+        }
+      }
+      if (Supervised && A.Info.Failed) {
+        if (AttemptNo + 1 < MaxAttempts) {
+          Next.push_back(FIdx);
+          ++tasks_retried;
+        } else {
+          ++tasks_exhausted;
+        }
+      }
+    }
+    Pending = std::move(Next);
+  }
+
+  // Deterministic join: assemble outcomes from the final attempts and fold
+  // every order-sensitive stream back into the shared sinks in (function
+  // index, attempt) order, regardless of completion order. Crash bundles
+  // are written here — serially — never from a worker thread.
   for (size_t FIdx = 0; FIdx != N; ++FIdx) {
-    for (const std::string &Line : Outcomes[FIdx].LogLines)
+    TaskState &T = State[FIdx];
+    FunctionCompileOutcome &Out = Batch.Outcomes[FIdx];
+    AttemptState &Last = *T.Attempts.back();
+
+    Out.CompileTimeMs = Last.Partial.CompileTimeMs;
+    Out.CodeSize = Last.Partial.CodeSize;
+    Out.Duplications = Last.Partial.Duplications;
+    Out.Rollbacks = Last.Partial.Rollbacks;
+    Out.RunFailures = Last.Partial.RunFailures;
+    Out.Degradation = Last.Partial.Degradation;
+    Out.DynamicCycles = Last.Partial.DynamicCycles;
+    Out.ResultHash = Last.Partial.ResultHash;
+    for (auto &A : T.Attempts) {
+      Out.Attempts.push_back(A->Info);
+      for (std::string &Line : A->Partial.LogLines)
+        Out.LogLines.push_back(std::move(Line));
+    }
+    Out.Exhausted = Supervised && Last.Info.Failed;
+
+    for (const std::string &Line : Out.LogLines)
       fprintf(stderr, "%s/%s: %s\n", BenchName.c_str(),
               Functions[FIdx]->getName().c_str(), Line.c_str());
-    if (Opts.Decisions)
-      Opts.Decisions->merge(std::move(Buffers[FIdx].Decisions));
-    if (Opts.Diags)
-      Opts.Diags->mergeFrom(Buffers[FIdx].Diags);
-    if (Opts.Injector && Buffers[FIdx].HasInjector)
-      Opts.Injector->absorbCounts(Buffers[FIdx].Injector);
+
+    if (Out.Exhausted && !Opts.CrashBundleDir.empty()) {
+      CrashBundleSpec Spec;
+      Spec.Benchmark = BenchName;
+      Spec.ConfigName = runConfigName(Config);
+      Spec.FunctionName = Functions[FIdx]->getName();
+      Spec.Dir = Opts.CrashBundleDir + "/" + BenchName + "-" +
+                 Spec.ConfigName + "-" + Spec.FunctionName;
+      Spec.Pristine = T.Pristine.get();
+      Spec.ClassTable = W.Mod.get();
+      if (Opts.Injector) {
+        Spec.HasInjector = true;
+        Spec.FaultRate = Opts.Injector->rate();
+        Spec.FaultKindMask = Opts.Injector->kindMask();
+      }
+      for (const auto &A : T.Attempts) {
+        CrashBundleAttempt CA;
+        CA.Attempt = A->Info.Attempt;
+        CA.ForcedLevel = A->Info.Forced;
+        CA.FaultSeed = A->Info.FaultSeed;
+        CA.FaultSites = A->Info.FaultSites;
+        CA.FaultsInjected = A->Info.FaultsInjected;
+        CA.Rollbacks = A->Info.Rollbacks;
+        CA.RunFailures = A->Info.RunFailures;
+        CA.Cancelled = A->Info.Cancelled;
+        CA.BudgetTripped = A->Info.BudgetTripped;
+        CA.Reason = A->Info.Reason;
+        Spec.Attempts.push_back(std::move(CA));
+        Spec.DiagnosticsText += A->Diags.render();
+        Spec.DecisionsJsonl += A->Decisions.renderJsonl();
+      }
+      CrashBundleResult BR = writeCrashBundle(Spec);
+      if (BR.Written) {
+        Out.CrashBundle = Spec.Dir;
+        ++crash_bundles_written;
+      } else if (Opts.Diags) {
+        Opts.Diags->error("compile-service", Spec.FunctionName,
+                          "failed to write crash bundle: " + BR.Error);
+      }
+    }
+
+    for (auto &A : T.Attempts) {
+      if (Opts.Decisions)
+        Opts.Decisions->merge(std::move(A->Decisions));
+      if (Opts.Diags)
+        Opts.Diags->mergeFrom(A->Diags);
+      if (Opts.Injector && A->HasInjector)
+        Opts.Injector->absorbCounts(A->Injector);
+    }
   }
-  return Outcomes;
+  return Batch;
 }

@@ -58,17 +58,26 @@ ConfigMeasurement measureConfig(CompileService &Service,
   // The per-function pipeline runs on the compile service — sharded across
   // workers at --jobs=N, inline at --jobs=1 — and hands back per-function
   // outcomes in function index order either way.
-  std::vector<FunctionCompileOutcome> Outcomes =
+  CompileBatch Batch =
       compileFunctionsParallel(Service, W, Config, Opts, Spec.Name);
 
   ConfigMeasurement Out;
-  for (const FunctionCompileOutcome &O : Outcomes) {
+  for (const FunctionCompileOutcome &O : Batch.Outcomes) {
     Out.DynamicCycles += O.DynamicCycles;
     Out.CompileTimeMs += O.CompileTimeMs;
     Out.CodeSize += O.CodeSize;
     Out.Duplications += O.Duplications;
-    Out.Rollbacks += O.Rollbacks;
-    Out.RunFailures += O.RunFailures;
+    // Rollbacks and run failures sum across the whole retry ladder — every
+    // attempt's faults are part of the measurement record, not just the
+    // attempt whose result stood. Identical to the final attempt's counts
+    // when supervision is off (single attempt).
+    for (const CompileAttempt &A : O.Attempts) {
+      Out.Rollbacks += A.Rollbacks;
+      Out.RunFailures += A.RunFailures;
+    }
+    Out.Retries += static_cast<unsigned>(O.Attempts.size()) - 1;
+    if (O.Exhausted)
+      ++Out.TasksExhausted;
     if (O.Degradation != DegradationLevel::None) {
       ++Out.FunctionsDegraded;
       Out.MaxDegradation = std::max(Out.MaxDegradation, O.Degradation);
@@ -77,6 +86,7 @@ ConfigMeasurement measureConfig(CompileService &Service,
     // independent of completion order.
     Out.ResultHash = resultHashCombine(Out.ResultHash, O.ResultHash);
   }
+  Out.BreakerTrips = std::move(Batch.BreakerTrips);
   if (Opts.CollectCounters)
     Out.Counters = CounterRegistry::delta(
         PreCounters, CounterRegistry::instance().snapshot());
@@ -192,6 +202,22 @@ dbds::formatSuiteReport(const std::string &SuiteName,
                  M.Name.c_str(), Cfg, CM->Rollbacks);
         Notes += Line;
       }
+      if (CM->Retries != 0) {
+        snprintf(Line, sizeof(Line),
+                 "note: %s/%s: %u retried attempt(s) on the degradation "
+                 "ladder\n",
+                 M.Name.c_str(), Cfg, CM->Retries);
+        Notes += Line;
+      }
+      if (CM->TasksExhausted != 0) {
+        snprintf(Line, sizeof(Line),
+                 "note: %s/%s: %u task(s) exhausted every attempt\n",
+                 M.Name.c_str(), Cfg, CM->TasksExhausted);
+        Notes += Line;
+      }
+      for (const std::string &Trip : CM->BreakerTrips)
+        Notes += "note: " + M.Name + "/" + Cfg +
+                 ": circuit breaker disabled " + Trip + "\n";
     }
   }
   auto Geo = [](std::vector<double> &V) {

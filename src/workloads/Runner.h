@@ -27,9 +27,11 @@
 
 namespace dbds {
 
+class CancellationToken;
 class DecisionLog;
 class DiagnosticEngine;
 class FaultInjector;
+class Linter;
 
 /// The three configurations of §6.1.
 enum class RunConfig { Baseline, DBDS, DupALot };
@@ -74,6 +76,37 @@ struct RunnerOptions {
   /// hardware thread. Every observable output except wall-clock timing is
   /// identical across jobs settings (see workloads/CompileService.h).
   unsigned Jobs = 1;
+
+  // ---- Task supervision (workloads/CompileService.h) -------------------
+
+  /// Maximum attempts per task on the retry-with-degradation ladder
+  /// (clamped to [1, 3]; attempt a runs at forced DegradationLevel
+  /// min(a, 2)). 1 = no retries, the pre-supervision behavior.
+  unsigned MaxAttempts = 1;
+
+  /// Per-attempt wall-clock deadline in milliseconds (0 = none). An
+  /// over-deadline attempt is cancelled at the next safe checkpoint and
+  /// counts as failed.
+  double TaskDeadlineMs = 0.0;
+
+  /// Optional batch-wide cancellation token (not owned): cancelling it
+  /// cancels every in-flight and future attempt of the batch.
+  CancellationToken *Cancel = nullptr;
+
+  /// Per-phase circuit breaker: after this many attributed corruptions of
+  /// the same phase across the module, the phase is disabled for the
+  /// batch's remaining tasks (0 = breaker off).
+  unsigned BreakerThreshold = 0;
+
+  /// When non-empty, every task that exhausts its retries writes a
+  /// self-contained crash-report bundle below this directory
+  /// (tooling/CrashBundle.h).
+  std::string CrashBundleDir;
+
+  /// Optional audit-mode linter for the per-task pipelines (not owned):
+  /// phase effects are lint-diffed and attributed, feeding the breaker
+  /// higher-fidelity blame than the plain verifier.
+  const Linter *AuditLinter = nullptr;
 };
 
 /// Raw measurements of one benchmark under one configuration.
@@ -88,6 +121,10 @@ struct ConfigMeasurement {
   DegradationLevel MaxDegradation = DegradationLevel::None;
   unsigned Rollbacks = 0;    ///< Phase/DBDS rollbacks during compilation.
   unsigned RunFailures = 0;  ///< Training/eval runs that did not terminate.
+  unsigned Retries = 0;      ///< Re-queued attempts beyond each first try.
+  unsigned TasksExhausted = 0; ///< Tasks whose every attempt failed.
+  /// Phases the per-phase circuit breaker disabled, in trip order.
+  std::vector<std::string> BreakerTrips;
   /// Telemetry-counter delta over this configuration's region (empty
   /// unless RunnerOptions::CollectCounters was set).
   std::vector<CounterSample> Counters;

@@ -300,10 +300,10 @@ CorpusObservation observeCorpus(unsigned Jobs) {
   for (const BenchmarkSpec &Spec : Corpus.Benchmarks) {
     for (RunConfig Config : Configs) {
       GeneratedWorkload W = generateWorkload(Spec.Config);
-      std::vector<FunctionCompileOutcome> Outcomes =
+      CompileBatch Batch =
           compileFunctionsParallel(Service, W, Config, Opts, Spec.Name);
       Obs.PrintedIR.push_back(printModule(W.Mod.get()));
-      for (const FunctionCompileOutcome &O : Outcomes) {
+      for (const FunctionCompileOutcome &O : Batch.Outcomes) {
         Obs.ResultHashes.push_back(O.ResultHash);
         Obs.DynamicCycles.push_back(O.DynamicCycles);
         Obs.CodeSizes.push_back(O.CodeSize);
@@ -400,6 +400,72 @@ TEST(ConcurrencyWallTest, FaultInjectionIsScheduleIndependent) {
     return std::tuple<unsigned, unsigned, unsigned, std::string>(
         M.DBDS.Rollbacks, Injector.sitesVisited(), Injector.faultsInjected(),
         Diags.render());
+  };
+  EXPECT_EQ(Run(1), Run(8));
+}
+
+TEST(ConcurrencyWallTest, RetryLadderIsScheduleIndependent) {
+  // The supervised batch extends the wall: attempt histories, re-queue
+  // decisions, breaker trips, diagnostics, remarks, and counter totals
+  // must be byte-identical between --jobs=1 and --jobs=8. The fault mask
+  // deliberately excludes Hang and no deadline is armed — timing-driven
+  // expiry is the one documented nondeterminism, so it stays out of the
+  // byte-identical comparison (supervision_test covers containment).
+  BenchmarkSpec Spec =
+      generatorCorpusSuite(/*Seed=*/3300, /*Benchmarks=*/1, /*Functions=*/6,
+                           /*Segments=*/4)
+          .Benchmarks[0];
+
+  auto Run = [&](unsigned Jobs) {
+    FaultInjector Injector(1234, 0.25,
+                           FaultInjector::MaskCorruptIR |
+                               FaultInjector::MaskPhaseFailure |
+                               FaultInjector::MaskResourceExhaustion);
+    DecisionLog Decisions;
+    DiagnosticEngine Diags;
+    RunnerOptions Opts;
+    Opts.Verify = true;
+    Opts.Injector = &Injector;
+    Opts.Decisions = &Decisions;
+    Opts.Diags = &Diags;
+    Opts.Jobs = Jobs;
+    Opts.MaxAttempts = 3;
+    Opts.BreakerThreshold = 4;
+
+    std::vector<CounterSample> Pre = CounterRegistry::instance().snapshot();
+    GeneratedWorkload W = generateWorkload(Spec.Config);
+    CompileService Service(Jobs);
+    CompileBatch Batch = compileFunctionsParallel(Service, W, RunConfig::DBDS,
+                                                  Opts, Spec.Name);
+
+    // Serialize every schedule-sensitive observable into one string.
+    std::string S;
+    for (const FunctionCompileOutcome &O : Batch.Outcomes) {
+      S += "outcome hash=" + std::to_string(O.ResultHash) +
+           " rollbacks=" + std::to_string(O.Rollbacks) +
+           " runfail=" + std::to_string(O.RunFailures) +
+           " exhausted=" + std::to_string(O.Exhausted) + "\n";
+      for (const CompileAttempt &A : O.Attempts)
+        S += "  attempt " + std::to_string(A.Attempt) +
+             " forced=" + std::to_string(static_cast<int>(A.Forced)) +
+             " seed=" + std::to_string(A.FaultSeed) +
+             " sites=" + std::to_string(A.FaultSites) +
+             " injected=" + std::to_string(A.FaultsInjected) +
+             " rollbacks=" + std::to_string(A.Rollbacks) +
+             " runfail=" + std::to_string(A.RunFailures) +
+             " failed=" + std::to_string(A.Failed) + " " + A.Reason + "\n";
+    }
+    for (const std::string &Trip : Batch.BreakerTrips)
+      S += "trip: " + Trip + "\n";
+    S += printModule(W.Mod.get());
+    S += Decisions.renderJsonl();
+    S += Diags.render();
+    S += "sites=" + std::to_string(Injector.sitesVisited()) +
+         " injected=" + std::to_string(Injector.faultsInjected()) + "\n";
+    for (const CounterSample &C :
+         CounterRegistry::delta(Pre, CounterRegistry::instance().snapshot()))
+      S += C.Name + "=" + std::to_string(C.Value) + "\n";
+    return S;
   };
   EXPECT_EQ(Run(1), Run(8));
 }

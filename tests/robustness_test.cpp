@@ -18,6 +18,7 @@
 #include "ir/Printer.h"
 #include "opts/Phase.h"
 #include "support/Budget.h"
+#include "support/Cancellation.h"
 #include "support/Diagnostics.h"
 #include "support/ErrorHandling.h"
 #include "support/FaultInjector.h"
@@ -432,4 +433,103 @@ TEST(DiagnosticsTest, RendersStructuredRecords) {
             std::string::npos);
   Diags.clear();
   EXPECT_TRUE(Diags.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Supervision primitives: budget edges, cancellation, fault-kind masks
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, ZeroAndNegativeLimitsAreUnlimited) {
+  // The service passes RunnerOptions::CompileBudgetMs straight through;
+  // "no budget" must be expressible as 0 (the default) or any negative
+  // value without a special case at the call site.
+  for (double Limit : {0.0, -1.0, -1e9}) {
+    CompileBudget B(Limit);
+    B.arm();
+    EXPECT_FALSE(B.limited()) << "limit " << Limit;
+    EXPECT_FALSE(B.expired()) << "limit " << Limit;
+  }
+}
+
+TEST(BudgetTest, RearmResetsLevel) {
+  // The retry ladder re-arms one budget per attempt; a level reached on a
+  // failed attempt must not leak into the next one.
+  CompileBudget B(1e-6);
+  B.arm();
+  B.degradeTo(DegradationLevel::NoFixpoint);
+  EXPECT_EQ(B.level(), DegradationLevel::NoFixpoint);
+  B.arm();
+  EXPECT_EQ(B.level(), DegradationLevel::None);
+}
+
+TEST(CancellationTest, ExternalCancelPropagatesToChildren) {
+  CancellationToken Parent;
+  CancellationToken Child(&Parent);
+  EXPECT_FALSE(Child.cancelled());
+  Parent.requestCancel(CancelReason::External);
+  EXPECT_TRUE(Child.cancelled());
+  EXPECT_TRUE(Child.checkpoint());
+  // The child never fired itself; its own reason stays None while the
+  // parent's is visible through reason().
+  EXPECT_EQ(Child.reason(), CancelReason::External);
+}
+
+TEST(CancellationTest, DeadlineExpiryLatchesAtCheckpoint) {
+  CancellationToken T;
+  T.arm(Deadline::afterMs(1e-3));
+  while (!T.checkpoint()) {
+  }
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_EQ(T.reason(), CancelReason::Deadline);
+}
+
+TEST(CancellationTest, UnlimitedDeadlineNeverFires) {
+  CancellationToken T;
+  T.arm(Deadline::afterMs(0.0));
+  EXPECT_FALSE(T.checkpoint());
+  EXPECT_FALSE(T.cancelled());
+  // hangUntilCancelled must refuse to spin forever on a token that has no
+  // deadline and no pending cancel — it returns immediately instead.
+  hangUntilCancelled(&T);
+  hangUntilCancelled(nullptr); // and a null token is a no-op
+}
+
+TEST(FaultInjectorTest, KindMaskCyclesOnlyEnabledKinds) {
+  // Rate 1.0: every site fires; the fired kinds must cycle through exactly
+  // the enabled set in declaration order.
+  FaultInjector Inj(5, 1.0,
+                    FaultInjector::MaskHang |
+                        FaultInjector::MaskResourceExhaustion);
+  EXPECT_EQ(Inj.at("s"), FaultKind::Hang);
+  EXPECT_EQ(Inj.at("s"), FaultKind::ResourceExhaustion);
+  EXPECT_EQ(Inj.at("s"), FaultKind::Hang);
+  EXPECT_EQ(Inj.at("s"), FaultKind::ResourceExhaustion);
+}
+
+TEST(FaultInjectorTest, LegacyMaskReproducesHistoricalAlternation) {
+  // The default mask must keep the pre-mask fault stream bit-identical:
+  // fault #1 is CorruptIR, #2 PhaseFailure, alternating.
+  FaultInjector Inj(5, 1.0);
+  EXPECT_EQ(Inj.at("s"), FaultKind::CorruptIR);
+  EXPECT_EQ(Inj.at("s"), FaultKind::PhaseFailure);
+  EXPECT_EQ(Inj.at("s"), FaultKind::CorruptIR);
+}
+
+TEST(FaultInjectorTest, ForTaskAttemptsAreIndependentStreams) {
+  // Each retry draws forTask(index, attempt): the streams must be
+  // deterministic, distinct per attempt, and attempt 0 must equal the
+  // historical one-argument forTask(index) derivation.
+  FaultInjector Base(77, 1.0, FaultInjector::MaskAll);
+  FaultInjector A0 = Base.forTask(3, 0);
+  FaultInjector A1 = Base.forTask(3, 1);
+  FaultInjector A2 = Base.forTask(3, 2);
+  EXPECT_EQ(A0.seed(), Base.forTask(3).seed());
+  EXPECT_NE(A0.seed(), A1.seed());
+  EXPECT_NE(A1.seed(), A2.seed());
+  // Deterministic: the same (index, attempt) derivation replays exactly.
+  FaultInjector A1Again = Base.forTask(3, 1);
+  for (unsigned I = 0; I != 32; ++I)
+    ASSERT_EQ(A1.at("probe"), A1Again.at("probe"));
+  // The mask is inherited by derived streams.
+  EXPECT_EQ(A1.kindMask(), FaultInjector::MaskAll);
 }

@@ -1,0 +1,333 @@
+//===- tests/supervision_test.cpp - Compile-task supervision wall ----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The acceptance wall for compile-task supervision: the fault-storm soak
+// (high injection rate, --jobs=8, retry ladder + circuit breaker on, zero
+// lost tasks, span-balanced traces, byte-identical against --jobs=1), hang
+// containment under per-attempt deadlines, external batch cancellation,
+// and the crash-bundle round trip (an exhausted task's bundle parses,
+// reduces, and replays to the same failure from its recorded fault seed).
+//
+// The `supervision` CMake preset builds this wall; the supervision_soak
+// and crash_bundle_smoke ctest targets alias its headline cases. The soak
+// doubles as a TSan subject under the tsan preset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "support/Cancellation.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
+#include "telemetry/Counters.h"
+#include "telemetry/DecisionLog.h"
+#include "telemetry/Trace.h"
+#include "tooling/CrashBundle.h"
+#include "workloads/CompileService.h"
+#include "workloads/Runner.h"
+#include "workloads/Suites.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+using namespace dbds;
+
+namespace {
+
+std::string readWholeFile(const std::string &Path) {
+  FILE *F = fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::string();
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) != 0)
+    Out.append(Buf, N);
+  fclose(F);
+  return Out;
+}
+
+/// Serializes everything schedule-sensitive a supervised batch produced.
+std::string describeBatch(const CompileBatch &Batch) {
+  std::string S;
+  for (const FunctionCompileOutcome &O : Batch.Outcomes) {
+    S += "outcome hash=" + std::to_string(O.ResultHash) +
+         " dup=" + std::to_string(O.Duplications) +
+         " exhausted=" + std::to_string(O.Exhausted) + "\n";
+    for (const CompileAttempt &A : O.Attempts)
+      S += "  attempt " + std::to_string(A.Attempt) +
+           " forced=" + std::to_string(static_cast<int>(A.Forced)) +
+           " seed=" + std::to_string(A.FaultSeed) +
+           " sites=" + std::to_string(A.FaultSites) +
+           " injected=" + std::to_string(A.FaultsInjected) +
+           " rollbacks=" + std::to_string(A.Rollbacks) +
+           " runfail=" + std::to_string(A.RunFailures) +
+           " failed=" + std::to_string(A.Failed) + " " + A.Reason + "\n";
+  }
+  for (const std::string &Trip : Batch.BreakerTrips)
+    S += "trip: " + Trip + "\n";
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fault-storm soak: retry ladder + breaker under --jobs=8
+//===----------------------------------------------------------------------===//
+
+TEST(SupervisionSoakTest, FaultStormLosesNoTasks) {
+  // High injection rate across every non-timing fault kind, full retry
+  // ladder, breaker armed, 8 workers, traces on. Every function must
+  // produce an outcome with a complete attempt history, the trace must be
+  // span-balanced, and the whole observable state must be byte-identical
+  // to a --jobs=1 run. Hang faults and deadlines are deliberately absent:
+  // timing-driven expiry is the documented nondeterminism and has its own
+  // containment test below.
+  BenchmarkSpec Spec =
+      generatorCorpusSuite(/*Seed=*/5100, /*Benchmarks=*/1, /*Functions=*/8,
+                           /*Segments=*/4)
+          .Benchmarks[0];
+
+  auto Run = [&](unsigned Jobs) {
+    FaultInjector Injector(31, 0.15,
+                           FaultInjector::MaskCorruptIR |
+                               FaultInjector::MaskPhaseFailure |
+                               FaultInjector::MaskResourceExhaustion);
+    DecisionLog Decisions;
+    DiagnosticEngine Diags;
+    RunnerOptions Opts;
+    Opts.Verify = true;
+    Opts.Injector = &Injector;
+    Opts.Decisions = &Decisions;
+    Opts.Diags = &Diags;
+    Opts.Jobs = Jobs;
+    Opts.MaxAttempts = 3;
+    Opts.BreakerThreshold = 6;
+
+    GeneratedWorkload W = generateWorkload(Spec.Config);
+    CompileService Service(Jobs);
+    TraceSession Trace;
+    CompileBatch Batch = [&] {
+      ScopedTraceAttach Attach(Trace);
+      return compileFunctionsParallel(Service, W, RunConfig::DBDS, Opts,
+                                      Spec.Name);
+    }();
+
+    // Zero lost tasks: one outcome per function, each with >= 1 attempt.
+    EXPECT_EQ(Batch.Outcomes.size(), 8u);
+    for (const FunctionCompileOutcome &O : Batch.Outcomes) {
+      EXPECT_GE(O.Attempts.size(), 1u);
+      EXPECT_LE(O.Attempts.size(), 3u);
+      // No deadline armed and no Hang in the mask: nothing may cancel.
+      for (const CompileAttempt &A : O.Attempts)
+        EXPECT_FALSE(A.Cancelled);
+    }
+
+    // Span balance: every begin matched by an end on its thread.
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(Trace.checkBalance(&Errors));
+    for (const std::string &E : Errors)
+      ADD_FAILURE() << E;
+
+    return describeBatch(Batch) + printModule(W.Mod.get()) +
+           Decisions.renderJsonl() + Diags.render() +
+           "sites=" + std::to_string(Injector.sitesVisited()) +
+           " injected=" + std::to_string(Injector.faultsInjected());
+  };
+  EXPECT_EQ(Run(1), Run(8));
+}
+
+//===----------------------------------------------------------------------===//
+// Hang containment and external cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(SupervisionCancelTest, DeadlineContainsInjectedHangs) {
+  // Every site fires a Hang; the per-attempt deadline must break each spin
+  // at the next checkpoint — the batch completes, every task reports a
+  // cancelled (deadline) attempt history, nothing is lost or wedged.
+  BenchmarkSpec Spec =
+      generatorCorpusSuite(/*Seed=*/5200, /*Benchmarks=*/1, /*Functions=*/4,
+                           /*Segments=*/3)
+          .Benchmarks[0];
+  FaultInjector Injector(9, 1.0, FaultInjector::MaskHang);
+  RunnerOptions Opts;
+  Opts.Verify = true;
+  Opts.Injector = &Injector;
+  Opts.Jobs = 8;
+  Opts.MaxAttempts = 2;
+  Opts.TaskDeadlineMs = 75.0;
+
+  GeneratedWorkload W = generateWorkload(Spec.Config);
+  CompileService Service(Opts.Jobs);
+  CompileBatch Batch =
+      compileFunctionsParallel(Service, W, RunConfig::DBDS, Opts, Spec.Name);
+
+  ASSERT_EQ(Batch.Outcomes.size(), 4u);
+  for (const FunctionCompileOutcome &O : Batch.Outcomes) {
+    // Rate 1.0 fires the interp-train Hang gate on every attempt, so every
+    // attempt deadlines out, the ladder runs dry, and the task exhausts.
+    ASSERT_EQ(O.Attempts.size(), 2u);
+    for (const CompileAttempt &A : O.Attempts) {
+      EXPECT_TRUE(A.Cancelled);
+      EXPECT_TRUE(A.Failed);
+      EXPECT_NE(A.Reason.find("cancelled (deadline)"), std::string::npos)
+          << A.Reason;
+    }
+    EXPECT_TRUE(O.Exhausted);
+  }
+}
+
+TEST(SupervisionCancelTest, ExternalCancelStopsTheBatch) {
+  // A pre-cancelled batch token: every attempt observes it at its first
+  // checkpoint and stops; the batch still returns a complete outcome set.
+  BenchmarkSpec Spec =
+      generatorCorpusSuite(/*Seed=*/5300, /*Benchmarks=*/1, /*Functions=*/4,
+                           /*Segments=*/3)
+          .Benchmarks[0];
+  CancellationToken BatchToken;
+  BatchToken.requestCancel(CancelReason::External);
+  RunnerOptions Opts;
+  Opts.Verify = true;
+  Opts.Jobs = 4;
+  Opts.Cancel = &BatchToken;
+
+  GeneratedWorkload W = generateWorkload(Spec.Config);
+  CompileService Service(Opts.Jobs);
+  CompileBatch Batch =
+      compileFunctionsParallel(Service, W, RunConfig::DBDS, Opts, Spec.Name);
+
+  ASSERT_EQ(Batch.Outcomes.size(), 4u);
+  for (const FunctionCompileOutcome &O : Batch.Outcomes) {
+    ASSERT_EQ(O.Attempts.size(), 1u); // MaxAttempts defaults to 1
+    EXPECT_TRUE(O.Attempts[0].Cancelled);
+    EXPECT_NE(O.Attempts[0].Reason.find("cancelled (external)"),
+              std::string::npos)
+        << O.Attempts[0].Reason;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Crash bundles: emission, self-containment, replay
+//===----------------------------------------------------------------------===//
+
+TEST(CrashBundleTest, ExhaustedTaskWritesReplayableBundle) {
+  // CorruptIR at rate 1.0: every attempt rolls back, every task exhausts
+  // its two-rung ladder, and each one must leave a complete bundle that
+  // replays to the same failure from its artifacts alone.
+  BenchmarkSpec Spec =
+      generatorCorpusSuite(/*Seed=*/5400, /*Benchmarks=*/1, /*Functions=*/2,
+                           /*Segments=*/3)
+          .Benchmarks[0];
+  FaultInjector Injector(13, 1.0, FaultInjector::MaskCorruptIR);
+  DiagnosticEngine Diags;
+  RunnerOptions Opts;
+  Opts.Verify = true;
+  Opts.Injector = &Injector;
+  Opts.Diags = &Diags;
+  Opts.Jobs = 2;
+  Opts.MaxAttempts = 2;
+  Opts.CrashBundleDir = "supervision-bundles";
+
+  GeneratedWorkload W = generateWorkload(Spec.Config);
+  CompileService Service(Opts.Jobs);
+  CompileBatch Batch =
+      compileFunctionsParallel(Service, W, RunConfig::DBDS, Opts, Spec.Name);
+
+  ASSERT_EQ(Batch.Outcomes.size(), 2u);
+  for (const FunctionCompileOutcome &O : Batch.Outcomes) {
+    ASSERT_TRUE(O.Exhausted);
+    ASSERT_FALSE(O.CrashBundle.empty());
+
+    // The manifest is written last: its presence marks a complete bundle.
+    std::string Manifest = readWholeFile(O.CrashBundle + "/manifest.json");
+    ASSERT_FALSE(Manifest.empty()) << O.CrashBundle;
+    EXPECT_NE(Manifest.find("\"schema\": \"dbds-crash-bundle\""),
+              std::string::npos);
+    EXPECT_NE(Manifest.find("\"reproduced\": true"), std::string::npos)
+        << Manifest;
+
+    // Self-containment: both IR artifacts parse on their own, and the
+    // reduced reproducer is no larger than the input.
+    ParseResult Input =
+        parseModule(readWholeFile(O.CrashBundle + "/input.ir"));
+    ASSERT_TRUE(Input) << Input.Error;
+    ParseResult Reduced =
+        parseModule(readWholeFile(O.CrashBundle + "/reduced.ir"));
+    ASSERT_TRUE(Reduced) << Reduced.Error;
+
+    // Replay from artifacts alone: the recorded final-attempt seed over
+    // the parsed input must reproduce the rollback.
+    const CompileAttempt &Final = O.Attempts.back();
+    Function *Focus =
+        Input.Mod->getFunction(W.Mod->functions()[&O - &Batch.Outcomes[0]]
+                                   ->getName());
+    ASSERT_NE(Focus, nullptr);
+    unsigned Rollbacks = replayCrashCompile(
+        *Input.Mod, *Focus, Final.FaultSeed, Injector.rate(),
+        Injector.kindMask(), Final.Forced, "dbds");
+    EXPECT_GT(Rollbacks, 0u);
+  }
+}
+
+TEST(CrashBundleTest, NoBundleWithoutExhaustion) {
+  // A clean supervised run (no faults) must not write bundles.
+  BenchmarkSpec Spec =
+      generatorCorpusSuite(/*Seed=*/5500, /*Benchmarks=*/1, /*Functions=*/2,
+                           /*Segments=*/3)
+          .Benchmarks[0];
+  RunnerOptions Opts;
+  Opts.Verify = true;
+  Opts.Jobs = 2;
+  Opts.MaxAttempts = 2;
+  Opts.CrashBundleDir = "supervision-bundles-clean";
+
+  GeneratedWorkload W = generateWorkload(Spec.Config);
+  CompileService Service(Opts.Jobs);
+  CompileBatch Batch =
+      compileFunctionsParallel(Service, W, RunConfig::DBDS, Opts, Spec.Name);
+  for (const FunctionCompileOutcome &O : Batch.Outcomes) {
+    EXPECT_FALSE(O.Exhausted);
+    EXPECT_TRUE(O.CrashBundle.empty());
+    EXPECT_EQ(O.Attempts.size(), 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+TEST(BreakerTest, RepeatedCorruptionDisablesThePhase) {
+  // CorruptIR at rate 1.0 quarantines phases on every task; with a low
+  // threshold the breaker must trip, record which phase it disabled, and
+  // later attempts must skip it (observable as a breaker-skip counter).
+  BenchmarkSpec Spec =
+      generatorCorpusSuite(/*Seed=*/5600, /*Benchmarks=*/1, /*Functions=*/4,
+                           /*Segments=*/3)
+          .Benchmarks[0];
+  FaultInjector Injector(17, 1.0, FaultInjector::MaskCorruptIR);
+  DiagnosticEngine Diags;
+  RunnerOptions Opts;
+  Opts.Verify = true;
+  Opts.Injector = &Injector;
+  Opts.Diags = &Diags;
+  Opts.Jobs = 4;
+  Opts.MaxAttempts = 3;
+  Opts.BreakerThreshold = 2;
+
+  GeneratedWorkload W = generateWorkload(Spec.Config);
+  CompileService Service(Opts.Jobs);
+  CompileBatch Batch =
+      compileFunctionsParallel(Service, W, RunConfig::DBDS, Opts, Spec.Name);
+
+  EXPECT_FALSE(Batch.BreakerTrips.empty());
+  for (const std::string &Trip : Batch.BreakerTrips)
+    EXPECT_NE(Trip.find("attributed corruption"), std::string::npos) << Trip;
+  // The trip is also surfaced as a diagnostic for the driver's report.
+  EXPECT_NE(Diags.render().find("circuit breaker tripped"),
+            std::string::npos);
+}

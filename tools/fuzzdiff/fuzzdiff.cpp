@@ -7,8 +7,9 @@
 // Differential fuzzer for the optimization pipeline:
 //
 //   fuzzdiff [--seed=N] [--count=N] [--max-seconds=N] [--out-dir=DIR]
-//            [--functions=N] [--segments=N] [--inject=SEED] [--sabotage]
-//            [--fail-fast] [--quiet] [--trace=FILE] [--jobs=N]
+//            [--functions=N] [--segments=N] [--inject=SEED]
+//            [--inject-kinds=MASK] [--sabotage] [--fail-fast] [--quiet]
+//            [--trace=FILE] [--jobs=N]
 //
 // For each seed it generates a program (workloads/ProgramGenerator),
 // optimizes a copy under each of the paper's three configurations —
@@ -29,6 +30,13 @@
 // pipelines; every injected fault must be rolled back transactionally, so
 // a fuzzing pass with injection enabled doubles as the fault-tolerance
 // acceptance test (no aborts, no divergence from rolled-back faults).
+// --inject-kinds=MASK selects the fault kinds (bit 0 = corrupt-ir, bit 1 =
+// phase-failure, bit 2 = hang, bit 3 = resource-exhaustion; default 3, the
+// legacy pair). This is also how a crash bundle's recorded fault stream is
+// replayed outside the harness: pass the bundle's fault seed and kind_mask
+// and the same faults fire at the same sites. Hang faults are cooperative
+// no-ops here — fuzzdiff arms no deadline token — so enabling them checks
+// stream alignment, not containment.
 //
 // --jobs=N fuzzes N seeds concurrently on the compile service's worker
 // pool (0 = one worker per hardware thread). Each seed's fault stream
@@ -80,6 +88,9 @@ struct Options {
   unsigned Functions = 4;
   unsigned Segments = 4;
   uint64_t InjectSeed = 0; ///< 0 = fault injection off.
+  /// Fault-kind mask for --inject (FaultInjector::Mask*); the default
+  /// reproduces the legacy corrupt-ir/phase-failure alternation.
+  unsigned InjectKinds = FaultInjector::MaskLegacy;
   bool Sabotage = false;
   bool FailFast = false;
   bool Quiet = false;
@@ -91,7 +102,8 @@ int usage(const char *Prog) {
   fprintf(stderr,
           "usage: %s [--seed=N] [--count=N] [--max-seconds=N] "
           "[--out-dir=DIR] [--functions=N] [--segments=N] [--inject=SEED] "
-          "[--sabotage] [--fail-fast] [--quiet] [--trace=FILE] [--jobs=N]\n",
+          "[--inject-kinds=MASK] [--sabotage] [--fail-fast] [--quiet] "
+          "[--trace=FILE] [--jobs=N]\n",
           Prog);
   return 2;
 }
@@ -304,6 +316,8 @@ int main(int Argc, char **Argv) {
       O.Segments = static_cast<unsigned>(atoi(Argv[I] + 11));
     else if (strncmp(Argv[I], "--inject=", 9) == 0)
       O.InjectSeed = strtoull(Argv[I] + 9, nullptr, 10);
+    else if (strncmp(Argv[I], "--inject-kinds=", 15) == 0)
+      O.InjectKinds = static_cast<unsigned>(strtoul(Argv[I] + 15, nullptr, 0));
     else if (strcmp(Argv[I], "--sabotage") == 0)
       O.Sabotage = true;
     else if (strcmp(Argv[I], "--fail-fast") == 0)
@@ -331,7 +345,14 @@ int main(int Argc, char **Argv) {
     RunAttach.emplace(RunTrace);
 
   DiagnosticEngine Diags;
-  FaultInjector Injector(O.InjectSeed);
+  if (O.InjectKinds == 0 ||
+      (O.InjectKinds & ~FaultInjector::MaskAll) != 0) {
+    fprintf(stderr, "fuzzdiff: --inject-kinds must be a non-empty subset "
+                    "of mask %u\n",
+            FaultInjector::MaskAll);
+    return 2;
+  }
+  FaultInjector Injector(O.InjectSeed, /*Rate=*/0.25, O.InjectKinds);
   FaultInjector *InjectorPtr = O.InjectSeed != 0 ? &Injector : nullptr;
 
   const auto Start = std::chrono::steady_clock::now();
