@@ -22,6 +22,15 @@
 ///                   hardware thread; default 1). Every output except
 ///                   wall-clock compile time is identical to --jobs=1.
 ///
+/// Supervision flags (workloads/CompileService.h; all off by default):
+///   --max-attempts=N       retry ladder depth per task (1-3)
+///   --task-deadline-ms=MS  per-attempt wall-clock deadline
+///   --breaker-threshold=N  per-phase circuit breaker trip count
+///   --breaker-half-open=N  re-enable a tripped phase after N clean tasks
+///   --crash-bundle-dir=D   write crash bundles for exhausted tasks to D
+///   --simaudit             audit simulator predictions against dataflow
+///                          facts; adds the simulation_audit JSON section
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DBDS_BENCH_FIGUREBENCH_H
@@ -63,6 +72,12 @@ struct FigureOptions {
   std::string JsonOutPath;
   bool DumpCounters = false;
   unsigned Jobs = 1;
+  unsigned MaxAttempts = 1;
+  double TaskDeadlineMs = 0.0;
+  unsigned BreakerThreshold = 0;
+  unsigned BreakerHalfOpenAfter = 0;
+  std::string CrashBundleDir;
+  bool SimAudit = false;
   bool Ok = true;
 };
 
@@ -83,11 +98,27 @@ inline FigureOptions parseFigureOptions(int argc, char **argv,
       O.JsonOutPath = Arg + 11;
     } else if (strncmp(Arg, "--jobs=", 7) == 0) {
       O.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
+    } else if (strncmp(Arg, "--max-attempts=", 15) == 0) {
+      O.MaxAttempts = static_cast<unsigned>(strtoul(Arg + 15, nullptr, 10));
+    } else if (strncmp(Arg, "--task-deadline-ms=", 19) == 0) {
+      O.TaskDeadlineMs = strtod(Arg + 19, nullptr);
+    } else if (strncmp(Arg, "--breaker-threshold=", 20) == 0) {
+      O.BreakerThreshold =
+          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
+    } else if (strncmp(Arg, "--breaker-half-open=", 20) == 0) {
+      O.BreakerHalfOpenAfter =
+          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
+    } else if (strncmp(Arg, "--crash-bundle-dir=", 19) == 0) {
+      O.CrashBundleDir = Arg + 19;
+    } else if (strcmp(Arg, "--simaudit") == 0) {
+      O.SimAudit = true;
     } else {
       fprintf(stderr,
               "unknown option: %s\nusage: %s [--trace=FILE] "
               "[--remarks=FILE] [--counters] [--json-out[=FILE]] "
-              "[--jobs=N]\n",
+              "[--jobs=N] [--max-attempts=N] [--task-deadline-ms=MS] "
+              "[--breaker-threshold=N] [--breaker-half-open=N] "
+              "[--crash-bundle-dir=DIR] [--simaudit]\n",
               Arg, argv[0]);
       O.Ok = false;
       return O;
@@ -120,6 +151,12 @@ inline int runFigureMain(int argc, char **argv, const char *FigureName,
     Opts.Decisions = &Decisions;
   Opts.CollectCounters = O.DumpCounters || !O.JsonOutPath.empty();
   Opts.Jobs = O.Jobs;
+  Opts.MaxAttempts = O.MaxAttempts;
+  Opts.TaskDeadlineMs = O.TaskDeadlineMs;
+  Opts.BreakerThreshold = O.BreakerThreshold;
+  Opts.BreakerHalfOpenAfter = O.BreakerHalfOpenAfter;
+  Opts.CrashBundleDir = O.CrashBundleDir;
+  Opts.SimAudit = O.SimAudit;
 
   std::vector<BenchmarkMeasurement> Rows;
   {

@@ -30,11 +30,30 @@ using namespace dbds;
 int main(int argc, char **argv) {
   RunnerOptions Opts;
   for (int I = 1; I < argc; ++I) {
-    if (strncmp(argv[I], "--jobs=", 7) == 0) {
-      Opts.Jobs = static_cast<unsigned>(strtoul(argv[I] + 7, nullptr, 10));
+    const char *Arg = argv[I];
+    if (strncmp(Arg, "--jobs=", 7) == 0) {
+      Opts.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
+    } else if (strncmp(Arg, "--max-attempts=", 15) == 0) {
+      Opts.MaxAttempts = static_cast<unsigned>(strtoul(Arg + 15, nullptr, 10));
+    } else if (strncmp(Arg, "--task-deadline-ms=", 19) == 0) {
+      Opts.TaskDeadlineMs = strtod(Arg + 19, nullptr);
+    } else if (strncmp(Arg, "--breaker-threshold=", 20) == 0) {
+      Opts.BreakerThreshold =
+          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
+    } else if (strncmp(Arg, "--breaker-half-open=", 20) == 0) {
+      Opts.BreakerHalfOpenAfter =
+          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
+    } else if (strncmp(Arg, "--crash-bundle-dir=", 19) == 0) {
+      Opts.CrashBundleDir = Arg + 19;
+    } else if (strcmp(Arg, "--simaudit") == 0) {
+      Opts.SimAudit = true;
     } else {
-      fprintf(stderr, "unknown option: %s\nusage: %s [--jobs=N]\n", argv[I],
-              argv[0]);
+      fprintf(stderr,
+              "unknown option: %s\nusage: %s [--jobs=N] [--max-attempts=N] "
+              "[--task-deadline-ms=MS] [--breaker-threshold=N] "
+              "[--breaker-half-open=N] [--crash-bundle-dir=DIR] "
+              "[--simaudit]\n",
+              Arg, argv[0]);
       return 2;
     }
   }
@@ -43,10 +62,12 @@ int main(int argc, char **argv) {
   std::vector<double> DupPeak, DupCt, DupCs;
   double MaxPeak = 0.0;
   std::string MaxPeakName;
+  SimAuditCounts Audit;
 
   for (const SuiteSpec &Suite : allSuites()) {
     printf("measuring %s...\n", Suite.Name.c_str());
     for (const BenchmarkMeasurement &M : measureSuite(Suite, Opts)) {
+      Audit.accumulate(M.DBDS.Audit);
       double Peak = M.peakImprovementPercent(M.DBDS);
       DBDSPeak.push_back(1.0 + Peak / 100.0);
       DBDSCt.push_back(1.0 + M.compileTimeIncreasePercent(M.DBDS) / 100.0);
@@ -77,5 +98,14 @@ int main(int argc, char **argv) {
   printf("        dupalot mean peak %+.2f%%, code size %+.2f%%, compile "
          "time %+.2f%%\n",
          Geo(DupPeak), Geo(DupCs), Geo(DupCt));
+  if (Audit.Ran)
+    printf("        simulation audit (dbds): %llu confirmed, %llu "
+           "overclaimed, %llu underclaimed, %llu skipped — precision "
+           "%.3f, recall %.3f\n",
+           static_cast<unsigned long long>(Audit.Confirmed),
+           static_cast<unsigned long long>(Audit.Overclaimed),
+           static_cast<unsigned long long>(Audit.Underclaimed),
+           static_cast<unsigned long long>(Audit.Skipped), Audit.precision(),
+           Audit.recall());
   return 0;
 }

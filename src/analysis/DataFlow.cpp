@@ -1,0 +1,345 @@
+//===- analysis/DataFlow.cpp - Sparse conditional dataflow ----------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DataFlow.h"
+
+#include "analysis/DominatorTree.h"
+
+#include <algorithm>
+
+using namespace dbds;
+
+//===----------------------------------------------------------------------===//
+// StampFlow
+//===----------------------------------------------------------------------===//
+
+StampFlow::StampFlow(Function &F, unsigned WideningThreshold)
+    : F(F), WideningThreshold(std::max(1u, WideningThreshold)) {
+  if (F.getNumBlocks() == 0)
+    return;
+
+  // The entry has no incoming edge; seed it directly.
+  Block *Entry = F.getEntry();
+  ExecBlocks.insert(Entry);
+  VisitedBlocks.insert(Entry);
+  for (Instruction *I : *Entry)
+    visit(I);
+
+  while (!EdgeWork.empty() || !InstWork.empty()) {
+    if (!EdgeWork.empty()) {
+      auto [To, PredIdx] = EdgeWork.back();
+      EdgeWork.pop_back();
+      (void)PredIdx;
+      if (VisitedBlocks.insert(To).second) {
+        // First executable edge into To: sweep the whole block.
+        for (Instruction *I : *To)
+          visit(I);
+      } else {
+        // Additional edge into an already-swept block: only phis can
+        // learn anything new from it.
+        for (PhiInst *Phi : To->phis())
+          visit(Phi);
+      }
+      continue;
+    }
+    Instruction *I = InstWork.back();
+    InstWork.pop_back();
+    Block *B = I->getBlock();
+    if (B && blockExecutable(B))
+      visit(I);
+  }
+}
+
+void StampFlow::markEdge(Block *To, unsigned PredIdx) {
+  if (!ExecEdges.insert(edgeKey(To, PredIdx)).second)
+    return;
+  ExecBlocks.insert(To);
+  EdgeWork.push_back({To, PredIdx});
+}
+
+void StampFlow::markEdgesTo(Block *From, Block *To) {
+  ArrayRef<Block *> Preds = To->preds();
+  for (unsigned Idx = 0; Idx < Preds.size(); ++Idx)
+    if (Preds[Idx] == From)
+      markEdge(To, Idx);
+}
+
+void StampFlow::raise(Instruction *I, Stamp New) {
+  auto It = Stamps.find(I);
+  if (It == Stamps.end()) {
+    Stamps.emplace(I, New);
+    RaiseCounts[I] = 1;
+    for (Instruction *User : I->users())
+      InstWork.push_back(User);
+    return;
+  }
+  Stamp Old = It->second;
+  // A kind mismatch only happens on malformed IR (e.g. a phi mixing Int
+  // and Obj inputs); degrade to the unrestricted stamp of the
+  // instruction's declared type rather than asserting inside join.
+  Stamp Merged = Old.isInt() == New.isInt() ? Old.join(New)
+                                            : Stamp::top(I->getType());
+  if (Merged == Old)
+    return;
+  unsigned &Count = RaiseCounts[I];
+  if (++Count > WideningThreshold && Merged.isInt() && Old.isInt()) {
+    int64_t Lo = Merged.lo() < Old.lo() ? INT64_MIN : Merged.lo();
+    int64_t Hi = Merged.hi() > Old.hi() ? INT64_MAX : Merged.hi();
+    Merged = Stamp::range(Lo, Hi);
+    ++Widenings;
+    if (Merged == Old)
+      return;
+  }
+  It->second = Merged;
+  for (Instruction *User : I->users())
+    InstWork.push_back(User);
+}
+
+void StampFlow::visit(Instruction *I) {
+  ++Transfers;
+  switch (I->getOpcode()) {
+  case Opcode::Constant:
+  case Opcode::Param:
+    raise(I, shallowStamp(I));
+    return;
+  case Opcode::New:
+    raise(I, Stamp::nonNull());
+    return;
+  case Opcode::LoadField:
+  case Opcode::Call:
+  case Opcode::Invoke:
+    // Memory and calls are opaque to the stamp lattice.
+    raise(I, Stamp::top(I->getType()));
+    return;
+  case Opcode::Phi: {
+    auto *Phi = cast<PhiInst>(I);
+    Block *B = Phi->getBlock();
+    if (!B)
+      return;
+    std::optional<Stamp> Joined;
+    ArrayRef<Block *> Preds = B->preds();
+    unsigned NumInputs = Phi->getNumInputs();
+    for (unsigned Idx = 0; Idx < Preds.size() && Idx < NumInputs; ++Idx) {
+      if (!edgeExecutable(B, Idx))
+        continue;
+      std::optional<Stamp> In = edgeStamp(B, Idx, Phi->getInput(Idx));
+      if (!In)
+        continue; // Input not yet valued: stay optimistic.
+      if (!Joined)
+        Joined = In;
+      else if (Joined->isInt() == In->isInt())
+        Joined = Joined->join(*In);
+      else
+        Joined = Stamp::top(Phi->getType());
+    }
+    if (Joined)
+      raise(Phi, *Joined);
+    return;
+  }
+  case Opcode::Cmp: {
+    auto *C = cast<CompareInst>(I);
+    std::optional<Stamp> L = stampOf(C->getLHS());
+    std::optional<Stamp> R = stampOf(C->getRHS());
+    if (!L || !R)
+      return;
+    if (std::optional<bool> Decided = foldCompare(C->getPredicate(), *L, *R))
+      raise(C, Stamp::exact(*Decided ? 1 : 0));
+    else
+      raise(C, Stamp::range(0, 1));
+    return;
+  }
+  case Opcode::Neg:
+  case Opcode::Not: {
+    std::optional<Stamp> V = stampOf(I->getOperand(0));
+    if (V)
+      raise(I, unaryStamp(I->getOpcode(), *V));
+    return;
+  }
+  case Opcode::If:
+  case Opcode::Jump:
+    visitTerminator(I->getBlock());
+    return;
+  case Opcode::Return:
+  case Opcode::StoreField:
+    return;
+  default: {
+    if (!isa<BinaryInst>(I))
+      return;
+    std::optional<Stamp> L = stampOf(I->getOperand(0));
+    std::optional<Stamp> R = stampOf(I->getOperand(1));
+    if (L && R)
+      raise(I, binaryStamp(I->getOpcode(), *L, *R));
+    return;
+  }
+  }
+}
+
+void StampFlow::visitTerminator(Block *B) {
+  if (!B)
+    return;
+  Instruction *Term = B->getTerminator();
+  if (!Term)
+    return;
+  if (auto *J = dyn_cast<JumpInst>(Term)) {
+    markEdgesTo(B, J->getTarget());
+    return;
+  }
+  auto *If = dyn_cast<IfInst>(Term);
+  if (!If)
+    return;
+  if (If->getTrueSucc() == If->getFalseSucc()) {
+    markEdgesTo(B, If->getTrueSucc());
+    return;
+  }
+  // An unvalued condition means "not yet", not "unknown": marking edges
+  // now would be premature and irrevocable. The If is re-visited through
+  // the condition's use list once the condition gets a stamp.
+  if (!stampOf(If->getCondition()))
+    return;
+  std::optional<bool> Decided = branchDecided(If);
+  if (!Decided || *Decided)
+    markEdgesTo(B, If->getTrueSucc());
+  if (!Decided || !*Decided)
+    markEdgesTo(B, If->getFalseSucc());
+}
+
+std::optional<Stamp> StampFlow::stampOf(const Instruction *I) const {
+  auto It = Stamps.find(I);
+  if (It != Stamps.end())
+    return It->second;
+  // Detached values (uniqued constants, scratch nodes) belong to no block
+  // and are never swept; their stamp is context-free.
+  if (I->getBlock() == nullptr)
+    return shallowStamp(const_cast<Instruction *>(I));
+  return std::nullopt;
+}
+
+Stamp StampFlow::stampOrTop(const Instruction *I) const {
+  if (std::optional<Stamp> S = stampOf(I))
+    return *S;
+  return Stamp::top(I->getType());
+}
+
+std::optional<bool> StampFlow::branchDecided(const IfInst *If) const {
+  std::optional<Stamp> Cond = stampOf(If->getCondition());
+  if (!Cond || !Cond->isInt())
+    return std::nullopt;
+  if (Cond->lo() > 0 || Cond->hi() < 0)
+    return true; // Zero excluded: always taken.
+  if (Cond->lo() == 0 && Cond->hi() == 0)
+    return false; // Exactly zero: never taken.
+  return std::nullopt;
+}
+
+std::optional<Stamp> StampFlow::refineAlongEdge(const Block *From,
+                                                bool TakenDir,
+                                                const Instruction *V,
+                                                const Stamp &In) const {
+  Instruction *Term = From->getTerminator();
+  auto *If = dyn_cast_if_present<IfInst>(Term);
+  if (!If)
+    return std::nullopt;
+  Instruction *Cond = If->getCondition();
+  // The condition value itself is pinned on a decisive edge: zero on the
+  // false edge, and — when it is a 0/1 comparison result — one on the
+  // true edge.
+  if (V == Cond && In.isInt()) {
+    if (!TakenDir)
+      return In.meet(Stamp::exact(0)).value_or(In);
+    if (In.lo() >= 0 && In.hi() <= 1)
+      return Stamp::exact(1);
+    return std::nullopt;
+  }
+  auto *C = dyn_cast<CompareInst>(Cond);
+  if (!C)
+    return std::nullopt;
+  if (V == C->getLHS())
+    return refineByCompare(C->getPredicate(), In,
+                           stampOrTop(C->getRHS()), TakenDir);
+  if (V == C->getRHS())
+    return refineByCompare(swapPredicate(C->getPredicate()), In,
+                           stampOrTop(C->getLHS()), TakenDir);
+  return std::nullopt;
+}
+
+std::optional<Stamp> StampFlow::edgeStamp(const Block *To, unsigned PredIdx,
+                                          const Instruction *V) const {
+  std::optional<Stamp> Base = stampOf(V);
+  if (!Base || !edgeExecutable(To, PredIdx))
+    return Base;
+  ArrayRef<Block *> Preds = To->preds();
+  if (PredIdx >= Preds.size())
+    return Base;
+  const Block *From = Preds[PredIdx];
+  auto *If = dyn_cast_if_present<IfInst>(From->getTerminator());
+  if (!If || If->getTrueSucc() == If->getFalseSucc())
+    return Base;
+  bool TakenDir = If->getTrueSucc() == To;
+  if (std::optional<Stamp> Refined = refineAlongEdge(From, TakenDir, V, *Base))
+    return Refined;
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+Liveness::Liveness(Function &F) {
+  std::vector<Block *> Order = computeRPO(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Iterations;
+    // Sweep blocks in post order (reverse RPO): successors first, so one
+    // sweep usually suffices on acyclic regions.
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      Block *B = *It;
+      std::unordered_set<const Instruction *> Out;
+      for (Block *S : B->succs()) {
+        auto LI = LiveIn.find(S);
+        if (LI != LiveIn.end())
+          Out.insert(LI->second.begin(), LI->second.end());
+        // Phi inputs are uses at this predecessor's exit.
+        ArrayRef<Block *> Preds = S->preds();
+        for (unsigned Idx = 0; Idx < Preds.size(); ++Idx) {
+          if (Preds[Idx] != B)
+            continue;
+          for (PhiInst *Phi : S->phis())
+            if (Idx < Phi->getNumInputs())
+              Out.insert(Phi->getInput(Idx));
+        }
+      }
+      std::unordered_set<const Instruction *> In = Out;
+      SmallVector<Instruction *, 8> NonPhis = B->nonPhis();
+      for (size_t Idx = NonPhis.size(); Idx > 0; --Idx) {
+        Instruction *I = NonPhis[Idx - 1];
+        In.erase(I);
+        for (Instruction *Op : I->operands())
+          In.insert(Op);
+      }
+      for (PhiInst *Phi : B->phis())
+        In.erase(Phi);
+      if (Out != LiveOut[B]) {
+        LiveOut[B] = std::move(Out);
+        Changed = true;
+      }
+      if (In != LiveIn[B]) {
+        LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Liveness::isLiveOut(const Instruction *V, const Block *B) const {
+  auto It = LiveOut.find(B);
+  return It != LiveOut.end() && It->second.count(V) != 0;
+}
+
+bool Liveness::isLiveIn(const Instruction *V, const Block *B) const {
+  auto It = LiveIn.find(B);
+  return It != LiveIn.end() && It->second.count(V) != 0;
+}

@@ -1,0 +1,170 @@
+//===- analysis/DataFlow.h - Sparse conditional dataflow --------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable worklist-based dataflow layer over the IR (DESIGN.md §11):
+///
+///  - `StampFlow`: sparse conditional stamp propagation in the style of
+///    Wegman/Zadeck SCCP, over the existing Stamp lattice. It tracks
+///    executable CFG edges, joins phi inputs only over edges proven
+///    executable, refines values along branch edges with refineByCompare
+///    (the flow-sensitive mirror of the simulator's ScopedStamps), and
+///    widens after repeated updates so loop-carried ranges converge in a
+///    bounded number of steps.
+///
+///  - `Liveness`: a backward block-level liveness solver over SSA values
+///    (phi inputs count as uses at the corresponding predecessor's exit),
+///    built on the same block worklist discipline.
+///
+/// Both are snapshot analyses like DominatorTree: they run to fixed point
+/// on construction and are invalidated by any IR mutation. Clients are the
+/// flow-sensitive lint rules (DataFlowLintRules.cpp) and the simulation
+/// auditor (SimAudit.h) — the repo's first semantic static-analysis layer,
+/// used to check the Simulator's predictions rather than just IR shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_ANALYSIS_DATAFLOW_H
+#define DBDS_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Stamp.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dbds {
+
+/// Sparse conditional stamp propagation over one function.
+///
+/// The analysis is optimistic: values start unknown ("never executed"),
+/// blocks start unreachable, and facts only widen as executability is
+/// discovered. On a structurally valid function the result is therefore at
+/// least as precise as the flow-insensitive StampMap — and strictly more
+/// precise whenever a branch is decided or a phi input arrives over a dead
+/// edge.
+class StampFlow {
+public:
+  /// Builds the analysis and runs it to fixed point. \p WideningThreshold
+  /// is the number of times one value's stamp may be raised before its
+  /// moving range bounds are widened to +-inf (loop-carried ranges would
+  /// otherwise climb one step per iteration).
+  explicit StampFlow(Function &F, unsigned WideningThreshold = 8);
+
+  /// True if \p B was proven executable (some path from entry can reach it
+  /// under the stamp facts).
+  bool blockExecutable(const Block *B) const {
+    return ExecBlocks.count(B) != 0;
+  }
+
+  /// True if the CFG edge into \p To from its predecessor slot \p PredIdx
+  /// was proven executable. Edge identity is (successor, predecessor
+  /// index) so parallel edges from the same predecessor stay distinct —
+  /// the same keying phi inputs use.
+  bool edgeExecutable(const Block *To, unsigned PredIdx) const {
+    return ExecEdges.count(edgeKey(To, PredIdx)) != 0;
+  }
+
+  /// The flow-sensitive stamp of \p I, or nullopt when \p I was never
+  /// proven to execute (its block is dead, or it is a phi with no
+  /// executable inputs yet).
+  std::optional<Stamp> stampOf(const Instruction *I) const;
+
+  /// stampOf with a conservative fallback: unknown values get the
+  /// unrestricted stamp of their type.
+  Stamp stampOrTop(const Instruction *I) const;
+
+  /// The branch direction of \p If when its condition stamp decides it
+  /// (condition != 0 is the taken direction, matching the interpreter).
+  std::optional<bool> branchDecided(const IfInst *If) const;
+
+  /// The stamp of \p V refined along the edge (\p To, \p PredIdx): when
+  /// the predecessor ends in a decisive If over a comparison involving
+  /// \p V, the comparison's outcome on that edge is folded into the stamp
+  /// (the per-edge refinement ScopedStamps applies during simulation).
+  /// nullopt when \p V is unknown or the edge is not executable.
+  std::optional<Stamp> edgeStamp(const Block *To, unsigned PredIdx,
+                                 const Instruction *V) const;
+
+  // ---- Convergence statistics (tests, telemetry) -----------------------
+
+  /// Total instruction transfer-function evaluations until fixed point.
+  unsigned transfersRun() const { return Transfers; }
+
+  /// Number of stamps that hit the widening threshold.
+  unsigned widenings() const { return Widenings; }
+
+private:
+  static uint64_t edgeKey(const Block *To, unsigned PredIdx) {
+    return (static_cast<uint64_t>(To->getId()) << 32) | PredIdx;
+  }
+
+  /// Marks an edge executable and queues the successor.
+  void markEdge(Block *To, unsigned PredIdx);
+
+  /// Marks every edge From -> To executable (used when a terminator's
+  /// target occurs several times in To's predecessor list; marking all
+  /// occurrences over-approximates soundly).
+  void markEdgesTo(Block *From, Block *To);
+
+  /// Raises \p I's stamp to (old join New), widening past the threshold;
+  /// queues \p I's users when the stamp changed.
+  void raise(Instruction *I, Stamp New);
+
+  /// Runs \p I's transfer function against current operand stamps.
+  void visit(Instruction *I);
+
+  /// Evaluates \p B's terminator, marking successor edges feasible under
+  /// the current condition stamp.
+  void visitTerminator(Block *B);
+
+  /// The refinement a decisive branch edge adds to \p V, given the edge's
+  /// source terminator; nullopt when nothing is learned.
+  std::optional<Stamp> refineAlongEdge(const Block *From, bool TakenDir,
+                                       const Instruction *V,
+                                       const Stamp &In) const;
+
+  Function &F;
+  unsigned WideningThreshold;
+  unsigned Transfers = 0;
+  unsigned Widenings = 0;
+
+  std::unordered_set<const Block *> ExecBlocks;
+  std::unordered_set<uint64_t> ExecEdges;
+  std::unordered_map<const Instruction *, Stamp> Stamps;
+  std::unordered_map<const Instruction *, unsigned> RaiseCounts;
+
+  std::vector<std::pair<Block *, unsigned>> EdgeWork; ///< (To, PredIdx).
+  std::vector<Instruction *> InstWork;
+  std::unordered_set<const Block *> VisitedBlocks; ///< Full-block sweeps done.
+};
+
+/// Backward liveness of SSA values, per block. A value is live-out of B
+/// when some path from B's exit reaches a use before any redefinition
+/// (SSA: before nothing — defs are unique). Phi inputs are uses at the
+/// corresponding predecessor's exit, not at the phi's block entry.
+class Liveness {
+public:
+  explicit Liveness(Function &F);
+
+  bool isLiveOut(const Instruction *V, const Block *B) const;
+  bool isLiveIn(const Instruction *V, const Block *B) const;
+
+  /// Number of backward sweeps until the fixed point (tests).
+  unsigned iterations() const { return Iterations; }
+
+private:
+  std::unordered_map<const Block *, std::unordered_set<const Instruction *>>
+      LiveIn, LiveOut;
+  unsigned Iterations = 0;
+};
+
+} // namespace dbds
+
+#endif // DBDS_ANALYSIS_DATAFLOW_H

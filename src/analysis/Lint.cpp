@@ -167,6 +167,18 @@ StampMap &LintContext::stamps() {
   return *SM;
 }
 
+StampFlow &LintContext::flow() {
+  if (!SF)
+    SF = std::make_unique<StampFlow>(F);
+  return *SF;
+}
+
+Liveness &LintContext::liveness() {
+  if (!LV)
+    LV = std::make_unique<Liveness>(F);
+  return *LV;
+}
+
 void LintContext::report(LintSeverity Severity, const Block *B,
                          const Instruction *I, std::string Message) {
   assert(CurrentRule && "report() outside of a rule run");
@@ -265,6 +277,12 @@ Linter Linter::standard(const Module *ClassTable) {
   Linter L;
   L.setClassTable(ClassTable);
   registerStandardLintRules(L);
+  return L;
+}
+
+Linter dbds::dataflowLinter(const Module *ClassTable) {
+  Linter L = Linter::standard(ClassTable);
+  registerDataflowLintRules(L);
   return L;
 }
 

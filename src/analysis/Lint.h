@@ -26,6 +26,7 @@
 #ifndef DBDS_ANALYSIS_LINT_H
 #define DBDS_ANALYSIS_LINT_H
 
+#include "analysis/DataFlow.h"
 #include "analysis/DominatorTree.h"
 #include "analysis/Loops.h"
 #include "analysis/StampMap.h"
@@ -142,6 +143,11 @@ public:
   LoopInfo &loops();
   StampMap &stamps();
 
+  /// Lazily built flow-sensitive analyses (analysis/DataFlow.h), shared by
+  /// the dataflow rule pack. Semantic stage only, like the above.
+  StampFlow &flow();
+  Liveness &liveness();
+
   /// Records a finding against the currently running rule.
   void report(LintSeverity Severity, const Block *B, const Instruction *I,
               std::string Message);
@@ -162,6 +168,8 @@ private:
   std::unique_ptr<DominatorTree> DT;
   std::unique_ptr<LoopInfo> LI;
   std::unique_ptr<StampMap> SM;
+  std::unique_ptr<StampFlow> SF;
+  std::unique_ptr<Liveness> LV;
 };
 
 /// One named analysis rule.
@@ -237,6 +245,16 @@ private:
 /// Registers the standard rule set into \p L (implemented in
 /// LintRules.cpp; standard() calls this).
 void registerStandardLintRules(Linter &L);
+
+/// Registers the flow-sensitive rule pack built on analysis/DataFlow.h
+/// (implemented in DataFlowLintRules.cpp). Opt-in — not part of
+/// Linter::standard(): these rules prove facts about what *can execute*,
+/// which is diagnostic signal on optimized output but noise on IR that has
+/// not been through the pipeline.
+void registerDataflowLintRules(Linter &L);
+
+/// Linter::standard() plus the dataflow rule pack (`irlint --dataflow`).
+Linter dataflowLinter(const Module *ClassTable = nullptr);
 
 /// Forwards a report's findings into a DiagnosticEngine (error -> error,
 /// warn -> warning, note -> note), tagged with \p Component.

@@ -1,0 +1,196 @@
+//===- analysis/SimAudit.cpp - Simulation-soundness auditor ---------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SimAudit.h"
+
+#include "analysis/DataFlow.h"
+#include "ir/Function.h"
+#include "telemetry/Counters.h"
+
+using namespace dbds;
+
+DBDS_COUNTER(simaudit, functions_audited);
+DBDS_COUNTER(simaudit, decisions_confirmed);
+DBDS_COUNTER(simaudit, decisions_overclaimed);
+DBDS_COUNTER(simaudit, decisions_underclaimed);
+DBDS_COUNTER(simaudit, decisions_skipped);
+
+namespace {
+
+/// True when \p I is provably foldable under \p Flow yet still present:
+/// a non-constant pure computation with a constant flow stamp, a decided
+/// comparison, or a decided branch. Dead instructions don't count — a
+/// fold the next DCE sweep would erase anyway is not residue, so only
+/// values with remaining users (or terminators) qualify.
+bool isFoldableResidue(StampFlow &Flow, Liveness &Live, Instruction *I) {
+  Block *B = I->getBlock();
+  if (!B || !Flow.blockExecutable(B))
+    return false;
+  if (auto *If = dyn_cast<IfInst>(I))
+    return If->getTrueSucc() != If->getFalseSucc() &&
+           Flow.branchDecided(If).has_value();
+  if (!I->hasUsers() && !Live.isLiveOut(I, B))
+    return false;
+  if (auto *C = dyn_cast<CompareInst>(I)) {
+    std::optional<Stamp> L = Flow.stampOf(C->getLHS());
+    std::optional<Stamp> R = Flow.stampOf(C->getRHS());
+    return L && R && foldCompare(C->getPredicate(), *L, *R).has_value();
+  }
+  if (isa<BinaryInst>(I) || isa<UnaryInst>(I)) {
+    std::optional<Stamp> S = Flow.stampOf(I);
+    return S && S->asConstant().has_value();
+  }
+  return false;
+}
+
+/// Whether any instruction of \p B is foldable residue.
+bool blockHasResidue(StampFlow &Flow, Liveness &Live, Block *B) {
+  for (Instruction *I : *B)
+    if (isFoldableResidue(Flow, Live, I))
+      return true;
+  return false;
+}
+
+/// The missed-opportunity probe for a rejected candidate: does the merge
+/// still contain a comparison or branch that the *joined* phi stamps leave
+/// undecided but that every executable incoming edge decides on its own?
+/// That is exactly the shape duplication converts into a fold in each
+/// predecessor copy — the DBDS premise (paper §2's motivating example).
+bool mergeHasPerEdgeProvableFold(StampFlow &Flow, Block *Merge) {
+  if (!Flow.blockExecutable(Merge))
+    return false;
+  ArrayRef<Block *> Preds = Merge->preds();
+  for (PhiInst *Phi : Merge->phis()) {
+    for (Instruction *User : Phi->users()) {
+      if (User->getBlock() != Merge)
+        continue;
+      auto *C = dyn_cast<CompareInst>(User);
+      if (!C)
+        continue;
+      // Joined stamps must leave the comparison open...
+      std::optional<Stamp> JL = Flow.stampOf(C->getLHS());
+      std::optional<Stamp> JR = Flow.stampOf(C->getRHS());
+      if (!JL || !JR || foldCompare(C->getPredicate(), *JL, *JR))
+        continue;
+      // ... while every executable edge decides it by substituting the
+      // phi's per-edge input stamp.
+      bool AllDecide = true, AnyEdge = false;
+      for (unsigned Idx = 0;
+           Idx < Preds.size() && Idx < Phi->getNumInputs(); ++Idx) {
+        if (!Flow.edgeExecutable(Merge, Idx))
+          continue;
+        AnyEdge = true;
+        std::optional<Stamp> EdgeIn =
+            Flow.edgeStamp(Merge, Idx, Phi->getInput(Idx));
+        if (!EdgeIn) {
+          AllDecide = false;
+          break;
+        }
+        Stamp L = C->getLHS() == Phi ? *EdgeIn : *JL;
+        Stamp R = C->getRHS() == Phi ? *EdgeIn : *JR;
+        if (!foldCompare(C->getPredicate(), L, R)) {
+          AllDecide = false;
+          break;
+        }
+      }
+      if (AnyEdge && AllDecide)
+        return true;
+    }
+  }
+  return false;
+}
+
+AuditVerdict classify(StampFlow &Flow, Liveness &Live, Function &F,
+                      const DuplicationDecision &D) {
+  switch (D.Verdict) {
+  case DecisionVerdict::RolledBack:
+  case DecisionVerdict::RejectedStale:
+    // The IR the prediction was about no longer exists (round rolled back)
+    // or the candidate never matched the CFG in the first place.
+    return AuditVerdict::Skipped;
+
+  case DecisionVerdict::Accepted: {
+    // The duplication happened. Its claim is "the copied code folds in the
+    // predecessor context": check the blocks it shaped for residue the
+    // optimizer provably could have folded but didn't. Cleanup routinely
+    // erases or renumbers both blocks, so fall back from the precise sites
+    // to the whole function rather than skipping the record.
+    Block *Pred = F.getBlockById(D.PredId);
+    Block *Merge = F.getBlockById(D.MergeId);
+    bool Residue = false;
+    if (Pred || Merge) {
+      Residue = (Pred && blockHasResidue(Flow, Live, Pred)) ||
+                (Merge && blockHasResidue(Flow, Live, Merge));
+    } else {
+      for (Block *B : F.blocks()) {
+        if (blockHasResidue(Flow, Live, B)) {
+          Residue = true;
+          break;
+        }
+      }
+    }
+    return Residue ? AuditVerdict::Overclaimed : AuditVerdict::Confirmed;
+  }
+
+  case DecisionVerdict::RejectedTradeoff:
+  case DecisionVerdict::RejectedNoBenefit:
+  case DecisionVerdict::RejectedSizeLimit: {
+    // The candidate was declined, so the merge should still be there. A
+    // rejection is only auditable as a miss when the simulation saw *no*
+    // opportunities — a candidate rejected on cost grounds with real
+    // predicted folds is the trade-off function working as designed.
+    Block *Merge = F.getBlockById(D.MergeId);
+    if (!Merge || !Merge->isMerge())
+      return AuditVerdict::Skipped;
+    if (D.Opportunities.total() == 0 &&
+        mergeHasPerEdgeProvableFold(Flow, Merge))
+      return AuditVerdict::Underclaimed;
+    return AuditVerdict::Confirmed;
+  }
+  }
+  return AuditVerdict::Skipped;
+}
+
+} // namespace
+
+SimAuditCounts dbds::auditSimulation(Function &F, DecisionLog &Log,
+                                     size_t FirstIndex) {
+  SimAuditCounts Counts;
+  Counts.Ran = true;
+  StampFlow Flow(F);
+  Liveness Live(F);
+
+  std::vector<DuplicationDecision> &Decisions = Log.mutableDecisions();
+  for (size_t Idx = FirstIndex; Idx < Decisions.size(); ++Idx) {
+    DuplicationDecision &D = Decisions[Idx];
+    if (D.FunctionName != F.getName())
+      continue;
+    D.Audit = classify(Flow, Live, F, D);
+    switch (D.Audit) {
+    case AuditVerdict::Confirmed:
+      ++Counts.Confirmed;
+      break;
+    case AuditVerdict::Overclaimed:
+      ++Counts.Overclaimed;
+      break;
+    case AuditVerdict::Underclaimed:
+      ++Counts.Underclaimed;
+      break;
+    case AuditVerdict::Skipped:
+      ++Counts.Skipped;
+      break;
+    case AuditVerdict::Unaudited:
+      break;
+    }
+  }
+
+  ++functions_audited;
+  decisions_confirmed += Counts.Confirmed;
+  decisions_overclaimed += Counts.Overclaimed;
+  decisions_underclaimed += Counts.Underclaimed;
+  decisions_skipped += Counts.Skipped;
+  return Counts;
+}

@@ -1,0 +1,90 @@
+//===- analysis/SimAudit.h - Simulation-soundness auditor -------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SimAudit: a static check of the DBDS bet itself. The simulation tier
+/// *predicts* what duplication will unlock (paper §4) and the trade-off
+/// tier rules on those predictions (§5); nothing so far verified the
+/// predictions against the IR that actually shipped. SimAudit replays the
+/// recorded DuplicationDecision stream for one function against
+/// dataflow-proven facts (analysis/DataFlow.h) on the post-DBDS IR and
+/// classifies every record:
+///
+///  - Confirmed:    the decision matches the facts — an accepted candidate
+///                  left no provably-foldable residue; a rejected one had
+///                  no provable fold to miss.
+///  - Overclaimed:  accepted (and kept), yet the duplicated region still
+///                  contains instructions dataflow proves foldable — the
+///                  predicted benefit did not fully materialize.
+///  - Underclaimed: rejected with no predicted opportunities, yet per-edge
+///                  stamps prove a fold duplication would have enabled —
+///                  the simulation missed a real opportunity.
+///  - Skipped:      not classifiable (stale block ids, rolled-back round).
+///
+/// Confirmed/(Confirmed+Overclaimed) is the simulator's precision,
+/// Confirmed/(Confirmed+Underclaimed) its recall — the per-suite numbers
+/// the bench JSON's `simulation_audit` section reports (telemetry/Report).
+///
+/// The audit is deterministic and runs inside the compile-service task
+/// (task-local decision slice, index-ordered merge), so --jobs=N output is
+/// byte-identical to --jobs=1 (DESIGN.md §9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_ANALYSIS_SIMAUDIT_H
+#define DBDS_ANALYSIS_SIMAUDIT_H
+
+#include "telemetry/DecisionLog.h"
+
+#include <cstdint>
+
+namespace dbds {
+
+class Function;
+
+/// Aggregated verdict counts of one or more audit passes.
+struct SimAuditCounts {
+  bool Ran = false; ///< Any audit pass contributed (gates reporting).
+  uint64_t Confirmed = 0;
+  uint64_t Overclaimed = 0;
+  uint64_t Underclaimed = 0;
+  uint64_t Skipped = 0;
+
+  uint64_t classified() const { return Confirmed + Overclaimed + Underclaimed; }
+
+  /// Fraction of effect-claiming predictions that held; 1 when none were
+  /// classified (no evidence of a miss).
+  double precision() const {
+    uint64_t Denom = Confirmed + Overclaimed;
+    return Denom == 0 ? 1.0 : static_cast<double>(Confirmed) / Denom;
+  }
+
+  /// Fraction of provable opportunities the simulation saw.
+  double recall() const {
+    uint64_t Denom = Confirmed + Underclaimed;
+    return Denom == 0 ? 1.0 : static_cast<double>(Confirmed) / Denom;
+  }
+
+  void accumulate(const SimAuditCounts &Other) {
+    Ran = Ran || Other.Ran;
+    Confirmed += Other.Confirmed;
+    Overclaimed += Other.Overclaimed;
+    Underclaimed += Other.Underclaimed;
+    Skipped += Other.Skipped;
+  }
+};
+
+/// Audits every record of \p Log with index >= \p FirstIndex that names
+/// \p F, writing each record's AuditVerdict in place, and returns the
+/// counts. \p F must be the *post-DBDS* IR the decisions produced; the
+/// caller is responsible for running this before unrelated functions'
+/// records are merged in (the compile service audits its task-local slice).
+SimAuditCounts auditSimulation(Function &F, DecisionLog &Log,
+                               size_t FirstIndex = 0);
+
+} // namespace dbds
+
+#endif // DBDS_ANALYSIS_SIMAUDIT_H

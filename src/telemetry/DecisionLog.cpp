@@ -30,6 +30,22 @@ const char *dbds::decisionVerdictName(DecisionVerdict V) {
   return "?";
 }
 
+const char *dbds::auditVerdictName(AuditVerdict V) {
+  switch (V) {
+  case AuditVerdict::Unaudited:
+    return "unaudited";
+  case AuditVerdict::Confirmed:
+    return "confirmed";
+  case AuditVerdict::Overclaimed:
+    return "overclaimed";
+  case AuditVerdict::Underclaimed:
+    return "underclaimed";
+  case AuditVerdict::Skipped:
+    return "skipped";
+  }
+  return "?";
+}
+
 std::string DuplicationDecision::renderJson() const {
   std::string Out = "{";
   Out += "\"function\":" + jsonString(FunctionName);
@@ -69,6 +85,10 @@ std::string DuplicationDecision::renderJson() const {
   Out += ",\"verdict\":" + jsonString(decisionVerdictName(Verdict));
   if (DuplicationsPerformed != 0)
     Out += ",\"duplications\":" + jsonNumber(DuplicationsPerformed);
+  // Only audited records carry the field, so un-audited remarks streams
+  // stay byte-identical to pre-audit builds.
+  if (Audit != AuditVerdict::Unaudited)
+    Out += ",\"audit\":" + jsonString(auditVerdictName(Audit));
   Out += "}";
   return Out;
 }

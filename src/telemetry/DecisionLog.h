@@ -81,6 +81,19 @@ enum class DecisionVerdict : uint8_t {
 
 const char *decisionVerdictName(DecisionVerdict V);
 
+/// SimAudit's post-hoc classification of one decision (analysis/SimAudit.h):
+/// how the simulation's prediction compares against dataflow-proven facts
+/// on the IR that actually shipped.
+enum class AuditVerdict : uint8_t {
+  Unaudited,   ///< No audit ran (the default; keeps legacy streams stable).
+  Confirmed,   ///< The prediction matches the post-duplication facts.
+  Overclaimed, ///< Accepted, yet provably-foldable residue remains.
+  Underclaimed,///< Rejected as useless, yet per-edge facts prove a fold.
+  Skipped,     ///< Not classifiable (stale ids, rolled-back round).
+};
+
+const char *auditVerdictName(AuditVerdict V);
+
 /// One per-candidate record.
 struct DuplicationDecision {
   std::string FunctionName;
@@ -108,6 +121,10 @@ struct DuplicationDecision {
   /// Merge blocks actually copied for this candidate (1, or 2 for a path
   /// candidate whose continuation was applied).
   unsigned DuplicationsPerformed = 0;
+
+  /// SimAudit classification; Unaudited (and unrendered) unless an audit
+  /// pass ran over this record.
+  AuditVerdict Audit = AuditVerdict::Unaudited;
 
   /// One-line JSON object (the JSONL remarks record).
   std::string renderJson() const;
@@ -137,6 +154,10 @@ public:
   const std::vector<DuplicationDecision> &decisions() const {
     return Decisions;
   }
+
+  /// Mutable view for post-hoc annotation passes (SimAudit writes each
+  /// record's AuditVerdict in place after classification).
+  std::vector<DuplicationDecision> &mutableDecisions() { return Decisions; }
   bool empty() const { return Decisions.empty(); }
   void clear() { Decisions.clear(); }
 

@@ -24,6 +24,21 @@ using namespace dbds;
 
 namespace {
 
+// SimAuditCounts is header-only (analysis/SimAudit.h via Runner.h), so
+// rendering it here keeps dbds_telemetry leaf-linked like the rest of the
+// measurement types.
+std::string renderAudit(const SimAuditCounts &A) {
+  std::string Out = "{";
+  Out += "\"confirmed\":" + jsonNumber(A.Confirmed);
+  Out += ",\"overclaimed\":" + jsonNumber(A.Overclaimed);
+  Out += ",\"underclaimed\":" + jsonNumber(A.Underclaimed);
+  Out += ",\"skipped\":" + jsonNumber(A.Skipped);
+  Out += ",\"precision\":" + jsonNumber(A.precision());
+  Out += ",\"recall\":" + jsonNumber(A.recall());
+  Out += "}";
+  return Out;
+}
+
 std::string renderConfig(const ConfigMeasurement &C) {
   std::string Out = "{";
   Out += "\"dynamic_cycles\":" + jsonNumber(C.DynamicCycles);
@@ -48,6 +63,8 @@ std::string renderConfig(const ConfigMeasurement &C) {
   }
   if (!C.Counters.empty())
     Out += ",\"counters\":" + CounterRegistry::renderJson(C.Counters);
+  if (C.Audit.Ran)
+    Out += ",\"simulation_audit\":" + renderAudit(C.Audit);
   Out += "}";
   return Out;
 }
@@ -73,8 +90,11 @@ dbds::renderBenchJson(const std::string &SuiteName,
   Out += ",\"benchmarks\":[";
 
   std::vector<double> DPeak, DCt, DCs, APeak, ACt, ACs;
+  SimAuditCounts DAudit, AAudit;
   for (size_t I = 0; I != Rows.size(); ++I) {
     const BenchmarkMeasurement &M = Rows[I];
+    DAudit.accumulate(M.DBDS.Audit);
+    AAudit.accumulate(M.DupALot.Audit);
     if (I != 0)
       Out += ",";
     Out += "\n{\"name\":" + jsonString(M.Name);
@@ -106,7 +126,17 @@ dbds::renderBenchJson(const std::string &SuiteName,
   Out += "},\"dupalot\":{\"peak_pct\":" + jsonNumber(Geo(APeak));
   Out += ",\"compile_time_pct\":" + jsonNumber(Geo(ACt));
   Out += ",\"code_size_pct\":" + jsonNumber(Geo(ACs));
-  Out += "}}}\n";
+  Out += "}}";
+  // Per-suite simulator precision/recall (§4's predictions vs dataflow-
+  // proven facts); present only when the suite ran with --simaudit, so
+  // legacy reports stay byte-identical.
+  if (DAudit.Ran || AAudit.Ran) {
+    Out += ",\"simulation_audit\":{";
+    Out += "\"dbds\":" + renderAudit(DAudit);
+    Out += ",\"dupalot\":" + renderAudit(AAudit);
+    Out += "}";
+  }
+  Out += "}\n";
   return Out;
 }
 

@@ -249,3 +249,252 @@ bool dbds::selftestLintFixtures(std::string &Log) {
     AllPassed &= checkLintFixture(Fx, Log);
   return AllPassed;
 }
+
+//===----------------------------------------------------------------------===//
+// Flow-sensitive sabotage fixtures
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A diamond steered by a constant comparison (LT 1 2, always true): the
+/// false arm is structurally sound and CFG-reachable, but flow-provably
+/// dead. The seed every flow fixture perturbs.
+std::unique_ptr<Module> makeDecidedDiamond(Function *&FOut, Block *&TB,
+                                           Block *&FB, Block *&Merge,
+                                           PhiInst *&MergePhi) {
+  auto Mod = std::make_unique<Module>();
+  Function *F = Mod->addFunction(std::make_unique<Function>("decided", 1));
+  FOut = F;
+  IRBuilder B(*F);
+
+  Block *Entry = B.createBlock();
+  TB = B.createBlock();
+  FB = B.createBlock();
+  Merge = B.createBlock();
+
+  B.setBlock(Entry);
+  CompareInst *Cond =
+      B.cmp(Predicate::LT, B.constInt(1), B.constInt(2)); // always true
+  B.branch(Cond, TB, FB);
+
+  B.setBlock(TB);
+  B.jump(Merge);
+  B.setBlock(FB);
+  B.jump(Merge);
+
+  B.setBlock(Merge);
+  MergePhi = B.phi(Type::Int);
+  MergePhi->appendInput(B.constInt(10)); // TB edge
+  MergePhi->appendInput(B.constInt(20)); // FB edge (provably dead)
+  B.ret(MergePhi);
+  return Mod;
+}
+
+} // namespace
+
+std::vector<LintFixture> dbds::makeDataflowLintFixtures() {
+  std::vector<LintFixture> Fixtures;
+
+  // Known-negative control: a parameter-steered diamond is undecidable, so
+  // every flow rule must stay silent.
+  {
+    LintFixture Fx;
+    Fx.Name = "flow-clean-diamond";
+    Fx.ExpectedRule = "";
+    PhiInst *Phi = nullptr;
+    Fx.Mod = makeDiamond(Phi);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A value defined in the flow-dead arm, read at the (executable) merge.
+  // The dead-block def cannot dominate a live use, so def-dominates-use
+  // co-fires by construction; the decided branch is itself a finding.
+  {
+    LintFixture Fx;
+    Fx.Name = "flow-dead-def-use";
+    Fx.ExpectedRule = "flow-def-reach";
+    Fx.AllowedExtraRules = {"def-dominates-use", "flow-dead-branch"};
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("deaddef", 1));
+    IRBuilder B(*F);
+    Block *Entry = B.createBlock();
+    Block *TB = B.createBlock();
+    Block *FB = B.createBlock();
+    Block *Merge = B.createBlock();
+    B.setBlock(Entry);
+    ParamInst *P0 = B.param(0);
+    CompareInst *Cond =
+        B.cmp(Predicate::LT, B.constInt(2), B.constInt(1)); // always false
+    B.branch(Cond, TB, FB);
+    B.setBlock(TB);
+    BinaryInst *DeadDef = B.add(P0, P0); // TB is flow-dead
+    B.jump(Merge);
+    B.setBlock(FB);
+    B.jump(Merge);
+    B.setBlock(Merge);
+    B.ret(DeadDef);
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // The decided diamond's merge phi still carries the dead-edge input.
+  {
+    LintFixture Fx;
+    Fx.Name = "flow-dead-phi-input";
+    Fx.ExpectedRule = "flow-dead-phi-input";
+    Fx.ExpectedSeverity = LintSeverity::Warn;
+    Fx.AllowedExtraRules = {"flow-dead-branch"};
+    Function *F = nullptr;
+    Block *TB = nullptr, *FB = nullptr, *Merge = nullptr;
+    PhiInst *Phi = nullptr;
+    Fx.Mod = makeDecidedDiamond(F, TB, FB, Merge, Phi);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A decided branch with no merge downstream: the only flow finding is
+  // the branch itself.
+  {
+    LintFixture Fx;
+    Fx.Name = "flow-dead-branch";
+    Fx.ExpectedRule = "flow-dead-branch";
+    Fx.ExpectedSeverity = LintSeverity::Warn;
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("decbr", 1));
+    IRBuilder B(*F);
+    Block *Entry = B.createBlock();
+    Block *TB = B.createBlock();
+    Block *FB = B.createBlock();
+    B.setBlock(Entry);
+    CompareInst *Cond = B.cmp(Predicate::LT, B.constInt(1), B.constInt(2));
+    B.branch(Cond, TB, FB);
+    B.setBlock(TB);
+    B.ret(B.constInt(10));
+    B.setBlock(FB);
+    B.ret(B.constInt(20));
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A stamp claim flow-provably disjoint from the instruction's value: a
+  // 0/1 comparison result claimed to be exactly 5. The flow-insensitive
+  // stamp-soundness rule rejects the same claim.
+  {
+    LintFixture Fx;
+    Fx.Name = "flow-contradictory-claim";
+    Fx.ExpectedRule = "flow-contradictory-join";
+    Fx.AllowedExtraRules = {"stamp-soundness"};
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("contra", 1));
+    IRBuilder B(*F);
+    B.setBlock(B.createBlock());
+    ParamInst *P0 = B.param(0);
+    CompareInst *Cmp = B.cmp(Predicate::LT, P0, B.constInt(10));
+    B.ret(Cmp);
+    Fx.Mod = std::move(Mod);
+    Fx.Claim = [Cmp](Instruction *I) -> std::optional<Stamp> {
+      if (I == Cmp)
+        return Stamp::exact(5);
+      return std::nullopt;
+    };
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // A merge both of whose incoming edges originate in a flow-dead region:
+  // structurally reachable, provably never executed.
+  {
+    LintFixture Fx;
+    Fx.Name = "flow-unreachable-merge";
+    Fx.ExpectedRule = "flow-unreachable-merge";
+    Fx.ExpectedSeverity = LintSeverity::Warn;
+    Fx.AllowedExtraRules = {"flow-dead-branch"};
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("deadmrg", 1));
+    IRBuilder B(*F);
+    Block *Entry = B.createBlock();
+    Block *Live = B.createBlock();
+    Block *Dead = B.createBlock();
+    Block *DeadL = B.createBlock();
+    Block *DeadR = B.createBlock();
+    Block *DeadMerge = B.createBlock();
+    B.setBlock(Entry);
+    ParamInst *P0 = B.param(0);
+    CompareInst *Cond = B.cmp(Predicate::LT, B.constInt(1), B.constInt(2));
+    B.branch(Cond, Live, Dead);
+    B.setBlock(Live);
+    B.ret(B.constInt(10));
+    B.setBlock(Dead);
+    B.branch(B.cmp(Predicate::LT, P0, B.constInt(0)), DeadL, DeadR);
+    B.setBlock(DeadL);
+    B.jump(DeadMerge);
+    B.setBlock(DeadR);
+    B.jump(DeadMerge);
+    B.setBlock(DeadMerge);
+    B.ret(B.constInt(20));
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  // An executable field load through a provably-null object — the one
+  // operation the VM leaves undefined (vm/Interpreter asserts).
+  {
+    LintFixture Fx;
+    Fx.Name = "flow-null-load";
+    Fx.ExpectedRule = "flow-null-proof";
+    auto Mod = std::make_unique<Module>();
+    Function *F = Mod->addFunction(std::make_unique<Function>("nullld", 1));
+    IRBuilder B(*F);
+    B.setBlock(B.createBlock());
+    LoadFieldInst *Load = B.load(B.constNull(), 0);
+    B.ret(Load);
+    Fx.Mod = std::move(Mod);
+    Fixtures.push_back(std::move(Fx));
+  }
+
+  return Fixtures;
+}
+
+bool dbds::checkDataflowLintFixture(const LintFixture &Fixture,
+                                    std::string &Log) {
+  Linter L = dataflowLinter(Fixture.Mod.get());
+  if (Fixture.Claim)
+    L.setStampClaim(Fixture.Claim);
+  LintReport Report = L.lintModule(*Fixture.Mod);
+
+  auto fail = [&](const std::string &Why) {
+    Log += "fixture '" + Fixture.Name + "': " + Why + "\n";
+    if (!Report.Findings.empty())
+      Log += Report.render();
+    return false;
+  };
+
+  if (Fixture.ExpectedRule.empty()) {
+    if (!Report.Findings.empty())
+      return fail("expected a clean report, got " +
+                  std::to_string(Report.Findings.size()) + " finding(s)");
+    return true;
+  }
+
+  unsigned Hits = 0;
+  for (const LintFinding &Finding : Report.Findings) {
+    if (Finding.RuleId == Fixture.ExpectedRule) {
+      if (Finding.Severity != Fixture.ExpectedSeverity)
+        return fail("finding has severity " +
+                    std::string(lintSeverityName(Finding.Severity)) +
+                    ", expected " +
+                    std::string(lintSeverityName(Fixture.ExpectedSeverity)));
+      ++Hits;
+      continue;
+    }
+    bool Allowed = false;
+    for (const std::string &Extra : Fixture.AllowedExtraRules)
+      if (Finding.RuleId == Extra) {
+        Allowed = true;
+        break;
+      }
+    if (!Allowed)
+      return fail("unexpected finding from rule '" + Finding.RuleId + "'");
+  }
+  if (Hits == 0)
+    return fail("rule '" + Fixture.ExpectedRule + "' did not fire");
+  return true;
+}

@@ -33,6 +33,11 @@ struct LintFixture {
   LintSeverity ExpectedSeverity = LintSeverity::Error;
   std::unique_ptr<Module> Mod;
   StampClaim Claim; ///< Installed on the linter when non-empty.
+  /// Rules other than ExpectedRule allowed to fire on this fixture (any
+  /// severity). Flow-sensitive defects overlap by construction: a def in a
+  /// flow-dead block also trips def-dominates-use, and every constant
+  /// branch that kills an edge is itself a flow-dead-branch finding.
+  std::vector<std::string> AllowedExtraRules;
 };
 
 /// Builds the full fixture set: a clean control plus one fixture per
@@ -48,6 +53,16 @@ bool checkLintFixture(const LintFixture &Fixture, std::string &Log);
 
 /// Runs checkLintFixture over makeLintFixtures(); true when all pass.
 bool selftestLintFixtures(std::string &Log);
+
+/// Builds the flow-sensitive sabotage set: one fixture per dataflow lint
+/// rule (analysis/DataFlowLintRules.cpp), each seeded with a defect only
+/// flow-sensitive analysis can prove, plus a clean control.
+std::vector<LintFixture> makeDataflowLintFixtures();
+
+/// Lints \p Fixture with dataflowLinter() and checks the relaxed contract
+/// flow-sensitive fixtures need: the expected rule fires at its expected
+/// severity, and every other finding comes from AllowedExtraRules.
+bool checkDataflowLintFixture(const LintFixture &Fixture, std::string &Log);
 
 } // namespace dbds
 

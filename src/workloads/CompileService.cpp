@@ -6,6 +6,7 @@
 
 #include "workloads/CompileService.h"
 
+#include "analysis/SimAudit.h"
 #include "dbds/DBDSPhase.h"
 #include "opts/Phase.h"
 #include "support/Cancellation.h"
@@ -37,6 +38,7 @@ DBDS_COUNTER(compile_service, functions_compiled);
 DBDS_COUNTER(compile_service, tasks_retried);
 DBDS_COUNTER(compile_service, tasks_exhausted);
 DBDS_COUNTER(compile_service, breaker_trips);
+DBDS_COUNTER(compile_service, breaker_reenables);
 DBDS_COUNTER(compile_service, crash_bundles_written);
 
 uint64_t dbds::resultHashCombine(uint64_t Hash, uint64_t Value) {
@@ -160,6 +162,12 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
   std::unordered_map<std::string, unsigned> CorruptionCounts;
   const std::unordered_set<std::string> *DisabledView =
       Opts.BreakerThreshold != 0 ? &Disabled : nullptr;
+  // Half-open state (BreakerHalfOpenAfter != 0): tripped phases in trip
+  // order — iterated instead of the unordered Disabled set so re-enable
+  // order, and with it the BreakerTrips stream, is deterministic — plus
+  // each phase's consecutive-clean-attempt streak.
+  std::vector<std::string> TrippedOrder;
+  std::unordered_map<std::string, unsigned> CleanStreaks;
 
   auto RunAttempt = [&](size_t FIdx, unsigned AttemptNo) {
     Function &F = *Functions[FIdx];
@@ -300,7 +308,10 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
         DC.Budget = &Budget;
         DC.Cancel = Cancel;
         DC.DisabledPhases = DisabledView;
-        DC.Decisions = Opts.Decisions ? &A.Decisions : nullptr;
+        // SimAudit needs the decision slice even when no shared sink is
+        // installed; without it the legacy condition is unchanged.
+        DC.Decisions =
+            Opts.Decisions || Opts.SimAudit ? &A.Decisions : nullptr;
         DBDSResult R = runDBDS(F, DC);
         Out.Duplications += R.DuplicationsPerformed;
         Out.Rollbacks += R.RollbacksPerformed;
@@ -308,6 +319,15 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
     }
     Out.CompileTimeMs = CompileTimer.totalMs();
     Out.CodeSize = F.estimatedCodeSize();
+    // Simulation audit: replay this task's decision slice against
+    // dataflow-proven facts on the IR that actually shipped. Runs outside
+    // the compile timer (it measures the simulator, it is not part of
+    // compilation) but inside the task — the verdicts land in the
+    // task-local log before the index-ordered merge, so --jobs=N streams
+    // stay byte-identical (DESIGN.md §9).
+    if (Opts.SimAudit && Config != RunConfig::Baseline &&
+        Forced == DegradationLevel::None)
+      Out.Audit = auditSimulation(F, A.Decisions);
     A.Info.BudgetTripped = Budget.level() != DegradationLevel::None;
     Out.Degradation = std::max(Budget.level(), Forced);
 
@@ -405,6 +425,10 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
                 std::to_string(CorruptionCounts[Phase]) +
                 " attributed corruption(s)");
             ++breaker_trips;
+            if (Opts.BreakerHalfOpenAfter != 0) {
+              TrippedOrder.push_back(Phase);
+              CleanStreaks[Phase] = 0;
+            }
             if (Opts.Diags)
               Opts.Diags->warning("compile-service", "",
                                   "circuit breaker tripped: phase " + Phase +
@@ -412,6 +436,43 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
                                       BenchName + " after " +
                                       std::to_string(CorruptionCounts[Phase]) +
                                       " attributed corruption(s)");
+          }
+        }
+        // Half-open: a tripped phase re-enables after BreakerHalfOpenAfter
+        // consecutive clean folded attempts (any attributed corruption —
+        // necessarily from a phase still running — resets every streak).
+        // A re-enabled phase sits one corruption below the threshold, so
+        // its next attributed corruption re-trips it immediately.
+        if (Opts.BreakerHalfOpenAfter != 0 && !TrippedOrder.empty()) {
+          const bool Clean = A.QuarantineEvents.empty();
+          for (size_t PI = 0; PI != TrippedOrder.size();) {
+            const std::string &Phase = TrippedOrder[PI];
+            if (!Clean) {
+              CleanStreaks[Phase] = 0;
+              ++PI;
+              continue;
+            }
+            if (++CleanStreaks[Phase] < Opts.BreakerHalfOpenAfter) {
+              ++PI;
+              continue;
+            }
+            Disabled.erase(Phase);
+            CorruptionCounts[Phase] = Opts.BreakerThreshold - 1;
+            CleanStreaks.erase(Phase);
+            Batch.BreakerTrips.push_back(
+                Phase + " re-enabled after " +
+                std::to_string(Opts.BreakerHalfOpenAfter) +
+                " clean attempt(s)");
+            ++breaker_reenables;
+            if (Opts.Diags)
+              Opts.Diags->note("compile-service", "",
+                               "circuit breaker half-open: phase " + Phase +
+                                   " re-enabled for remaining tasks of " +
+                                   BenchName + " after " +
+                                   std::to_string(Opts.BreakerHalfOpenAfter) +
+                                   " clean attempt(s)");
+            TrippedOrder.erase(TrippedOrder.begin() +
+                               static_cast<ptrdiff_t>(PI));
           }
         }
       }
@@ -444,6 +505,7 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
     Out.Degradation = Last.Partial.Degradation;
     Out.DynamicCycles = Last.Partial.DynamicCycles;
     Out.ResultHash = Last.Partial.ResultHash;
+    Out.Audit = Last.Partial.Audit;
     for (auto &A : T.Attempts) {
       Out.Attempts.push_back(A->Info);
       for (std::string &Line : A->Partial.LogLines)

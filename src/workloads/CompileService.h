@@ -85,6 +85,9 @@ struct FunctionCompileOutcome {
   uint64_t ResultHash = 0;
   /// Harness log lines (non-terminating runs), emitted in index order.
   std::vector<std::string> LogLines;
+  /// SimAudit verdict counts of the final attempt (Ran only when the
+  /// service ran with RunnerOptions::SimAudit on a DBDS configuration).
+  SimAuditCounts Audit;
   /// The retry ladder, in attempt order (always at least one entry).
   std::vector<CompileAttempt> Attempts;
   /// True when every allowed attempt failed; the task's last (most

@@ -85,6 +85,7 @@ ConfigMeasurement measureConfig(CompileService &Service,
     // Module hash = index-ordered fold of per-function hashes, so it is
     // independent of completion order.
     Out.ResultHash = resultHashCombine(Out.ResultHash, O.ResultHash);
+    Out.Audit.accumulate(O.Audit);
   }
   Out.BreakerTrips = std::move(Batch.BreakerTrips);
   if (Opts.CollectCounters)
@@ -218,6 +219,19 @@ dbds::formatSuiteReport(const std::string &SuiteName,
       for (const std::string &Trip : CM->BreakerTrips)
         Notes += "note: " + M.Name + "/" + Cfg +
                  ": circuit breaker disabled " + Trip + "\n";
+      if (CM->Audit.Ran) {
+        snprintf(Line, sizeof(Line),
+                 "note: %s/%s: simulation audit: %llu confirmed, "
+                 "%llu overclaimed, %llu underclaimed, %llu skipped "
+                 "(precision %.3f, recall %.3f)\n",
+                 M.Name.c_str(), Cfg,
+                 static_cast<unsigned long long>(CM->Audit.Confirmed),
+                 static_cast<unsigned long long>(CM->Audit.Overclaimed),
+                 static_cast<unsigned long long>(CM->Audit.Underclaimed),
+                 static_cast<unsigned long long>(CM->Audit.Skipped),
+                 CM->Audit.precision(), CM->Audit.recall());
+        Notes += Line;
+      }
     }
   }
   auto Geo = [](std::vector<double> &V) {

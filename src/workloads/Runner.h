@@ -19,6 +19,7 @@
 #ifndef DBDS_WORKLOADS_RUNNER_H
 #define DBDS_WORKLOADS_RUNNER_H
 
+#include "analysis/SimAudit.h"
 #include "support/Budget.h"
 #include "telemetry/Counters.h"
 #include "workloads/Suites.h"
@@ -98,6 +99,18 @@ struct RunnerOptions {
   /// batch's remaining tasks (0 = breaker off).
   unsigned BreakerThreshold = 0;
 
+  /// Breaker half-open state: re-enable a tripped phase after this many
+  /// consecutive clean folded attempts (0 = stay open for the batch, the
+  /// pre-half-open behavior). A re-enabled phase re-trips on its next
+  /// attributed corruption.
+  unsigned BreakerHalfOpenAfter = 0;
+
+  /// Run SimAudit (analysis/SimAudit.h) over each function's post-DBDS IR
+  /// and decision slice; verdicts land in the decision log, counts in
+  /// ConfigMeasurement::Audit and the bench JSON's `simulation_audit`
+  /// section (drivers expose --simaudit).
+  bool SimAudit = false;
+
   /// When non-empty, every task that exhausts its retries writes a
   /// self-contained crash-report bundle below this directory
   /// (tooling/CrashBundle.h).
@@ -128,6 +141,10 @@ struct ConfigMeasurement {
   /// Telemetry-counter delta over this configuration's region (empty
   /// unless RunnerOptions::CollectCounters was set).
   std::vector<CounterSample> Counters;
+  /// SimAudit verdict counts over the benchmark's functions (Ran only
+  /// when RunnerOptions::SimAudit was set and this configuration runs
+  /// DBDS).
+  SimAuditCounts Audit;
 };
 
 /// One benchmark's results across all three configurations.

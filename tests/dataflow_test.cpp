@@ -1,0 +1,390 @@
+//===- tests/dataflow_test.cpp - Sparse dataflow engine + SimAudit --------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the worklist dataflow layer (analysis/DataFlow.h): StampFlow
+// fixed-point convergence, executable-edge precision, loop widening,
+// per-edge refinement, and Liveness; the flow-sensitive lint rule pack via
+// its sabotage fixtures and a pristine generated corpus; and SimAudit —
+// the paper-example precision regression plus the --jobs determinism
+// contract on the bench JSON's simulation_audit section (DESIGN.md §9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DataFlow.h"
+#include "analysis/Lint.h"
+#include "analysis/SimAudit.h"
+#include "dbds/DBDSPhase.h"
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "telemetry/DecisionLog.h"
+#include "telemetry/Report.h"
+#include "tooling/LintFixtures.h"
+#include "workloads/ProgramGenerator.h"
+#include "workloads/Runner.h"
+#include "workloads/Suites.h"
+
+#include "PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace dbds;
+
+namespace {
+
+struct Diamond {
+  std::unique_ptr<Module> Mod;
+  Function *F = nullptr;
+  Block *Then = nullptr, *Else = nullptr, *Merge = nullptr;
+  Instruction *Cond = nullptr;
+  Instruction *ThenVal = nullptr; ///< Set only with DefineInThen.
+  PhiInst *Phi = nullptr;
+};
+
+/// f(a, b): a diamond branching on \p MakeCond's comparison; the merge phi
+/// joins constant 20 (else) with either constant 10 or, when
+/// \p DefineInThen is set, an `a + b` computed in the then arm (whose
+/// instruction is returned via Diamond::ThenVal).
+template <typename CondFn>
+Diamond makeDiamond(CondFn MakeCond, bool DefineInThen = false) {
+  Diamond D;
+  D.Mod = std::make_unique<Module>();
+  D.F = D.Mod->addFunction(std::make_unique<Function>("f", 2));
+  IRBuilder B(*D.F);
+  Block *Entry = B.createBlock();
+  D.Then = B.createBlock();
+  D.Else = B.createBlock();
+  D.Merge = B.createBlock();
+  B.setBlock(Entry);
+  D.Cond = MakeCond(B);
+  B.branch(D.Cond, D.Then, D.Else);
+  B.setBlock(D.Then);
+  if (DefineInThen)
+    D.ThenVal = B.add(B.param(0), B.param(1));
+  B.jump(D.Merge);
+  B.setBlock(D.Else);
+  B.jump(D.Merge);
+  B.setBlock(D.Merge);
+  D.Phi = B.phi(Type::Int);
+  D.Phi->appendInput(D.ThenVal ? D.ThenVal : B.constInt(10));
+  D.Phi->appendInput(B.constInt(20));
+  B.ret(D.Phi);
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// StampFlow: executable edges, decided branches, convergence
+//===----------------------------------------------------------------------===//
+
+TEST(StampFlow, DecidedBranchKillsTheDeadArm) {
+  // cmp LT 2, 1 is false by constant stamps: only the else arm executes.
+  Diamond D = makeDiamond([](IRBuilder &B) {
+    return B.cmp(Predicate::LT, B.constInt(2), B.constInt(1));
+  });
+  StampFlow Flow(*D.F);
+
+  auto Decided =
+      Flow.branchDecided(dyn_cast<IfInst>(D.Cond->getBlock()->getTerminator()));
+  ASSERT_TRUE(Decided.has_value());
+  EXPECT_FALSE(*Decided);
+  EXPECT_FALSE(Flow.blockExecutable(D.Then));
+  EXPECT_TRUE(Flow.blockExecutable(D.Else));
+  EXPECT_TRUE(Flow.blockExecutable(D.Merge));
+  EXPECT_FALSE(Flow.edgeExecutable(D.Merge, 0));
+  EXPECT_TRUE(Flow.edgeExecutable(D.Merge, 1));
+
+  // The phi joins only over executable edges: exactly 20.
+  auto PhiStamp = Flow.stampOf(D.Phi);
+  ASSERT_TRUE(PhiStamp.has_value());
+  EXPECT_EQ(PhiStamp->asConstant(), std::optional<int64_t>(20));
+}
+
+TEST(StampFlow, ParamSteeredDiamondJoinsBothInputs) {
+  Diamond D = makeDiamond([](IRBuilder &B) {
+    return B.cmp(Predicate::LT, B.param(0), B.param(1));
+  });
+  StampFlow Flow(*D.F);
+
+  EXPECT_FALSE(Flow.branchDecided(
+      dyn_cast<IfInst>(D.Cond->getBlock()->getTerminator())));
+  EXPECT_TRUE(Flow.blockExecutable(D.Then));
+  EXPECT_TRUE(Flow.blockExecutable(D.Else));
+  auto PhiStamp = Flow.stampOf(D.Phi);
+  ASSERT_TRUE(PhiStamp.has_value());
+  EXPECT_EQ(PhiStamp->lo(), 10);
+  EXPECT_EQ(PhiStamp->hi(), 20);
+}
+
+TEST(StampFlow, ConvergenceIsDeterministic) {
+  // Two independent runs over the same IR do identical work — the
+  // worklist discipline has no iteration-order nondeterminism.
+  Diamond D = makeDiamond([](IRBuilder &B) {
+    return B.cmp(Predicate::LT, B.param(0), B.param(1));
+  });
+  StampFlow A(*D.F), B(*D.F);
+  EXPECT_EQ(A.transfersRun(), B.transfersRun());
+  EXPECT_EQ(A.widenings(), B.widenings());
+  EXPECT_GT(A.transfersRun(), 0u);
+}
+
+TEST(StampFlow, LoopCounterWidensAndConverges) {
+  // f(n): for (i = 0; i < n; i++); return i. The loop-carried range of i
+  // climbs one step per raise; the widening threshold must cap that climb
+  // or the analysis would run INT64_MAX iterations.
+  auto Mod = std::make_unique<Module>();
+  Function *F = Mod->addFunction(std::make_unique<Function>("f", 1));
+  IRBuilder B(*F);
+  Block *Entry = B.createBlock();
+  Block *Header = B.createBlock();
+  Block *Body = B.createBlock();
+  Block *Exit = B.createBlock();
+  B.setBlock(Entry);
+  B.jump(Header);
+  B.setBlock(Header);
+  PhiInst *I = B.phi(Type::Int);
+  B.branch(B.cmp(Predicate::LT, I, B.param(0)), Body, Exit);
+  B.setBlock(Body);
+  Instruction *Next = B.add(I, B.constInt(1));
+  B.jump(Header);
+  B.setBlock(Exit);
+  B.ret(I);
+  I->appendInput(B.constInt(0)); // entry edge
+  I->appendInput(Next);          // back edge
+
+  StampFlow Flow(*F, /*WideningThreshold=*/4);
+  EXPECT_GE(Flow.widenings(), 1u);
+  // Convergence in bounded work (the constructor returning at all is the
+  // real assertion; the count pins the bound against regressions).
+  EXPECT_LT(Flow.transfersRun(), 200u);
+  auto IStamp = Flow.stampOf(I);
+  ASSERT_TRUE(IStamp.has_value());
+  // Widening pushed the moving upper bound to +inf (and the saturating
+  // add's overflow response then drags the rest to top — sound, just not
+  // the [0, n] a relational analysis would keep).
+  EXPECT_EQ(IStamp->hi(), INT64_MAX);
+}
+
+TEST(StampFlow, RefinesAlongDecisiveBranchEdges) {
+  // branch (p0 < 10) then/else: the then-edge proves p0 <= 9, the
+  // else-edge proves p0 >= 10 — the flow-sensitive mirror of CE's
+  // dominating-condition refinement.
+  Diamond D = makeDiamond([](IRBuilder &B) {
+    return B.cmp(Predicate::LT, B.param(0), B.constInt(10));
+  });
+  Instruction *P0 = D.Cond->getOperand(0);
+  StampFlow Flow(*D.F);
+
+  auto ThenStamp = Flow.edgeStamp(D.Then, 0, P0);
+  ASSERT_TRUE(ThenStamp.has_value());
+  EXPECT_LE(ThenStamp->hi(), 9);
+  auto ElseStamp = Flow.edgeStamp(D.Else, 0, P0);
+  ASSERT_TRUE(ElseStamp.has_value());
+  EXPECT_GE(ElseStamp->lo(), 10);
+}
+
+TEST(StampFlow, UnreachableDefsHaveNoStamp) {
+  // The decided branch makes the then arm dead; the `a + b` it defines
+  // never executes.
+  Diamond D = makeDiamond(
+      [](IRBuilder &B) {
+        return B.cmp(Predicate::LT, B.constInt(2), B.constInt(1));
+      },
+      /*DefineInThen=*/true);
+  StampFlow Flow(*D.F);
+  EXPECT_FALSE(Flow.stampOf(D.ThenVal).has_value());
+  // stampOrTop degrades to the type's unrestricted stamp.
+  EXPECT_EQ(Flow.stampOrTop(D.ThenVal), Stamp::top(Type::Int));
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+TEST(Liveness, PhiInputsAreLiveAtThePredecessorExit) {
+  Diamond D = makeDiamond(
+      [](IRBuilder &B) {
+        return B.cmp(Predicate::LT, B.param(0), B.param(1));
+      },
+      /*DefineInThen=*/true);
+  Liveness Live(*D.F);
+  EXPECT_GE(Live.iterations(), 1u);
+  // The phi input is a use at Then's exit, not at Merge's entry...
+  EXPECT_TRUE(Live.isLiveOut(D.ThenVal, D.Then));
+  EXPECT_FALSE(Live.isLiveIn(D.ThenVal, D.Merge));
+  // ...and it never crosses the sibling arm.
+  EXPECT_FALSE(Live.isLiveIn(D.ThenVal, D.Else));
+  // The phi itself is consumed by the ret in its own block.
+  EXPECT_FALSE(Live.isLiveOut(D.Phi, D.Merge));
+}
+
+//===----------------------------------------------------------------------===//
+// Flow-sensitive lint rules: sabotage fixtures + pristine corpus
+//===----------------------------------------------------------------------===//
+
+TEST(DataflowLint, EveryFixtureFiresItsRule) {
+  std::string Log;
+  bool AllPassed = true;
+  for (const LintFixture &Fx : makeDataflowLintFixtures())
+    AllPassed = checkDataflowLintFixture(Fx, Log) && AllPassed;
+  EXPECT_TRUE(AllPassed) << Log;
+}
+
+TEST(DataflowLint, CoversTheAdvertisedDefectClasses) {
+  std::vector<LintFixture> Fixtures = makeDataflowLintFixtures();
+  auto has = [&](const char *Name) {
+    for (const LintFixture &Fx : Fixtures)
+      if (Fx.Name == Name)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(has("flow-clean-diamond"));
+  EXPECT_TRUE(has("flow-dead-def-use"));
+  EXPECT_TRUE(has("flow-dead-phi-input"));
+  EXPECT_TRUE(has("flow-dead-branch"));
+  EXPECT_TRUE(has("flow-contradictory-claim"));
+  EXPECT_TRUE(has("flow-unreachable-merge"));
+  EXPECT_TRUE(has("flow-null-load"));
+}
+
+TEST(DataflowLint, PaperExamplesAreClean) {
+  const char *Examples[] = {paper::Figure1, paper::Listing1, paper::Listing3,
+                            paper::Listing5, paper::Figure3};
+  for (const char *Source : Examples) {
+    ParseResult P = parseModule(Source);
+    ASSERT_TRUE(P) << P.Error;
+    LintReport Report = dataflowLinter(P.Mod.get()).lintModule(*P.Mod);
+    EXPECT_FALSE(Report.hasErrors()) << Report.render();
+  }
+}
+
+TEST(DataflowLint, PristineGeneratedCorpusHasZeroErrors) {
+  // The zero-false-positive gate on IR nothing tampered with: generated
+  // programs, before and after a full DBDS run.
+  for (uint64_t Seed = 40; Seed != 44; ++Seed) {
+    GeneratorConfig GC;
+    GC.Seed = Seed;
+    GC.NumFunctions = 3;
+    GC.SegmentsPerFunction = 4;
+    GeneratedWorkload W = generateWorkload(GC);
+    LintReport Pre = dataflowLinter(W.Mod.get()).lintModule(*W.Mod);
+    EXPECT_FALSE(Pre.hasErrors()) << "seed " << Seed << ":\n" << Pre.render();
+
+    for (Function *F : W.Mod->functions()) {
+      DBDSConfig DC;
+      DC.ClassTable = W.Mod.get();
+      runDBDS(*F, DC);
+    }
+    LintReport Post = dataflowLinter(W.Mod.get()).lintModule(*W.Mod);
+    EXPECT_FALSE(Post.hasErrors())
+        << "seed " << Seed << " post-DBDS:\n" << Post.render();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SimAudit
+//===----------------------------------------------------------------------===//
+
+/// Runs DBDS with a decision log on every function of \p Source and audits
+/// the post-DBDS IR against the recorded decisions.
+SimAuditCounts auditExample(const char *Source) {
+  ParseResult P = parseModule(Source);
+  EXPECT_TRUE(P) << P.Error;
+  SimAuditCounts Counts;
+  for (Function *F : P.Mod->functions()) {
+    DecisionLog Log;
+    DBDSConfig DC;
+    DC.ClassTable = P.Mod.get();
+    DC.Decisions = &Log;
+    runDBDS(*F, DC);
+    Counts.accumulate(auditSimulation(*F, Log));
+  }
+  return Counts;
+}
+
+TEST(SimAudit, PaperExamplePredictionsHold) {
+  // Precision/recall regression on the corpus the paper argues from: the
+  // simulator's predictions on its own motivating examples must be
+  // perfect. Any overclaim or underclaim here is a simulator bug, not
+  // measurement noise.
+  const char *Examples[] = {paper::Figure1, paper::Listing1, paper::Listing3,
+                            paper::Listing5, paper::Figure3};
+  SimAuditCounts Total;
+  for (const char *Source : Examples)
+    Total.accumulate(auditExample(Source));
+  EXPECT_TRUE(Total.Ran);
+  EXPECT_GT(Total.classified(), 0u);
+  EXPECT_EQ(Total.Overclaimed, 0u) << "simulator overclaimed on paper IR";
+  EXPECT_EQ(Total.Underclaimed, 0u) << "simulator underclaimed on paper IR";
+  EXPECT_DOUBLE_EQ(Total.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(Total.recall(), 1.0);
+}
+
+TEST(SimAudit, VerdictsLandInTheDecisionLog) {
+  ParseResult P = parseModule(paper::Figure1);
+  ASSERT_TRUE(P) << P.Error;
+  Function *F = P.Mod->functions()[0];
+  DecisionLog Log;
+  DBDSConfig DC;
+  DC.ClassTable = P.Mod.get();
+  DC.Decisions = &Log;
+  runDBDS(*F, DC);
+  ASSERT_FALSE(Log.decisions().empty());
+  auditSimulation(*F, Log);
+  for (const DuplicationDecision &D : Log.decisions())
+    EXPECT_NE(D.Audit, AuditVerdict::Unaudited)
+        << "record left unclassified: " << D.renderJson();
+}
+
+/// Extracts every `"simulation_audit":{...}` object (balanced braces) from
+/// a bench JSON document, concatenated in order.
+std::string auditSections(const std::string &Json) {
+  std::string Out;
+  const std::string Key = "\"simulation_audit\":";
+  for (size_t Pos = Json.find(Key); Pos != std::string::npos;
+       Pos = Json.find(Key, Pos + 1)) {
+    size_t Open = Pos + Key.size();
+    int Depth = 0;
+    size_t End = Open;
+    do {
+      Depth += Json[End] == '{' ? 1 : Json[End] == '}' ? -1 : 0;
+      ++End;
+    } while (Depth != 0 && End < Json.size());
+    Out += Json.substr(Pos, End - Pos) + "\n";
+  }
+  return Out;
+}
+
+TEST(SimAudit, BenchJsonSectionIsJobsInvariant) {
+  // The DESIGN.md §9 determinism contract extended to the auditor: the
+  // simulation_audit sections of the bench JSON must be byte-identical
+  // between --jobs=1 and --jobs=8 (timing fields elsewhere may differ).
+  SuiteSpec Suite = generatorCorpusSuite(/*Seed=*/6200, /*Benchmarks=*/2,
+                                         /*Functions=*/4, /*Segments=*/3);
+  auto Run = [&](unsigned Jobs) {
+    RunnerOptions Opts;
+    Opts.SimAudit = true;
+    Opts.Jobs = Jobs;
+    return measureSuite(Suite, Opts);
+  };
+  std::vector<BenchmarkMeasurement> Serial = Run(1), Parallel = Run(8);
+
+  std::string SerialAudit = auditSections(renderBenchJson("det", Serial));
+  EXPECT_FALSE(SerialAudit.empty());
+  EXPECT_EQ(SerialAudit, auditSections(renderBenchJson("det", Parallel)));
+
+  // And the aggregated counts agree field-for-field.
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  for (size_t N = 0; N != Serial.size(); ++N) {
+    const SimAuditCounts &S = Serial[N].DBDS.Audit;
+    const SimAuditCounts &J = Parallel[N].DBDS.Audit;
+    EXPECT_TRUE(S.Ran);
+    EXPECT_EQ(S.Confirmed, J.Confirmed);
+    EXPECT_EQ(S.Overclaimed, J.Overclaimed);
+    EXPECT_EQ(S.Underclaimed, J.Underclaimed);
+    EXPECT_EQ(S.Skipped, J.Skipped);
+  }
+}
+
+} // namespace

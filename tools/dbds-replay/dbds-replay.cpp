@@ -1,0 +1,290 @@
+//===- tools/dbds-replay/dbds-replay.cpp - Crash-bundle replayer ----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Standalone replayer for crash-report bundles (tooling/CrashBundle.h):
+//
+//   dbds-replay BUNDLE_DIR        parse manifest.json + input.ir and re-run
+//                                 replayCrashCompile with the final
+//                                 attempt's recorded fault stream
+//   dbds-replay --reduced DIR     replay the delta-reduced reproducer
+//                                 (reduced.ir) instead of the full snapshot
+//   dbds-replay --selftest[=DIR]  write a synthetic bundle, replay it from
+//                                 its artifacts alone, and require the
+//                                 replay verdict to match the manifest
+//
+// Options:
+//   --quiet                       suppress everything but failures
+//
+// Exit status: 0 when the replay matches the manifest's recorded verdict
+// (reproduced flag and rollback count), 1 on mismatch, 2 on usage or I/O
+// errors. A bundle is self-contained by contract — this tool is the
+// out-of-process proof, sharing zero state with the service that wrote it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/Parser.h"
+#include "tooling/CrashBundle.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace dbds;
+
+namespace {
+
+struct Options {
+  std::string BundleDir;
+  std::string SelftestDir; ///< Non-empty = selftest mode.
+  bool Selftest = false;
+  bool Reduced = false;
+  bool Quiet = false;
+};
+
+int usage(const char *Prog) {
+  fprintf(stderr,
+          "usage: %s [--reduced] [--quiet] BUNDLE_DIR\n"
+          "       %s --selftest[=DIR] [--quiet]\n",
+          Prog, Prog);
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out, std::string &Error) {
+  FILE *File = fopen(Path.c_str(), "rb");
+  if (!File) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), File)) != 0)
+    Out.append(Buf, N);
+  fclose(File);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Minimal manifest extraction
+//
+// The manifest is machine-written by writeCrashBundle with a fixed schema;
+// scanning for `"key":` and reading the literal after it is exact for that
+// writer (string values in the manifest never embed `"key":` sequences).
+// Scalars after the attempts array are read from the *last* occurrence, so
+// per-attempt keys never shadow the bundle-level verdict fields.
+//===----------------------------------------------------------------------===//
+
+size_t keyPos(const std::string &Json, const std::string &Key, bool Last) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t Pos = Last ? Json.rfind(Needle) : Json.find(Needle);
+  return Pos == std::string::npos ? std::string::npos : Pos + Needle.size();
+}
+
+bool manifestString(const std::string &Json, const std::string &Key,
+                    std::string &Out, bool Last = false) {
+  size_t Pos = keyPos(Json, Key, Last);
+  if (Pos == std::string::npos)
+    return false;
+  while (Pos < Json.size() && Json[Pos] == ' ')
+    ++Pos;
+  if (Pos >= Json.size() || Json[Pos] != '"')
+    return false;
+  size_t End = Json.find('"', Pos + 1);
+  if (End == std::string::npos)
+    return false;
+  Out = Json.substr(Pos + 1, End - Pos - 1);
+  return true;
+}
+
+bool manifestNumber(const std::string &Json, const std::string &Key,
+                    double &Out, bool Last = false) {
+  size_t Pos = keyPos(Json, Key, Last);
+  if (Pos == std::string::npos)
+    return false;
+  Out = strtod(Json.c_str() + Pos, nullptr);
+  return true;
+}
+
+bool manifestBool(const std::string &Json, const std::string &Key, bool &Out,
+                  bool Last = false) {
+  size_t Pos = keyPos(Json, Key, Last);
+  if (Pos == std::string::npos)
+    return false;
+  while (Pos < Json.size() && Json[Pos] == ' ')
+    ++Pos;
+  Out = Json.compare(Pos, 4, "true") == 0;
+  return true;
+}
+
+DegradationLevel levelFromName(const std::string &Name) {
+  if (Name == "no-dbds")
+    return DegradationLevel::NoDBDS;
+  if (Name == "no-fixpoint")
+    return DegradationLevel::NoFixpoint;
+  return DegradationLevel::None;
+}
+
+/// Replays \p Dir from its artifacts and compares against the manifest's
+/// recorded verdict. Returns the process exit code.
+int replayBundle(const std::string &Dir, const Options &O) {
+  std::string Error, Manifest;
+  if (!readFile(Dir + "/manifest.json", Manifest, Error)) {
+    fprintf(stderr, "dbds-replay: %s (is this a complete bundle?)\n",
+            Error.c_str());
+    return 2;
+  }
+  std::string Schema;
+  if (!manifestString(Manifest, "schema", Schema) ||
+      Schema != "dbds-crash-bundle") {
+    fprintf(stderr, "dbds-replay: %s/manifest.json: not a dbds-crash-bundle "
+                    "manifest\n",
+            Dir.c_str());
+    return 2;
+  }
+
+  std::string FunctionName, ConfigName, ForcedName;
+  double Rate = 0.0, KindMask = 0.0, FaultSeed = 0.0, WantRollbacks = 0.0;
+  bool Injected = false, WantReproduced = false;
+  if (!manifestString(Manifest, "function", FunctionName) ||
+      !manifestString(Manifest, "config", ConfigName) ||
+      !manifestBool(Manifest, "injected", Injected) ||
+      !manifestNumber(Manifest, "rate", Rate) ||
+      !manifestNumber(Manifest, "kind_mask", KindMask) ||
+      !manifestBool(Manifest, "reproduced", WantReproduced) ||
+      !manifestNumber(Manifest, "replay_rollbacks", WantRollbacks)) {
+    fprintf(stderr, "dbds-replay: %s/manifest.json: missing fields\n",
+            Dir.c_str());
+    return 2;
+  }
+  // The replay re-runs the *final* attempt: last fault_seed/forced_level
+  // in the attempts array.
+  manifestString(Manifest, "forced_level", ForcedName, /*Last=*/true);
+  manifestNumber(Manifest, "fault_seed", FaultSeed, /*Last=*/true);
+
+  const char *IrFile = O.Reduced ? "reduced.ir" : "input.ir";
+  std::string IrText;
+  if (!readFile(Dir + "/" + IrFile, IrText, Error)) {
+    fprintf(stderr, "dbds-replay: %s\n", Error.c_str());
+    return 2;
+  }
+  ParseResult Parsed = parseModule(IrText);
+  if (!Parsed) {
+    fprintf(stderr, "dbds-replay: %s/%s: parse error: %s\n", Dir.c_str(),
+            IrFile, Parsed.Error.c_str());
+    return 2;
+  }
+  Function *Focus = Parsed.Mod->getFunction(FunctionName);
+  if (!Focus) {
+    fprintf(stderr, "dbds-replay: function '%s' not found in %s\n",
+            FunctionName.c_str(), IrFile);
+    return 2;
+  }
+
+  unsigned Rollbacks = replayCrashCompile(
+      *Parsed.Mod, *Focus, static_cast<uint64_t>(FaultSeed), Rate,
+      Injected ? static_cast<unsigned>(KindMask) : 0,
+      levelFromName(ForcedName), ConfigName);
+  bool Reproduced = Rollbacks > 0;
+
+  if (!O.Quiet)
+    printf("dbds-replay: %s: function %s, config %s, seed %llu: "
+           "%u rollback(s) (manifest recorded %u, reproduced=%s)\n",
+           IrFile, FunctionName.c_str(), ConfigName.c_str(),
+           static_cast<unsigned long long>(FaultSeed), Rollbacks,
+           static_cast<unsigned>(WantRollbacks),
+           WantReproduced ? "true" : "false");
+
+  // The reduced reproducer preserves the *failure*, not the rollback
+  // count; the full snapshot must replay the recorded count exactly.
+  bool Match = O.Reduced
+                   ? Reproduced == WantReproduced
+                   : Reproduced == WantReproduced &&
+                         Rollbacks == static_cast<unsigned>(WantRollbacks);
+  if (!Match) {
+    fprintf(stderr,
+            "dbds-replay: MISMATCH: replay saw %u rollback(s), manifest "
+            "recorded %u (reproduced=%s)\n",
+            Rollbacks, static_cast<unsigned>(WantRollbacks),
+            WantReproduced ? "true" : "false");
+    return 1;
+  }
+  return 0;
+}
+
+/// Writes a synthetic bundle from a generated workload, then replays it
+/// through the exact artifact path a user would.
+int runSelftest(const Options &O) {
+  GeneratorConfig GC;
+  GC.Seed = 7;
+  GC.NumFunctions = 1;
+  GC.SegmentsPerFunction = 3;
+  GeneratedWorkload W = generateWorkload(GC);
+  Function *F = W.Mod->functions().front();
+
+  CrashBundleSpec Spec;
+  Spec.Benchmark = "replay-selftest";
+  Spec.ConfigName = "dbds";
+  Spec.FunctionName = F->getName();
+  Spec.Dir = O.SelftestDir + "/" + Spec.Benchmark + "-" + Spec.FunctionName;
+  Spec.Pristine = F;
+  Spec.ClassTable = W.Mod.get();
+  CrashBundleAttempt A;
+  A.Attempt = 0;
+  A.Reason = "synthetic selftest attempt";
+  Spec.Attempts.push_back(A);
+
+  CrashBundleResult R = writeCrashBundle(Spec);
+  if (!R.Written) {
+    fprintf(stderr, "dbds-replay: selftest: bundle write failed: %s\n",
+            R.Error.c_str());
+    return 1;
+  }
+  int Exit = replayBundle(Spec.Dir, O);
+  if (Exit == 0) {
+    Options Reduced = O;
+    Reduced.Reduced = true;
+    Exit = replayBundle(Spec.Dir, Reduced);
+  }
+  if (Exit == 0 && !O.Quiet)
+    printf("dbds-replay: selftest passed (%s)\n", Spec.Dir.c_str());
+  else if (Exit != 0)
+    fprintf(stderr, "dbds-replay: selftest FAILED\n");
+  return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  for (int I = 1; I != Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (strcmp(Arg, "--selftest") == 0) {
+      O.Selftest = true;
+      O.SelftestDir = "dbds-replay-selftest";
+    } else if (strncmp(Arg, "--selftest=", 11) == 0) {
+      O.Selftest = true;
+      O.SelftestDir = Arg + 11;
+    } else if (strcmp(Arg, "--reduced") == 0) {
+      O.Reduced = true;
+    } else if (strcmp(Arg, "--quiet") == 0) {
+      O.Quiet = true;
+    } else if (strncmp(Arg, "--", 2) == 0) {
+      return usage(Argv[0]);
+    } else if (O.BundleDir.empty()) {
+      O.BundleDir = Arg;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+
+  if (O.Selftest)
+    return runSelftest(O);
+  if (O.BundleDir.empty())
+    return usage(Argv[0]);
+  return replayBundle(O.BundleDir, O);
+}

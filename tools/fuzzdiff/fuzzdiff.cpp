@@ -9,7 +9,7 @@
 //   fuzzdiff [--seed=N] [--count=N] [--max-seconds=N] [--out-dir=DIR]
 //            [--functions=N] [--segments=N] [--inject=SEED]
 //            [--inject-kinds=MASK] [--sabotage] [--fail-fast] [--quiet]
-//            [--trace=FILE] [--jobs=N]
+//            [--trace=FILE] [--jobs=N] [--simaudit]
 //
 // For each seed it generates a program (workloads/ProgramGenerator),
 // optimizes a copy under each of the paper's three configurations —
@@ -38,6 +38,11 @@
 // no-ops here — fuzzdiff arms no deadline token — so enabling them checks
 // stream alignment, not containment.
 //
+// --simaudit replays each optimized function's recorded DBDS decisions
+// against dataflow-proven facts (analysis/SimAudit.h) and reports the
+// aggregated verdict counts with the run summary — simulator-soundness
+// coverage riding on the fuzzer's seed diversity.
+//
 // --jobs=N fuzzes N seeds concurrently on the compile service's worker
 // pool (0 = one worker per hardware thread). Each seed's fault stream
 // derives from (inject seed, seed index), findings are buffered per seed,
@@ -52,6 +57,7 @@
 #include "dbds/DBDSPhase.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "analysis/SimAudit.h"
 #include "opts/Phase.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
@@ -96,6 +102,7 @@ struct Options {
   bool Quiet = false;
   std::string TracePath; ///< Whole-run trace ("" = tracing off).
   unsigned Jobs = 1;     ///< Concurrent seeds (0 = hardware threads).
+  bool SimAudit = false; ///< Audit DBDS decisions on every compile.
 };
 
 int usage(const char *Prog) {
@@ -103,7 +110,7 @@ int usage(const char *Prog) {
           "usage: %s [--seed=N] [--count=N] [--max-seconds=N] "
           "[--out-dir=DIR] [--functions=N] [--segments=N] [--inject=SEED] "
           "[--inject-kinds=MASK] [--sabotage] [--fail-fast] [--quiet] "
-          "[--trace=FILE] [--jobs=N]\n",
+          "[--trace=FILE] [--jobs=N] [--simaudit]\n",
           Prog);
   return 2;
 }
@@ -124,7 +131,8 @@ GeneratorConfig makeGeneratorConfig(uint64_t Seed, const Options &O) {
 void compileFunction(Function &F, Module *M, RunConfig Config,
                      const std::vector<std::vector<int64_t>> &Train,
                      const Options &O, DiagnosticEngine *Diags,
-                     FaultInjector *Injector) {
+                     FaultInjector *Injector,
+                     DecisionLog *Decisions = nullptr) {
   Interpreter Interp(*M);
   ProfileSummary Profile;
   for (const auto &Args : Train) {
@@ -146,6 +154,7 @@ void compileFunction(Function &F, Module *M, RunConfig Config,
     DC.FailFast = O.FailFast;
     DC.Diags = Diags;
     DC.Injector = Injector;
+    DC.Decisions = Decisions;
     runDBDS(F, DC);
   }
   if (O.Sabotage && Config != RunConfig::Baseline) {
@@ -328,6 +337,8 @@ int main(int Argc, char **Argv) {
       O.TracePath = Argv[I] + 8;
     else if (strncmp(Argv[I], "--jobs=", 7) == 0)
       O.Jobs = static_cast<unsigned>(strtoul(Argv[I] + 7, nullptr, 10));
+    else if (strcmp(Argv[I], "--simaudit") == 0)
+      O.SimAudit = true;
     else
       return usage(Argv[0]);
   }
@@ -378,6 +389,7 @@ int main(int Argc, char **Argv) {
     bool HasInjector = false;
     std::optional<GeneratedWorkload> Ref; ///< Kept only when findings exist.
     std::vector<PendingFinding> Findings;
+    SimAuditCounts Audit; ///< Aggregated --simaudit verdicts for this seed.
   };
   std::vector<SeedOutcome> Outcomes(O.Count);
   std::atomic<bool> SabotageFound{false};
@@ -418,8 +430,17 @@ int main(int Argc, char **Argv) {
       auto OptFns = Opt.Mod->functions();
       for (unsigned FIdx = 0; FIdx != OptFns.size(); ++FIdx) {
         Function &OF = *OptFns[FIdx];
+        // Sabotage deliberately corrupts post-DBDS IR, so auditing the
+        // recorded decisions against it would measure the corruption,
+        // not the simulator.
+        bool WantAudit =
+            O.SimAudit && Config != RunConfig::Baseline && !O.Sabotage;
+        DecisionLog Decisions;
         compileFunction(OF, Opt.Mod.get(), Config, Opt.TrainInputs[FIdx], O,
-                        &Out.Diags, TaskInjector);
+                        &Out.Diags, TaskInjector,
+                        WantAudit ? &Decisions : nullptr);
+        if (WantAudit)
+          Out.Audit.accumulate(auditSimulation(OF, Decisions));
         for (const auto &Args : Ref.EvalInputs[FIdx]) {
           RefInterp.reset();
           ExecutionResult RA =
@@ -461,11 +482,13 @@ int main(int Argc, char **Argv) {
   // counts, then run the expensive reduction + artifact pipeline serially
   // (reduction retraces via the process-wide session; it must not race).
   std::vector<Finding> Findings;
+  SimAuditCounts Audit;
   unsigned SeedsRun = 0;
   for (unsigned N = 0; N != O.Count; ++N) {
     SeedOutcome &Out = Outcomes[N];
     if (Out.Ran)
       ++SeedsRun;
+    Audit.accumulate(Out.Audit);
     Diags.mergeFrom(Out.Diags);
     if (InjectorPtr && Out.HasInjector)
       InjectorPtr->absorbCounts(Out.Injector);
@@ -485,6 +508,16 @@ int main(int Argc, char **Argv) {
                    std::to_string(Injector.sitesVisited()) + " site(s)";
     printf("fuzzdiff: %u seed(s), %zu finding(s), %.1fs%s\n", SeedsRun,
            Findings.size(), elapsedSeconds(), InjectNote.c_str());
+    if (Audit.Ran)
+      printf("fuzzdiff: simaudit: %llu decision(s): %llu confirmed, "
+             "%llu overclaimed, %llu underclaimed, %llu skipped — "
+             "precision %.3f, recall %.3f\n",
+             static_cast<unsigned long long>(Audit.classified() + Audit.Skipped),
+             static_cast<unsigned long long>(Audit.Confirmed),
+             static_cast<unsigned long long>(Audit.Overclaimed),
+             static_cast<unsigned long long>(Audit.Underclaimed),
+             static_cast<unsigned long long>(Audit.Skipped), Audit.precision(),
+             Audit.recall());
     if (!Diags.empty())
       printf("%s", Diags.render().c_str());
   }

@@ -9,7 +9,9 @@
 //   irlint [options] file.ir...      lint textual-IR files (e.g. fuzzdiff
 //                                    crash artifacts)
 //   irlint --selftest                run the malformed-fixture known-positive
-//                                    suite (tooling/LintFixtures.h)
+//                                    suite (tooling/LintFixtures.h); with
+//                                    --dataflow, the flow-sensitive sabotage
+//                                    fixtures as well
 //   irlint --corpus [--dynamic] [--audit] [--sabotage]
 //                                    generate + optimize workloads and lint
 //                                    every optimized function under all three
@@ -26,6 +28,11 @@
 //   --disable=RULE       disable a rule (repeatable)
 //   --enable=RULE        re-enable a previously disabled rule
 //   --list-rules         print the registered rules and exit
+//   --dataflow           add the flow-sensitive rules (analysis/DataFlow.h)
+//                        to every lint pass
+//   --simaudit           corpus mode: replay each function's recorded DBDS
+//                        decisions against dataflow facts on the optimized
+//                        IR and report the simulator's precision/recall
 // Corpus options:
 //   --seed=N --count=N --functions=N --segments=N
 //   --dynamic            interpret on the eval inputs and cross-check stamps
@@ -43,7 +50,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
+#include "analysis/SimAudit.h"
 #include "dbds/DBDSPhase.h"
+#include "telemetry/DecisionLog.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opts/Phase.h"
@@ -77,6 +86,8 @@ struct Options {
   bool Dynamic = false;
   bool Audit = false;
   bool Sabotage = false;
+  bool Dataflow = false;
+  bool SimAudit = false;
   bool Json = false;
   bool Werror = false;
   bool ListRules = false;
@@ -98,10 +109,19 @@ int usage(const char *Prog) {
           "usage: %s [--selftest | --corpus | file.ir...]\n"
           "  [--json] [--Werror] [--disable=RULE] [--enable=RULE]\n"
           "  [--list-rules] [--quiet] [--trace=FILE] [--counters]\n"
+          "  [--dataflow]\n"
           "  corpus: [--seed=N] [--count=N] [--functions=N] [--segments=N]\n"
-          "          [--dynamic] [--audit] [--sabotage] [--jobs=N]\n",
+          "          [--dynamic] [--audit] [--sabotage] [--simaudit]\n"
+          "          [--jobs=N]\n",
           Prog);
   return 2;
+}
+
+/// The linter the options select: the standard registry, plus the
+/// flow-sensitive rules under --dataflow.
+Linter makeLinter(const Options &O, const Module *ClassTable = nullptr) {
+  return O.Dataflow ? dataflowLinter(ClassTable)
+                    : Linter::standard(ClassTable);
 }
 
 /// The standard linter with the CLI's enable/disable edits applied.
@@ -135,8 +155,8 @@ bool reportFails(const LintReport &Report, const Options &O) {
          (O.Werror && Report.count(LintSeverity::Warn) != 0);
 }
 
-int listRules() {
-  Linter L = Linter::standard();
+int listRules(const Options &O) {
+  Linter L = makeLinter(O);
   for (const LintRule *Rule : L.rules())
     printf("%-18s %-10s %s\n", Rule->id(),
            Rule->stage() == LintRule::Stage::Structure ? "structure"
@@ -151,12 +171,19 @@ int runSelftest(const Options &O) {
   bool Ok = true;
   for (const LintFixture &Fx : Fixtures)
     Ok &= checkLintFixture(Fx, Log);
+  size_t Total = Fixtures.size();
+  if (O.Dataflow) {
+    std::vector<LintFixture> FlowFixtures = makeDataflowLintFixtures();
+    for (const LintFixture &Fx : FlowFixtures)
+      Ok &= checkDataflowLintFixture(Fx, Log);
+    Total += FlowFixtures.size();
+  }
   if (!Ok) {
     fprintf(stderr, "irlint: selftest FAILED\n%s", Log.c_str());
     return 1;
   }
   if (!O.Quiet)
-    printf("irlint: selftest passed (%zu fixtures)\n", Fixtures.size());
+    printf("irlint: selftest passed (%zu fixtures)\n", Total);
   return 0;
 }
 
@@ -181,7 +208,7 @@ int lintFiles(const Options &O) {
               Parsed.Error.c_str());
       return 2;
     }
-    Linter L = Linter::standard(Parsed.Mod.get());
+    Linter L = makeLinter(O, Parsed.Mod.get());
     if (!configureLinter(L, O))
       return 2;
     Combined.append(L.lintModule(*Parsed.Mod));
@@ -195,7 +222,8 @@ int lintFiles(const Options &O) {
 void optimizeFunction(Function &F, Module *M, RunConfig Config,
                       const std::vector<std::vector<int64_t>> &Train,
                       const Options &O, const Linter *AuditLinter,
-                      DiagnosticEngine *Diags, unsigned *Rollbacks) {
+                      DiagnosticEngine *Diags, unsigned *Rollbacks,
+                      DecisionLog *Decisions = nullptr) {
   Interpreter Interp(*M);
   ProfileSummary Profile;
   for (const auto &Args : Train) {
@@ -220,6 +248,7 @@ void optimizeFunction(Function &F, Module *M, RunConfig Config,
     DC.ClassTable = M;
     DC.Verify = true;
     DC.Diags = Diags;
+    DC.Decisions = Decisions;
     runDBDS(F, DC);
   }
 }
@@ -250,6 +279,7 @@ int runCorpus(const Options &O) {
     unsigned AuditRollbacks = 0;
     unsigned Corrupted = 0;
     unsigned CorruptionsCaught = 0;
+    SimAuditCounts Audit;
   };
   std::vector<SeedResult> Results(O.Count);
 
@@ -266,14 +296,21 @@ int runCorpus(const Options &O) {
     for (RunConfig Config : Configs) {
       GeneratedWorkload Work = generateWorkload(GC);
       Module *M = Work.Mod.get();
-      Linter L = Linter::standard(M);
+      Linter L = makeLinter(O, M);
       configureLinter(L, O); // validated above; cannot fail
 
       auto Fns = M->functions();
       for (unsigned FIdx = 0; FIdx != Fns.size(); ++FIdx) {
         Function &F = *Fns[FIdx];
+        // --simaudit: record this function's DBDS decisions so the audit
+        // can replay them against the optimized IR below.
+        DecisionLog Decisions;
+        bool WantAudit = O.SimAudit && Config != RunConfig::Baseline;
         optimizeFunction(F, M, Config, Work.TrainInputs[FIdx], O, &L,
-                         &R.Diags, &R.AuditRollbacks);
+                         &R.Diags, &R.AuditRollbacks,
+                         WantAudit ? &Decisions : nullptr);
+        if (WantAudit)
+          R.Audit.accumulate(auditSimulation(F, Decisions));
 
         // Static pass (plus dynamic stamp cross-checks when requested).
         LintReport Report;
@@ -323,6 +360,7 @@ int runCorpus(const Options &O) {
   });
 
   // Deterministic join in seed order.
+  SimAuditCounts Audit;
   for (SeedResult &R : Results) {
     Combined.append(std::move(R.Report));
     Diags.mergeFrom(R.Diags);
@@ -330,6 +368,7 @@ int runCorpus(const Options &O) {
     AuditRollbacks += R.AuditRollbacks;
     Corrupted += R.Corrupted;
     CorruptionsCaught += R.CorruptionsCaught;
+    Audit.accumulate(R.Audit);
   }
 
   printReport(Combined, O);
@@ -344,6 +383,15 @@ int runCorpus(const Options &O) {
     if (O.Sabotage)
       printf("irlint: sabotage: %u corrupted, %u caught\n", Corrupted,
              CorruptionsCaught);
+    if (Audit.Ran)
+      printf("irlint: simaudit: %llu confirmed, %llu overclaimed, "
+             "%llu underclaimed, %llu skipped — precision %.3f, "
+             "recall %.3f\n",
+             static_cast<unsigned long long>(Audit.Confirmed),
+             static_cast<unsigned long long>(Audit.Overclaimed),
+             static_cast<unsigned long long>(Audit.Underclaimed),
+             static_cast<unsigned long long>(Audit.Skipped),
+             Audit.precision(), Audit.recall());
   }
 
   if (O.Sabotage) {
@@ -375,6 +423,10 @@ int main(int Argc, char **Argv) {
       O.Audit = true;
     else if (strcmp(Arg, "--sabotage") == 0)
       O.Sabotage = true;
+    else if (strcmp(Arg, "--dataflow") == 0)
+      O.Dataflow = true;
+    else if (strcmp(Arg, "--simaudit") == 0)
+      O.SimAudit = true;
     else if (strcmp(Arg, "--json") == 0)
       O.Json = true;
     else if (strcmp(Arg, "--Werror") == 0)
@@ -408,7 +460,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (O.ListRules)
-    return listRules();
+    return listRules(O);
 
   TraceSession Trace;
   std::optional<ScopedTraceAttach> Attach;
