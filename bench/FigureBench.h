@@ -21,6 +21,14 @@
 ///   --jobs=N        compile functions on N worker threads (0 = one per
 ///                   hardware thread; default 1). Every output except
 ///                   wall-clock compile time is identical to --jobs=1.
+///   --metrics       enable the histogram metrics registry: prints the
+///                   percentile table after the run and adds the
+///                   "metrics" section to --json-out reports
+///   --flamegraph=F  write a collapsed-stack (folded) profile derived
+///                   from the trace spans — loadable by flamegraph.pl
+///                   and speedscope; implies trace collection
+///   --poll-mask=N   interpreter cancellation-poll stride (power of two,
+///                   default 128; tune against interpreter.poll_ns)
 ///
 /// Supervision flags (workloads/CompileService.h; all off by default):
 ///   --max-attempts=N       retry ladder depth per task (1-3)
@@ -70,8 +78,11 @@ struct FigureOptions {
   std::string TracePath;
   std::string RemarksPath;
   std::string JsonOutPath;
+  std::string FlamegraphPath;
   bool DumpCounters = false;
+  bool Metrics = false;
   unsigned Jobs = 1;
+  unsigned PollInterval = 128;
   unsigned MaxAttempts = 1;
   double TaskDeadlineMs = 0.0;
   unsigned BreakerThreshold = 0;
@@ -98,6 +109,19 @@ inline FigureOptions parseFigureOptions(int argc, char **argv,
       O.JsonOutPath = Arg + 11;
     } else if (strncmp(Arg, "--jobs=", 7) == 0) {
       O.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
+    } else if (strcmp(Arg, "--metrics") == 0) {
+      O.Metrics = true;
+    } else if (strncmp(Arg, "--flamegraph=", 13) == 0) {
+      O.FlamegraphPath = Arg + 13;
+    } else if (strncmp(Arg, "--poll-mask=", 12) == 0) {
+      O.PollInterval = static_cast<unsigned>(strtoul(Arg + 12, nullptr, 10));
+      if (O.PollInterval == 0 ||
+          (O.PollInterval & (O.PollInterval - 1)) != 0) {
+        fprintf(stderr, "--poll-mask: %u is not a power of two\n",
+                O.PollInterval);
+        O.Ok = false;
+        return O;
+      }
     } else if (strncmp(Arg, "--max-attempts=", 15) == 0) {
       O.MaxAttempts = static_cast<unsigned>(strtoul(Arg + 15, nullptr, 10));
     } else if (strncmp(Arg, "--task-deadline-ms=", 19) == 0) {
@@ -116,7 +140,8 @@ inline FigureOptions parseFigureOptions(int argc, char **argv,
       fprintf(stderr,
               "unknown option: %s\nusage: %s [--trace=FILE] "
               "[--remarks=FILE] [--counters] [--json-out[=FILE]] "
-              "[--jobs=N] [--max-attempts=N] [--task-deadline-ms=MS] "
+              "[--jobs=N] [--metrics] [--flamegraph=FILE] [--poll-mask=N] "
+              "[--max-attempts=N] [--task-deadline-ms=MS] "
               "[--breaker-threshold=N] [--breaker-half-open=N] "
               "[--crash-bundle-dir=DIR] [--simaudit]\n",
               Arg, argv[0]);
@@ -151,6 +176,7 @@ inline int runFigureMain(int argc, char **argv, const char *FigureName,
     Opts.Decisions = &Decisions;
   Opts.CollectCounters = O.DumpCounters || !O.JsonOutPath.empty();
   Opts.Jobs = O.Jobs;
+  Opts.PollInterval = O.PollInterval;
   Opts.MaxAttempts = O.MaxAttempts;
   Opts.TaskDeadlineMs = O.TaskDeadlineMs;
   Opts.BreakerThreshold = O.BreakerThreshold;
@@ -158,14 +184,28 @@ inline int runFigureMain(int argc, char **argv, const char *FigureName,
   Opts.CrashBundleDir = O.CrashBundleDir;
   Opts.SimAudit = O.SimAudit;
 
+  if (O.Metrics) {
+    MetricsRegistry::setEnabled(true);
+    MetricsRegistry::instance().resetAll();
+  }
+
   std::vector<BenchmarkMeasurement> Rows;
   {
     std::optional<ScopedTraceAttach> Attach;
-    if (!O.TracePath.empty())
+    // The flamegraph is folded from the trace spans, so requesting one
+    // attaches the session even without --trace.
+    if (!O.TracePath.empty() || !O.FlamegraphPath.empty())
       Attach.emplace(Session);
     Rows = measureSuite(Suite, Opts);
   }
   printf("%s\n", formatSuiteReport(Suite.Name, Rows).c_str());
+
+  std::vector<HistogramSample> MetricsSnapshot;
+  if (O.Metrics) {
+    MetricsSnapshot = MetricsRegistry::instance().snapshot();
+    printf("=== metrics ===\n%s",
+           MetricsRegistry::renderTable(MetricsSnapshot).c_str());
+  }
 
   if (O.DumpCounters) {
     printf("=== telemetry counters ===\n%s",
@@ -191,8 +231,16 @@ inline int runFigureMain(int argc, char **argv, const char *FigureName,
     printf("remarks written to %s (%zu decisions)\n", O.RemarksPath.c_str(),
            Decisions.decisions().size());
   }
+  if (!O.FlamegraphPath.empty()) {
+    if (!Session.writeFolded(O.FlamegraphPath, &Error)) {
+      fprintf(stderr, "--flamegraph: %s\n", Error.c_str());
+      return 1;
+    }
+    printf("folded flamegraph written to %s\n", O.FlamegraphPath.c_str());
+  }
   if (!O.JsonOutPath.empty()) {
-    if (!writeBenchJson(O.JsonOutPath, Suite.Name, Rows, &Error)) {
+    if (!writeBenchJson(O.JsonOutPath, Suite.Name, Rows, &Error,
+                        O.Metrics ? &MetricsSnapshot : nullptr)) {
       fprintf(stderr, "--json-out: %s\n", Error.c_str());
       return 1;
     }

@@ -16,9 +16,18 @@
 // higher than the paper's because this substrate has no backend: the
 // paper's denominators include LIR, register allocation, and emission.)
 //
+// Regression gating (opt-in): --json-out writes the combined "headline"
+// bench report (rows named "suite/benchmark"); --compare=FILE diffs this
+// run against a prior report with tools/dbds-stats' engine and exits
+// non-zero when any gated field regressed past --compare-threshold — the
+// CI hook for catching perf regressions between PRs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "support/Statistics.h"
+#include "telemetry/BenchCompare.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Report.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
@@ -29,10 +38,33 @@ using namespace dbds;
 
 int main(int argc, char **argv) {
   RunnerOptions Opts;
+  bool Metrics = false;
+  std::string JsonOutPath;
+  std::string ComparePath;
+  BenchCompareOptions CompareOpts;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     if (strncmp(Arg, "--jobs=", 7) == 0) {
       Opts.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
+    } else if (strcmp(Arg, "--metrics") == 0) {
+      Metrics = true;
+    } else if (strncmp(Arg, "--poll-mask=", 12) == 0) {
+      Opts.PollInterval =
+          static_cast<unsigned>(strtoul(Arg + 12, nullptr, 10));
+      if (Opts.PollInterval == 0 ||
+          (Opts.PollInterval & (Opts.PollInterval - 1)) != 0) {
+        fprintf(stderr, "--poll-mask: %u is not a power of two\n",
+                Opts.PollInterval);
+        return 2;
+      }
+    } else if (strcmp(Arg, "--json-out") == 0) {
+      JsonOutPath = "BENCH_headline.json";
+    } else if (strncmp(Arg, "--json-out=", 11) == 0) {
+      JsonOutPath = Arg + 11;
+    } else if (strncmp(Arg, "--compare=", 10) == 0) {
+      ComparePath = Arg + 10;
+    } else if (strncmp(Arg, "--compare-threshold=", 20) == 0) {
+      CompareOpts.ThresholdPct = strtod(Arg + 20, nullptr);
     } else if (strncmp(Arg, "--max-attempts=", 15) == 0) {
       Opts.MaxAttempts = static_cast<unsigned>(strtoul(Arg + 15, nullptr, 10));
     } else if (strncmp(Arg, "--task-deadline-ms=", 19) == 0) {
@@ -49,7 +81,9 @@ int main(int argc, char **argv) {
       Opts.SimAudit = true;
     } else {
       fprintf(stderr,
-              "unknown option: %s\nusage: %s [--jobs=N] [--max-attempts=N] "
+              "unknown option: %s\nusage: %s [--jobs=N] [--metrics] "
+              "[--poll-mask=N] [--json-out[=FILE]] [--compare=FILE] "
+              "[--compare-threshold=PCT] [--max-attempts=N] "
               "[--task-deadline-ms=MS] [--breaker-threshold=N] "
               "[--breaker-half-open=N] [--crash-bundle-dir=DIR] "
               "[--simaudit]\n",
@@ -57,16 +91,25 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+  Opts.CollectCounters = Opts.CollectCounters || !JsonOutPath.empty();
+
+  if (Metrics) {
+    MetricsRegistry::setEnabled(true);
+    MetricsRegistry::instance().resetAll();
+  }
 
   std::vector<double> DBDSPeak, DBDSCt, DBDSCs;
   std::vector<double> DupPeak, DupCt, DupCs;
   double MaxPeak = 0.0;
   std::string MaxPeakName;
   SimAuditCounts Audit;
+  // Combined report rows, names qualified "suite/benchmark" so the four
+  // suites coexist in one document and compare runs match by full name.
+  std::vector<BenchmarkMeasurement> AllRows;
 
   for (const SuiteSpec &Suite : allSuites()) {
     printf("measuring %s...\n", Suite.Name.c_str());
-    for (const BenchmarkMeasurement &M : measureSuite(Suite, Opts)) {
+    for (BenchmarkMeasurement &M : measureSuite(Suite, Opts)) {
       Audit.accumulate(M.DBDS.Audit);
       double Peak = M.peakImprovementPercent(M.DBDS);
       DBDSPeak.push_back(1.0 + Peak / 100.0);
@@ -80,6 +123,10 @@ int main(int argc, char **argv) {
       if (Peak > MaxPeak) {
         MaxPeak = Peak;
         MaxPeakName = Suite.Name + "/" + M.Name;
+      }
+      if (!JsonOutPath.empty()) {
+        M.Name = Suite.Name + "/" + M.Name;
+        AllRows.push_back(std::move(M));
       }
     }
   }
@@ -107,5 +154,48 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(Audit.Underclaimed),
            static_cast<unsigned long long>(Audit.Skipped), Audit.precision(),
            Audit.recall());
+
+  std::vector<HistogramSample> MetricsSnapshot;
+  if (Metrics) {
+    MetricsSnapshot = MetricsRegistry::instance().snapshot();
+    printf("\n=== metrics ===\n%s",
+           MetricsRegistry::renderTable(MetricsSnapshot).c_str());
+  }
+
+  std::string NewReport;
+  if (!JsonOutPath.empty()) {
+    NewReport = renderBenchJson("headline", AllRows,
+                                Metrics ? &MetricsSnapshot : nullptr);
+    FILE *File = fopen(JsonOutPath.c_str(), "wb");
+    if (!File || fwrite(NewReport.data(), 1, NewReport.size(), File) !=
+                     NewReport.size()) {
+      fprintf(stderr, "--json-out: cannot write '%s'\n", JsonOutPath.c_str());
+      if (File)
+        fclose(File);
+      return 1;
+    }
+    fclose(File);
+    printf("bench report written to %s\n", JsonOutPath.c_str());
+  }
+
+  if (!ComparePath.empty()) {
+    if (NewReport.empty())
+      NewReport = renderBenchJson("headline", AllRows,
+                                  Metrics ? &MetricsSnapshot : nullptr);
+    std::string OldReport, Error;
+    if (!readFileToString(ComparePath, OldReport, &Error)) {
+      fprintf(stderr, "--compare: %s\n", Error.c_str());
+      return 2;
+    }
+    BenchCompareResult R =
+        compareBenchReports(OldReport, NewReport, CompareOpts);
+    printf("\n=== regression gate vs %s (threshold %.1f%%) ===\n%s",
+           ComparePath.c_str(), CompareOpts.ThresholdPct,
+           R.render().c_str());
+    if (!R.Ok)
+      return 2;
+    if (R.Regressions != 0)
+      return 1;
+  }
   return 0;
 }

@@ -17,8 +17,10 @@
 #include "support/Cancellation.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
+#include "support/Timer.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Json.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Trace.h"
 
 #include <algorithm>
@@ -32,6 +34,15 @@ DBDS_COUNTER(dbds, iterations_run);
 DBDS_COUNTER(dbds, duplications_performed);
 DBDS_COUNTER(dbds, rollbacks_performed);
 DBDS_COUNTER(dbds, candidates_stale);
+
+// Per-tier latency distributions (the paper's three-tier split, §3): how
+// the duplication pass's compile time divides between simulation,
+// trade-off, and optimization. candidates_per_iteration is a property of
+// the IR alone, so it participates in the determinism contract.
+DBDS_HISTOGRAM(dbds, simulate_ns, Nanoseconds, Timing);
+DBDS_HISTOGRAM(dbds, tradeoff_ns, Nanoseconds, Timing);
+DBDS_HISTOGRAM(dbds, optimize_ns, Nanoseconds, Timing);
+DBDS_HISTOGRAM(dbds, candidates_per_iteration, Count, Deterministic);
 
 namespace {
 
@@ -138,16 +149,21 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     // Tier 1: simulation (with path continuation when the §8 extension is
     // enabled).
     std::vector<DuplicationCandidate> Candidates;
+    const bool Metered = MetricsRegistry::enabled();
     {
       TraceSpan SimSpan(TS, "simulate", "dbds",
                         TS ? "\"iteration\":" + jsonNumber(Iter)
                            : std::string());
+      uint64_t T0 = Metered ? Timer::nowNs() : 0;
       Candidates = simulateDuplications(
           F, Config.ClassTable, /*Stats=*/nullptr,
           /*MaxPathLength=*/Config.EnablePathDuplication ? 2 : 1,
           Config.Cancel);
+      if (Metered)
+        simulate_ns.record(Timer::nowNs() - T0);
     }
     Result.CandidatesSimulated += Candidates.size();
+    candidates_per_iteration.record(Candidates.size());
 
     // Tier 2: trade-off — most promising candidates first (§3.2: sorted by
     // benefit and cost, to optimize the best ones while budget remains);
@@ -155,6 +171,7 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     TraceSpan TradeoffSpan(TS, "tradeoff", "dbds",
                            TS ? "\"iteration\":" + jsonNumber(Iter)
                               : std::string());
+    uint64_t TradeoffT0 = Metered ? Timer::nowNs() : 0;
     std::sort(Candidates.begin(), Candidates.end(),
               [&VisitedMerges](const DuplicationCandidate &A,
                                const DuplicationCandidate &B) {
@@ -170,6 +187,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
               });
     for (const DuplicationCandidate &C : Candidates)
       VisitedMerges.insert(C.MergeId);
+    if (Metered)
+      tradeoff_ns.record(Timer::nowNs() - TradeoffT0);
     TradeoffSpan.close();
 
     // Tier 3: optimization. Every candidate ruled on gets a decision-log
@@ -239,6 +258,7 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     TraceSpan OptSpan(TS, "optimize", "dbds",
                       TS ? "\"iteration\":" + jsonNumber(Iter)
                          : std::string());
+    uint64_t OptT0 = Metered ? Timer::nowNs() : 0;
     for (const DuplicationCandidate &C : Candidates) {
       if (budgetExpired() || cancelled())
         break;
@@ -336,6 +356,8 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
       IterationBenefit += C.benefit();
       Changed = true;
     }
+    if (Metered)
+      optimize_ns.record(Timer::nowNs() - OptT0);
     OptSpan.close();
     if (RolledBack) {
       // The round's duplications were restored away; their Accepted

@@ -11,8 +11,10 @@
 #include "support/Cancellation.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
+#include "support/Timer.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Json.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Trace.h"
 
 #include <cstdio>
@@ -118,6 +120,12 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
                                    ",\"round\":" + jsonNumber(Round)
                              : std::string());
 
+      // Per-phase latency histogram ("phase.<name>"), keyed by the phase's
+      // static name so all rounds and functions aggregate into one
+      // distribution. Detached cost is the enabled() relaxed load.
+      const bool Metered = MetricsRegistry::enabled();
+      uint64_t PhaseT0 = Metered ? Timer::nowNs() : 0;
+
       std::unique_ptr<Function> Snapshot;
       if (Transactional)
         Snapshot = F.clone();
@@ -142,6 +150,12 @@ bool PhaseManager::run(Function &F, unsigned MaxRounds) {
           PreKeys.insert(Finding.key());
 
       bool PhaseChanged = P->run(F);
+
+      if (Metered)
+        MetricsRegistry::instance()
+            .getOrCreate("phase", P->name(), MetricUnit::Nanoseconds,
+                         MetricClass::Timing)
+            .record(Timer::nowNs() - PhaseT0);
 
       // Fault injection (only meaningful when the verifier would catch the
       // damage; silent corruption in unverified mode would be a miscompile

@@ -1,0 +1,82 @@
+//===- telemetry/BenchCompare.h - Bench report regression diff --*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two dbds-bench-report documents (telemetry/Report.h) and
+/// reports regressions beyond configurable thresholds — the engine behind
+/// `dbds-stats compare` and bench_headline's opt-in `--compare` gate.
+/// Benchmarks are matched by name; per config (baseline/dbds/dupalot) the
+/// scalar trade-off metrics are gated:
+///
+///   compile_time_ms   latency  (subject to a noise floor, MinLatencyMs)
+///   dynamic_cycles    peak performance (exact; deterministic)
+///   code_size         size (exact; deterministic)
+///
+/// A regression is New > Old * (1 + threshold/100). Metrics-section
+/// histograms present in both reports additionally have their p50/p99
+/// compared; timing-class shifts are reported as notes and gate only
+/// under GateOnMetrics (wall-clock percentiles are too noisy to fail CI
+/// by default), deterministic-class shifts always gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TELEMETRY_BENCHCOMPARE_H
+#define DBDS_TELEMETRY_BENCHCOMPARE_H
+
+#include <string>
+#include <vector>
+
+namespace dbds {
+
+struct BenchCompareOptions {
+  /// Regression threshold in percent applied to every gated metric.
+  double ThresholdPct = 10.0;
+  /// compile_time_ms values below this floor (in either report) are not
+  /// gated: sub-millisecond wall-clock readings are jitter, not signal.
+  double MinLatencyMs = 1.0;
+  /// Gate on timing-class histogram percentile shifts too (off: notes
+  /// only).
+  bool GateOnMetrics = false;
+};
+
+/// One metric that moved past the threshold (or is worth a note).
+struct BenchDelta {
+  std::string Where;  ///< "benchmark/config" or "metrics" scope.
+  std::string Field;  ///< e.g. "compile_time_ms", "histogram p99".
+  double OldValue = 0.0;
+  double NewValue = 0.0;
+  double DeltaPct = 0.0;
+  bool Gating = false; ///< Counts toward the non-zero exit.
+};
+
+struct BenchCompareResult {
+  bool Ok = false;          ///< Both documents parsed and were comparable.
+  std::string Error;        ///< Parse/shape failure when !Ok.
+  std::vector<BenchDelta> Deltas; ///< Regressions + notes, report order.
+  unsigned Regressions = 0; ///< Gating deltas (exit non-zero when != 0).
+  unsigned Compared = 0;    ///< Scalar comparisons performed.
+
+  /// Human summary of the comparison (one line per delta plus a verdict).
+  std::string render() const;
+};
+
+/// Compares two rendered report documents.
+BenchCompareResult compareBenchReports(const std::string &OldJson,
+                                       const std::string &NewJson,
+                                       const BenchCompareOptions &Opts);
+
+/// File-based convenience: reads both paths, then compares.
+BenchCompareResult compareBenchReportFiles(const std::string &OldPath,
+                                           const std::string &NewPath,
+                                           const BenchCompareOptions &Opts);
+
+/// Reads a whole file into \p Out; false + \p Error on I/O failure.
+bool readFileToString(const std::string &Path, std::string &Out,
+                      std::string *Error = nullptr);
+
+} // namespace dbds
+
+#endif // DBDS_TELEMETRY_BENCHCOMPARE_H

@@ -68,6 +68,19 @@ void CounterShard::flush() {
   Buffered.clear();
 }
 
+std::vector<std::pair<TelemetryCounter *, uint64_t>> CounterShard::take() {
+  std::vector<std::pair<TelemetryCounter *, uint64_t>> Out =
+      std::move(Buffered);
+  Buffered.clear();
+  return Out;
+}
+
+void CounterRegistry::publishBatch(
+    const std::vector<std::pair<TelemetryCounter *, uint64_t>> &B) {
+  for (const auto &[Counter, Value] : B)
+    Counter->addGlobal(Value);
+}
+
 CounterRegistry &CounterRegistry::instance() {
   static CounterRegistry Registry;
   return Registry;

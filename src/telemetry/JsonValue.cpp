@@ -1,0 +1,232 @@
+//===- telemetry/JsonValue.cpp - Minimal JSON DOM parser -------------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/JsonValue.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace dbds;
+
+namespace dbds {
+
+/// Recursive-descent parser over the whole input string. Depth is bounded
+/// (our reports nest a handful of levels; 64 is generous) so malformed
+/// deeply-nested input cannot blow the stack.
+class JsonParser {
+public:
+  JsonParser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(JsonValue &Out) {
+    skipSpace();
+    if (!parseValue(Out, 0))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing garbage after document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Why) {
+    if (Error)
+      *Error = "byte " + std::to_string(Pos) + ": " + Why;
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos != Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(std::string("expected '") + Word + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos == Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos != Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      if (++Pos == Text.size())
+        return fail("unterminated escape");
+      switch (Text[Pos]) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        // Our emitter only writes \u00XX for control bytes; decode the
+        // low byte and ignore the (always-zero) high byte.
+        if (Pos + 4 >= Text.size())
+          return fail("truncated \\u escape");
+        char Buf[5] = {Text[Pos + 1], Text[Pos + 2], Text[Pos + 3],
+                       Text[Pos + 4], 0};
+        char *End = nullptr;
+        unsigned long Code = strtoul(Buf, &End, 16);
+        if (End != Buf + 4)
+          return fail("malformed \\u escape");
+        Out += static_cast<char>(Code & 0xff);
+        Pos += 4;
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > 64)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos == Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = JsonValue::Kind::Object;
+      skipSpace();
+      if (Pos != Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipSpace();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipSpace();
+        if (Pos == Text.size() || Text[Pos] != ':')
+          return fail("expected ':' in object");
+        ++Pos;
+        JsonValue Member;
+        if (!parseValue(Member, Depth + 1))
+          return false;
+        Out.Members.emplace_back(std::move(Key), std::move(Member));
+        skipSpace();
+        if (Pos == Text.size())
+          return fail("unterminated object");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = JsonValue::Kind::Array;
+      skipSpace();
+      if (Pos != Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JsonValue Element;
+        if (!parseValue(Element, Depth + 1))
+          return false;
+        Out.Arr.push_back(std::move(Element));
+        skipSpace();
+        if (Pos == Text.size())
+          return fail("unterminated array");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    if (C == '"') {
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (C == 't') {
+      Out.K = JsonValue::Kind::Bool;
+      Out.Num = 1.0;
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out.K = JsonValue::Kind::Bool;
+      Out.Num = 0.0;
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    }
+    // Number: delegate range checking to strtod over the raw bytes.
+    const char *Begin = Text.c_str() + Pos;
+    char *End = nullptr;
+    double V = strtod(Begin, &End);
+    if (End == Begin)
+      return fail("expected a JSON value");
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = V;
+    Pos += static_cast<size_t>(End - Begin);
+    return true;
+  }
+
+  const std::string &Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace dbds
+
+bool JsonValue::parse(const std::string &Text, JsonValue &Out,
+                      std::string *Error) {
+  Out = JsonValue();
+  JsonParser P(Text, Error);
+  return P.run(Out);
+}

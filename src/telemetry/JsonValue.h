@@ -1,0 +1,96 @@
+//===- telemetry/JsonValue.h - Minimal JSON DOM parser ----------*- C++ -*-===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader for the tools that consume our
+/// own emissions (dbds-stats over BENCH_*.json reports, the bench_headline
+/// regression gate). Reading only what we write keeps the scope honest:
+/// objects, arrays, strings with the escapes jsonEscape produces, numbers
+/// (stored as double), booleans, null. No exceptions (the tree builds with
+/// -fno-exceptions); parse() reports failure by return value with a
+/// byte-offset error message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DBDS_TELEMETRY_JSONVALUE_H
+#define DBDS_TELEMETRY_JSONVALUE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dbds {
+
+/// One parsed JSON value. Object member order is preserved (our emitters
+/// write deterministic key orders, and diffs read better in file order).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  /// Parses \p Text into \p Out. Returns false (and fills \p Error with a
+  /// "byte N: why" message) on malformed input or trailing garbage.
+  static bool parse(const std::string &Text, JsonValue &Out,
+                    std::string *Error = nullptr);
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Num != 0.0; }
+  double asDouble() const { return Num; }
+  const std::string &asString() const { return Str; }
+
+  /// Array size / object member count (0 for scalars).
+  size_t size() const {
+    return K == Kind::Array ? Arr.size()
+                            : (K == Kind::Object ? Members.size() : 0);
+  }
+
+  /// Array element \p I (null for out-of-range or non-arrays).
+  const JsonValue *at(size_t I) const {
+    return K == Kind::Array && I < Arr.size() ? &Arr[I] : nullptr;
+  }
+
+  /// Object member \p Key (null when absent or not an object).
+  const JsonValue *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, Value] : Members)
+      if (Name == Key)
+        return &Value;
+    return nullptr;
+  }
+
+  /// Convenience: member \p Key as a double, or \p Default when absent or
+  /// not a number.
+  double getNumber(const std::string &Key, double Default = 0.0) const {
+    const JsonValue *V = get(Key);
+    return V && V->isNumber() ? V->Num : Default;
+  }
+
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+private:
+  friend class JsonParser;
+  Kind K = Kind::Null;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+} // namespace dbds
+
+#endif // DBDS_TELEMETRY_JSONVALUE_H

@@ -1,0 +1,339 @@
+//===- telemetry/Metrics.cpp - Deterministic histogram metrics -------------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Metrics.h"
+
+#include "telemetry/Json.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+using namespace dbds;
+
+const char *dbds::metricUnitName(MetricUnit U) {
+  switch (U) {
+  case MetricUnit::Nanoseconds:
+    return "ns";
+  case MetricUnit::Bytes:
+    return "bytes";
+  case MetricUnit::Count:
+    return "count";
+  case MetricUnit::Percent:
+    return "percent";
+  }
+  return "?";
+}
+
+const char *dbds::metricClassName(MetricClass C) {
+  switch (C) {
+  case MetricClass::Deterministic:
+    return "deterministic";
+  case MetricClass::Timing:
+    return "timing";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+unsigned Histogram::bucketIndex(uint64_t V) {
+  // Bucket 0 = {0}; bucket b = [2^(b-1), 2^b - 1] = values of bit width b.
+  return static_cast<unsigned>(std::bit_width(V));
+}
+
+uint64_t Histogram::bucketLo(unsigned I) {
+  if (I == 0)
+    return 0;
+  return uint64_t(1) << (I - 1);
+}
+
+uint64_t Histogram::bucketHi(unsigned I) {
+  if (I == 0)
+    return 0;
+  if (I >= 64)
+    return UINT64_MAX;
+  return (uint64_t(1) << I) - 1;
+}
+
+void Histogram::merge(const Histogram &O) {
+  for (unsigned I = 0; I != NumBuckets; ++I)
+    Buckets[I] += O.Buckets[I];
+  Count_ += O.Count_;
+  Sum_ += O.Sum_;
+  if (O.Count_ != 0) {
+    if (O.Min_ < Min_)
+      Min_ = O.Min_;
+    if (O.Max_ > Max_)
+      Max_ = O.Max_;
+  }
+}
+
+double Histogram::percentile(double Q) const {
+  if (Count_ == 0)
+    return 0.0;
+  if (Q <= 0.0)
+    return static_cast<double>(min());
+  if (Q >= 100.0)
+    return static_cast<double>(Max_);
+  // Rank of the requested quantile, 1-based over the recorded samples.
+  double Rank = Q / 100.0 * static_cast<double>(Count_);
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    uint64_t Before = Cum;
+    Cum += Buckets[I];
+    if (static_cast<double>(Cum) < Rank)
+      continue;
+    // Interpolate linearly inside the bucket's [lo, hi] value range by the
+    // rank's position among the bucket's samples, clamping the extreme
+    // buckets to the recorded min/max so single-valued histograms are
+    // exact.
+    double Lo = static_cast<double>(std::max(bucketLo(I), min()));
+    double Hi = static_cast<double>(std::min(bucketHi(I), Max_));
+    double Into =
+        (Rank - static_cast<double>(Before)) / static_cast<double>(Buckets[I]);
+    return Lo + (Hi - Lo) * Into;
+  }
+  return static_cast<double>(Max_);
+}
+
+//===----------------------------------------------------------------------===//
+// TelemetryHistogram / MetricsShard
+//===----------------------------------------------------------------------===//
+
+TelemetryHistogram::TelemetryHistogram(const char *Component, const char *Name,
+                                       MetricUnit Unit, MetricClass Class)
+    : Component(Component), Name(Name), Unit(Unit), Class(Class) {
+  MetricsRegistry::instance().add(this);
+}
+
+namespace {
+/// The calling thread's innermost shard (null = records merge into the
+/// registry's locked global state directly).
+thread_local MetricsShard *ActiveMetricsShard = nullptr;
+} // namespace
+
+void TelemetryHistogram::record(uint64_t V) {
+  if (!MetricsRegistry::enabled())
+    return;
+  if (MetricsShard *Shard = ActiveMetricsShard) {
+    Shard->record(this, V);
+    return;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  Global.record(V);
+}
+
+Histogram TelemetryHistogram::read() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Global;
+}
+
+void TelemetryHistogram::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Global = Histogram();
+}
+
+void TelemetryHistogram::mergeGlobal(const Histogram &H) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Global.merge(H);
+}
+
+MetricsShard::MetricsShard() : Previous(ActiveMetricsShard) {
+  ActiveMetricsShard = this;
+}
+
+MetricsShard::~MetricsShard() {
+  publish(Buffered);
+  ActiveMetricsShard = Previous;
+}
+
+MetricsShard *MetricsShard::active() { return ActiveMetricsShard; }
+
+void MetricsShard::record(TelemetryHistogram *H, uint64_t V) {
+  for (auto &[Hist, Local] : Buffered) {
+    if (Hist == H) {
+      Local.record(V);
+      return;
+    }
+  }
+  Buffered.emplace_back(H, Histogram());
+  Buffered.back().second.record(V);
+}
+
+MetricsShard::Buffer MetricsShard::take() {
+  Buffer Out = std::move(Buffered);
+  Buffered.clear();
+  return Out;
+}
+
+void MetricsShard::publish(const Buffer &B) {
+  for (const auto &[Hist, Local] : B)
+    Hist->mergeGlobal(Local);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> MetricsRegistry::Enabled{false};
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+void MetricsRegistry::add(TelemetryHistogram *H) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Histograms.push_back(H);
+}
+
+TelemetryHistogram &MetricsRegistry::getOrCreate(const std::string &Component,
+                                                 const std::string &Name,
+                                                 MetricUnit Unit,
+                                                 MetricClass Class) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (TelemetryHistogram *H : Histograms)
+      if (H->component() == Component && H->name() == Name)
+        return *H;
+  }
+  // Construct outside the lock: the constructor registers itself via
+  // add(), which takes Mu. Losing a construction race would register a
+  // duplicate, so re-check under the lock and keep the first.
+  auto Fresh = std::make_unique<TelemetryHistogram>(Component.c_str(),
+                                                    Name.c_str(), Unit, Class);
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (TelemetryHistogram *H : Histograms)
+    if (H != Fresh.get() && H->component() == Component && H->name() == Name) {
+      // Raced: unregister ours (it is the last added) and keep theirs.
+      Histograms.erase(std::remove(Histograms.begin(), Histograms.end(),
+                                   Fresh.get()),
+                       Histograms.end());
+      return *H;
+    }
+  Owned.push_back(std::move(Fresh));
+  return *Owned.back();
+}
+
+std::vector<HistogramSample>
+MetricsRegistry::snapshot(bool DeterministicOnly, bool SkipEmpty) const {
+  std::vector<TelemetryHistogram *> Regs;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Regs = Histograms;
+  }
+  std::vector<HistogramSample> Out;
+  Out.reserve(Regs.size());
+  for (TelemetryHistogram *H : Regs) {
+    if (DeterministicOnly && H->metricClass() != MetricClass::Deterministic)
+      continue;
+    HistogramSample S;
+    S.Name = H->qualifiedName();
+    S.Unit = H->unit();
+    S.Class = H->metricClass();
+    S.H = H->read();
+    if (SkipEmpty && S.H.count() == 0)
+      continue;
+    Out.push_back(std::move(S));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const HistogramSample &A, const HistogramSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void MetricsRegistry::resetAll() {
+  std::vector<TelemetryHistogram *> Regs;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Regs = Histograms;
+  }
+  for (TelemetryHistogram *H : Regs)
+    H->reset();
+}
+
+std::string
+MetricsRegistry::renderJson(const std::vector<HistogramSample> &Samples) {
+  std::string Out = "{";
+  for (size_t I = 0; I != Samples.size(); ++I) {
+    const HistogramSample &S = Samples[I];
+    if (I != 0)
+      Out += ",";
+    Out += jsonString(S.Name) + ":{";
+    Out += "\"unit\":" + jsonString(metricUnitName(S.Unit));
+    Out += ",\"class\":" + jsonString(metricClassName(S.Class));
+    Out += ",\"count\":" + jsonNumber(S.H.count());
+    Out += ",\"sum\":" + jsonNumber(S.H.sum());
+    Out += ",\"min\":" + jsonNumber(S.H.min());
+    Out += ",\"max\":" + jsonNumber(S.H.max());
+    Out += ",\"mean\":" + jsonNumber(S.H.mean());
+    Out += ",\"p50\":" + jsonNumber(S.H.percentile(50));
+    Out += ",\"p90\":" + jsonNumber(S.H.percentile(90));
+    Out += ",\"p99\":" + jsonNumber(S.H.percentile(99));
+    Out += ",\"buckets\":[";
+    bool First = true;
+    for (unsigned B = 0; B != Histogram::NumBuckets; ++B) {
+      uint64_t N = S.H.buckets()[B];
+      if (N == 0)
+        continue;
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "[";
+      Out += jsonNumber(B);
+      Out += ",";
+      Out += jsonNumber(N);
+      Out += "]";
+    }
+    Out += "]}";
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string
+MetricsRegistry::renderTable(const std::vector<HistogramSample> &Samples) {
+  std::string Out;
+  char Line[256];
+  snprintf(Line, sizeof(Line), "%-40s %-8s %8s %12s %12s %12s %12s\n",
+           "histogram", "unit", "count", "p50", "p90", "p99", "max");
+  Out += Line;
+  for (const HistogramSample &S : Samples) {
+    snprintf(Line, sizeof(Line),
+             "%-40s %-8s %8llu %12.1f %12.1f %12.1f %12llu\n", S.Name.c_str(),
+             metricUnitName(S.Unit),
+             static_cast<unsigned long long>(S.H.count()), S.H.percentile(50),
+             S.H.percentile(90), S.H.percentile(99),
+             static_cast<unsigned long long>(S.H.max()));
+    Out += Line;
+  }
+  return Out;
+}
+
+uint64_t dbds::currentPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(Usage.ru_maxrss); // bytes on Darwin
+#else
+  return static_cast<uint64_t>(Usage.ru_maxrss) * 1024; // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}

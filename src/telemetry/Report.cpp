@@ -84,8 +84,9 @@ std::string renderVsBaseline(const BenchmarkMeasurement &M,
 
 std::string
 dbds::renderBenchJson(const std::string &SuiteName,
-                      const std::vector<BenchmarkMeasurement> &Rows) {
-  std::string Out = "{\"schema\":\"dbds-bench-report\",\"version\":1";
+                      const std::vector<BenchmarkMeasurement> &Rows,
+                      const std::vector<HistogramSample> *Metrics) {
+  std::string Out = "{\"schema\":\"dbds-bench-report\",\"version\":2";
   Out += ",\"suite\":" + jsonString(SuiteName);
   Out += ",\"benchmarks\":[";
 
@@ -136,6 +137,11 @@ dbds::renderBenchJson(const std::string &SuiteName,
     Out += ",\"dupalot\":" + renderAudit(AAudit);
     Out += "}";
   }
+  // Suite-level histogram metrics (--metrics); optional so reports from
+  // drivers that never enable the registry stay unchanged past the
+  // version bump.
+  if (Metrics && !Metrics->empty())
+    Out += ",\"metrics\":" + MetricsRegistry::renderJson(*Metrics);
   Out += "}\n";
   return Out;
 }
@@ -143,14 +149,15 @@ dbds::renderBenchJson(const std::string &SuiteName,
 bool dbds::writeBenchJson(const std::string &Path,
                           const std::string &SuiteName,
                           const std::vector<BenchmarkMeasurement> &Rows,
-                          std::string *Error) {
+                          std::string *Error,
+                          const std::vector<HistogramSample> *Metrics) {
   FILE *File = fopen(Path.c_str(), "wb");
   if (!File) {
     if (Error)
       *Error = "cannot open '" + Path + "' for writing";
     return false;
   }
-  std::string Json = renderBenchJson(SuiteName, Rows);
+  std::string Json = renderBenchJson(SuiteName, Rows, Metrics);
   size_t Written = fwrite(Json.data(), 1, Json.size(), File);
   fclose(File);
   if (Written != Json.size()) {

@@ -7,11 +7,14 @@
 /// \file
 /// Serializes a measured benchmark suite (workloads/Runner.h) to the
 /// stable BENCH_<suite>.json schema, so the perf trajectory can be tracked
-/// across PRs by diffing files instead of scraping text tables. Schema
-/// (dbds-bench-report v1, see DESIGN.md §8):
+/// across PRs by diffing files instead of scraping text tables — and, with
+/// tools/dbds-stats, compared with regression thresholds. Schema
+/// (dbds-bench-report v2, see DESIGN.md §8/§12; v2 adds the optional
+/// suite-level "metrics" histogram section, emitted when the driver ran
+/// with --metrics):
 ///
 ///   {
-///     "schema": "dbds-bench-report", "version": 1, "suite": "...",
+///     "schema": "dbds-bench-report", "version": 2, "suite": "...",
 ///     "benchmarks": [{
 ///       "name": "...", "results_agree": true,
 ///       "configs": {
@@ -26,13 +29,17 @@
 ///       "vs_baseline": {"dbds" | "dupalot":
 ///           {"peak_pct", "compile_time_pct", "code_size_pct"}}
 ///     }],
-///     "geomean": {"dbds" | "dupalot": {same three percents}}
+///     "geomean": {"dbds" | "dupalot": {same three percents}},
+///     "metrics": {"component.name": {unit, class, count, sum, min, max,
+///                 mean, p50, p90, p99, buckets}}          // v2, optional
 ///   }
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DBDS_TELEMETRY_REPORT_H
 #define DBDS_TELEMETRY_REPORT_H
+
+#include "telemetry/Metrics.h"
 
 #include <string>
 #include <vector>
@@ -42,14 +49,19 @@ namespace dbds {
 struct BenchmarkMeasurement;
 
 /// Renders the BENCH JSON document for \p Rows (one measured suite).
+/// \p Metrics, when non-null, becomes the suite-level "metrics" section
+/// (drivers pass a MetricsRegistry snapshot of the measured region).
 std::string renderBenchJson(const std::string &SuiteName,
-                            const std::vector<BenchmarkMeasurement> &Rows);
+                            const std::vector<BenchmarkMeasurement> &Rows,
+                            const std::vector<HistogramSample> *Metrics =
+                                nullptr);
 
 /// Renders and writes the document to \p Path; false + \p Error on I/O
 /// failure.
 bool writeBenchJson(const std::string &Path, const std::string &SuiteName,
                     const std::vector<BenchmarkMeasurement> &Rows,
-                    std::string *Error = nullptr);
+                    std::string *Error = nullptr,
+                    const std::vector<HistogramSample> *Metrics = nullptr);
 
 } // namespace dbds
 

@@ -10,6 +10,7 @@
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <map>
 
 using namespace dbds;
 
@@ -142,6 +143,77 @@ bool TraceSession::writeJson(const std::string &Path,
   size_t Written = fwrite(Json.data(), 1, Json.size(), File);
   fclose(File);
   if (Written != Json.size()) {
+    if (Error)
+      *Error = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::string dbds::renderFoldedStacks(const std::vector<TraceEvent> &Events) {
+  // Replay the span stacks per thread; the time between two consecutive
+  // events of a thread is self time of whatever span was innermost-open
+  // during that window. Aggregation and ordering are by stack string, so
+  // equal streams render byte-identically.
+  std::unordered_map<uint32_t, std::vector<const char *>> Stacks;
+  std::unordered_map<uint32_t, uint64_t> LastTs;
+  std::map<std::string, uint64_t> SelfNs;
+  for (const TraceEvent &E : Events) {
+    std::vector<const char *> &Stack = Stacks[E.ThreadId];
+    auto [It, FirstEvent] = LastTs.try_emplace(E.ThreadId, E.TimestampNs);
+    if (!FirstEvent && !Stack.empty() && E.TimestampNs > It->second) {
+      std::string Key;
+      for (const char *Name : Stack) {
+        if (!Key.empty())
+          Key += ';';
+        Key += Name;
+      }
+      SelfNs[Key] += E.TimestampNs - It->second;
+    }
+    It->second = E.TimestampNs;
+    if (E.Phase == 'B') {
+      Stack.push_back(E.Name);
+    } else if (E.Phase == 'E') {
+      if (!Stack.empty())
+        Stack.pop_back();
+    }
+  }
+  std::string Out;
+  for (const auto &[Key, Ns] : SelfNs) {
+    uint64_t Us = Ns / 1000;
+    if (Us == 0)
+      continue; // sub-microsecond self time: below folded resolution
+    Out += Key + " " + std::to_string(Us) + "\n";
+  }
+  return Out;
+}
+
+std::string TraceSession::renderFolded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return renderFoldedStacks(Events);
+}
+
+bool TraceSession::writeFolded(const std::string &Path,
+                               std::string *Error) const {
+  std::vector<std::string> Violations;
+  if (!checkBalance(&Violations)) {
+    if (Error) {
+      *Error = "refusing to fold unbalanced trace:";
+      for (const std::string &V : Violations)
+        *Error += "\n  " + V;
+    }
+    return false;
+  }
+  FILE *File = fopen(Path.c_str(), "wb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Folded = renderFolded();
+  size_t Written = fwrite(Folded.data(), 1, Folded.size(), File);
+  fclose(File);
+  if (Written != Folded.size()) {
     if (Error)
       *Error = "short write to '" + Path + "'";
     return false;

@@ -88,6 +88,14 @@ public:
   /// (unbalanced stream or I/O error) returns false and fills \p Error.
   bool writeJson(const std::string &Path, std::string *Error = nullptr) const;
 
+  /// Renders the session's spans as collapsed-stack ("folded") lines —
+  /// `parent;child;leaf <self-microseconds>` — loadable by flamegraph.pl
+  /// and speedscope. See renderFoldedStacks for the derivation.
+  std::string renderFolded() const;
+
+  /// Balance-checks and writes the folded document to \p Path.
+  bool writeFolded(const std::string &Path, std::string *Error = nullptr) const;
+
   // ---- Process-wide attachment ----------------------------------------
 
   /// The currently attached session (null when telemetry is off). One
@@ -156,6 +164,17 @@ private:
   TraceSession *Session;
   const char *Name;
 };
+
+/// Derives collapsed-stack (folded) flamegraph lines from a balanced
+/// begin/end event stream: per thread, a span stack is replayed in event
+/// order and the time between consecutive events is attributed to the
+/// innermost open span as *self* time. One line per distinct stack —
+/// `a;b;c <self-microseconds>` — aggregated across threads and sorted by
+/// stack string, so equal event streams render byte-identically. Instant
+/// events and sub-microsecond stacks are dropped. Exposed as a free
+/// function over the public TraceEvent type so tests can feed synthetic
+/// streams with controlled timestamps.
+std::string renderFoldedStacks(const std::vector<TraceEvent> &Events);
 
 /// Scoped attach/detach of a session, restoring whatever was attached
 /// before (drivers that trace a sub-step, e.g. fuzzdiff's per-reproducer

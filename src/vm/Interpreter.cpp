@@ -8,14 +8,24 @@
 
 #include "ir/Semantics.h"
 #include "support/Cancellation.h"
+#include "support/Timer.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Json.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Trace.h"
 
 using namespace dbds;
 
 DBDS_COUNTER(interpreter, runs);
 DBDS_COUNTER(interpreter, instructions_executed);
+
+// Poll-overhead instrumentation (ROADMAP: tune the 128-step checkpoint
+// stride with data). poll_ns is wall-clock and so Timing-class;
+// steps_per_checkpoint and run_steps depend only on what the program
+// executed, so they are part of the deterministic metrics contract.
+DBDS_HISTOGRAM(interpreter, poll_ns, Nanoseconds, Timing);
+DBDS_HISTOGRAM(interpreter, steps_per_checkpoint, Count, Deterministic);
+DBDS_HISTOGRAM(interpreter, run_steps, Count, Deterministic);
 
 void dbds::applyProfile(Function &F, const ProfileSummary &Profile) {
   for (Block *B : F.blocks()) {
@@ -87,6 +97,10 @@ ExecutionResult Interpreter::run(Function &F, ArrayRef<RuntimeValue> Args,
   ExecutionResult Result = execute(F, Args, FuelRemaining, Profile,
                                    /*Depth=*/0);
   instructions_executed += Result.Steps;
+  // Interrupted runs' step counts depend on cancellation timing, which is
+  // schedule-dependent; keep them out of the deterministic histogram.
+  if (!Result.Interrupted)
+    run_steps.record(Result.Steps);
   return Result;
 }
 
@@ -112,15 +126,33 @@ ExecutionResult Interpreter::execute(Function &F, ArrayRef<RuntimeValue> Args,
   Block *Current = F.getEntry();
   Block *Previous = nullptr;
   unsigned Polls = 0;
+  uint64_t StepsAtLastPoll = 0;
   while (true) {
     // Cancellation guard, strided so the wall-clock poll stays off the hot
-    // path: every 128 block transitions (plus whenever the flag is already
-    // visibly set), end the run with Interrupted. Ok stays false; an
-    // interrupted run's partial cycles/steps are discarded by the caller.
-    if (Cancel && (((++Polls & 127u) == 0) || Cancel->cancelled()) &&
-        Cancel->checkpoint()) {
-      Result.Interrupted = true;
-      return Result;
+    // path: every PollMask+1 block transitions (default 128, see
+    // setPollInterval; plus whenever the flag is already visibly set), end
+    // the run with Interrupted. Ok stays false; an interrupted run's
+    // partial cycles/steps are discarded by the caller.
+    if (Cancel && (((++Polls & PollMask) == 0) || Cancel->cancelled())) {
+      bool Fired;
+      if (MetricsRegistry::enabled()) {
+        // Strided polls happen at deterministic execution points, so the
+        // steps-between-checkpoints distribution is deterministic; the
+        // poll's own cost is wall clock and Timing-class.
+        if ((Polls & PollMask) == 0) {
+          steps_per_checkpoint.record(Result.Steps - StepsAtLastPoll);
+          StepsAtLastPoll = Result.Steps;
+        }
+        uint64_t T0 = Timer::nowNs();
+        Fired = Cancel->checkpoint();
+        poll_ns.record(Timer::nowNs() - T0);
+      } else {
+        Fired = Cancel->checkpoint();
+      }
+      if (Fired) {
+        Result.Interrupted = true;
+        return Result;
+      }
     }
     Result.DynamicCycles += BlockPenalty;
     if (Profile)

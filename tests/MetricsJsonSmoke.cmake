@@ -1,0 +1,103 @@
+# Smoke test for the metrics layer (observability tentpole): run the
+# micro figure driver with --metrics --json-out --flamegraph, validate
+# the v2 report's metrics section with cmake's string(JSON) parser, check
+# the folded flamegraph is non-empty and well-formed, then drive
+# tools/dbds-stats over the report: `report` must render it and
+# `compare R R` must exit 0 (the identical-runs half of the gate
+# contract; the regression half is dbds_stats_selftest).
+#
+# Invoked as:
+#   cmake -DBENCH_BIN=<bench_fig7_micro> -DSTATS_BIN=<dbds-stats>
+#         -DWORK_DIR=<dir> -P MetricsJsonSmoke.cmake
+
+if(NOT BENCH_BIN OR NOT STATS_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR
+          "MetricsJsonSmoke.cmake needs -DBENCH_BIN, -DSTATS_BIN, -DWORK_DIR")
+endif()
+
+set(REPORT "${WORK_DIR}/BENCH_metrics_smoke.json")
+set(FOLDED "${WORK_DIR}/metrics_smoke.folded")
+file(REMOVE "${REPORT}" "${FOLDED}")
+
+execute_process(
+  COMMAND "${BENCH_BIN}" --metrics "--json-out=${REPORT}"
+          "--flamegraph=${FOLDED}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE RUN_RESULT
+  OUTPUT_VARIABLE RUN_OUTPUT
+  ERROR_VARIABLE RUN_ERROR)
+if(NOT RUN_RESULT EQUAL 0)
+  message(FATAL_ERROR "bench driver failed (${RUN_RESULT}):\n${RUN_OUTPUT}\n${RUN_ERROR}")
+endif()
+
+# The driver must print the percentile table.
+if(NOT RUN_OUTPUT MATCHES "=== metrics ===")
+  message(FATAL_ERROR "--metrics did not print the percentile table")
+endif()
+
+# The v2 report must carry a metrics object with the per-function growth
+# histogram, and every histogram must have the full percentile schema.
+file(READ "${REPORT}" DOC)
+string(JSON VERSION GET "${DOC}" version)
+if(NOT VERSION EQUAL 2)
+  message(FATAL_ERROR "expected schema version 2, got '${VERSION}'")
+endif()
+string(JSON GROWTH ERROR_VARIABLE JSON_ERR GET "${DOC}" metrics
+       compile_service.ir_growth_pct)
+if(JSON_ERR)
+  message(FATAL_ERROR "report lacks metrics.compile_service.ir_growth_pct: ${JSON_ERR}")
+endif()
+foreach(FIELD unit class count p50 p90 p99)
+  string(JSON V ERROR_VARIABLE JSON_ERR GET "${DOC}" metrics
+         compile_service.ir_growth_pct ${FIELD})
+  if(JSON_ERR)
+    message(FATAL_ERROR "metrics histogram lacks '${FIELD}': ${JSON_ERR}")
+  endif()
+endforeach()
+string(JSON CLASS GET "${DOC}" metrics compile_service.ir_growth_pct class)
+if(NOT CLASS STREQUAL "deterministic")
+  message(FATAL_ERROR "ir_growth_pct must be deterministic-class, got '${CLASS}'")
+endif()
+
+# The folded flamegraph: non-empty, every line "stack;frames count".
+if(NOT EXISTS "${FOLDED}")
+  message(FATAL_ERROR "--flamegraph did not write ${FOLDED}")
+endif()
+file(STRINGS "${FOLDED}" FOLDED_LINES)
+list(LENGTH FOLDED_LINES NLINES)
+if(NLINES LESS 1)
+  message(FATAL_ERROR "folded flamegraph is empty")
+endif()
+foreach(LINE IN LISTS FOLDED_LINES)
+  if(NOT LINE MATCHES "^[^ ]+ [0-9]+$")
+    message(FATAL_ERROR "malformed folded line: '${LINE}'")
+  endif()
+endforeach()
+
+# dbds-stats must render the report...
+execute_process(
+  COMMAND "${STATS_BIN}" report "${REPORT}"
+  RESULT_VARIABLE STATS_RESULT
+  OUTPUT_VARIABLE STATS_OUTPUT
+  ERROR_VARIABLE STATS_ERROR)
+if(NOT STATS_RESULT EQUAL 0)
+  message(FATAL_ERROR "dbds-stats report failed (${STATS_RESULT}):\n${STATS_ERROR}")
+endif()
+if(NOT STATS_OUTPUT MATCHES "compile_service.ir_growth_pct")
+  message(FATAL_ERROR "dbds-stats report did not print the metrics table")
+endif()
+
+# ...and comparing a report against itself must exit 0 with no regressions.
+execute_process(
+  COMMAND "${STATS_BIN}" compare "${REPORT}" "${REPORT}" --threshold=10
+  RESULT_VARIABLE CMP_RESULT
+  OUTPUT_VARIABLE CMP_OUTPUT
+  ERROR_VARIABLE CMP_ERROR)
+if(NOT CMP_RESULT EQUAL 0)
+  message(FATAL_ERROR "self-compare must exit 0, got ${CMP_RESULT}:\n${CMP_OUTPUT}\n${CMP_ERROR}")
+endif()
+if(NOT CMP_OUTPUT MATCHES " 0 regression")
+  message(FATAL_ERROR "self-compare reported regressions:\n${CMP_OUTPUT}")
+endif()
+
+message(STATUS "metrics_json_smoke: v2 metrics section, folded flamegraph, and dbds-stats report/compare validated")

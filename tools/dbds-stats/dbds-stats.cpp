@@ -1,0 +1,234 @@
+//===- tools/dbds-stats/dbds-stats.cpp - Bench report stats CLI -----------===//
+//
+// Part of the DBDS reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// CLI over the dbds-bench-report JSON documents the figure drivers and
+// bench_headline write:
+//
+//   dbds-stats report FILE
+//       Print the report's per-config scalars and, for v2 reports run
+//       with --metrics, the histogram percentile table (p50/p90/p99).
+//
+//   dbds-stats compare OLD NEW [--threshold=PCT] [--min-latency-ms=MS]
+//                              [--gate-on-metrics]
+//       Diff two reports with telemetry/BenchCompare.h: benchmarks are
+//       matched by name; compile_time_ms / dynamic_cycles / code_size and
+//       deterministic-class metric percentiles gate. Exit 0 when nothing
+//       regressed past the threshold (default 10%), 1 on regression, 2 on
+//       usage or parse errors — the contract CI scripts key off.
+//
+//   dbds-stats --selftest
+//       Self-contained check over synthetic reports: identical reports
+//       compare clean, an injected +15% latency regression is caught at a
+//       10% threshold and passes at 20%, malformed input exits 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/BenchCompare.h"
+#include "telemetry/JsonValue.h"
+#include "telemetry/Metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace dbds;
+
+namespace {
+
+int usage(const char *Argv0) {
+  fprintf(stderr,
+          "usage: %s report FILE\n"
+          "       %s compare OLD NEW [--threshold=PCT] "
+          "[--min-latency-ms=MS] [--gate-on-metrics]\n"
+          "       %s --selftest\n",
+          Argv0, Argv0, Argv0);
+  return 2;
+}
+
+/// Prints one config object's gated scalars as an indented line.
+void printConfig(const char *Name, const JsonValue &C) {
+  printf("    %-10s cycles %12.0f  compile %9.3f ms  size %8.0f\n", Name,
+         C.getNumber("dynamic_cycles"), C.getNumber("compile_time_ms"),
+         C.getNumber("code_size"));
+}
+
+int cmdReport(const std::string &Path) {
+  std::string Text, Error;
+  if (!readFileToString(Path, Text, &Error)) {
+    fprintf(stderr, "dbds-stats: %s\n", Error.c_str());
+    return 2;
+  }
+  JsonValue Doc;
+  if (!JsonValue::parse(Text, Doc, &Error)) {
+    fprintf(stderr, "dbds-stats: %s: %s\n", Path.c_str(), Error.c_str());
+    return 2;
+  }
+  const JsonValue *Schema = Doc.get("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != "dbds-bench-report") {
+    fprintf(stderr, "dbds-stats: %s is not a dbds-bench-report\n",
+            Path.c_str());
+    return 2;
+  }
+  const JsonValue *SuiteName = Doc.get("suite");
+  printf("suite %s (schema v%.0f)\n",
+         SuiteName && SuiteName->isString() ? SuiteName->asString().c_str()
+                                            : "?",
+         Doc.getNumber("version"));
+
+  if (const JsonValue *Benches = Doc.get("benchmarks")) {
+    for (size_t I = 0; I != Benches->size(); ++I) {
+      const JsonValue *B = Benches->at(I);
+      if (!B)
+        continue;
+      const JsonValue *Name = B->get("name");
+      printf("  %s\n", Name && Name->isString() ? Name->asString().c_str()
+                                                : "?");
+      if (const JsonValue *Configs = B->get("configs"))
+        for (const char *C : {"baseline", "dbds", "dupalot"})
+          if (const JsonValue *Config = Configs->get(C))
+            printConfig(C, *Config);
+    }
+  }
+
+  if (const JsonValue *M = Doc.get("metrics")) {
+    printf("  metrics:\n");
+    printf("    %-40s %-13s %8s %12s %12s %12s\n", "histogram", "unit",
+           "count", "p50", "p90", "p99");
+    for (const auto &[Name, H] : M->members()) {
+      const JsonValue *Unit = H.get("unit");
+      printf("    %-40s %-13s %8.0f %12.1f %12.1f %12.1f\n", Name.c_str(),
+             Unit && Unit->isString() ? Unit->asString().c_str() : "?",
+             H.getNumber("count"), H.getNumber("p50"), H.getNumber("p90"),
+             H.getNumber("p99"));
+    }
+  }
+  return 0;
+}
+
+int cmdCompare(const std::string &OldPath, const std::string &NewPath,
+               const BenchCompareOptions &Opts) {
+  BenchCompareResult R = compareBenchReportFiles(OldPath, NewPath, Opts);
+  printf("%s", R.render().c_str());
+  if (!R.Ok)
+    return 2;
+  return R.Regressions != 0 ? 1 : 0;
+}
+
+/// Builds a minimal synthetic report: one benchmark with the given dbds
+/// compile time, plus one deterministic-class metric histogram.
+std::string syntheticReport(double CompileMs, double MetricP50) {
+  char Buf[1024];
+  snprintf(
+      Buf, sizeof(Buf),
+      "{\"schema\":\"dbds-bench-report\",\"version\":2,\"suite\":\"self\","
+      "\"benchmarks\":[{\"name\":\"bench0\",\"configs\":{"
+      "\"baseline\":{\"dynamic_cycles\":1000,\"compile_time_ms\":5,"
+      "\"code_size\":100},"
+      "\"dbds\":{\"dynamic_cycles\":900,\"compile_time_ms\":%.3f,"
+      "\"code_size\":120}}}],"
+      "\"metrics\":{\"compile_service.ir_growth_pct\":{\"unit\":\"percent\","
+      "\"class\":\"deterministic\",\"count\":5,\"p50\":%.3f,\"p99\":%.3f}}}",
+      CompileMs, MetricP50, MetricP50);
+  return Buf;
+}
+
+#define SELFTEST_CHECK(COND, WHAT)                                             \
+  do {                                                                         \
+    if (!(COND)) {                                                             \
+      fprintf(stderr, "selftest FAILED: %s\n", WHAT);                          \
+      return 1;                                                                \
+    }                                                                          \
+  } while (0)
+
+int selftest() {
+  BenchCompareOptions Opts; // 10% threshold, 1ms noise floor
+
+  // Identical reports: zero regressions.
+  std::string Base = syntheticReport(/*CompileMs=*/10.0, /*MetricP50=*/40.0);
+  BenchCompareResult Same = compareBenchReports(Base, Base, Opts);
+  SELFTEST_CHECK(Same.Ok && Same.Regressions == 0,
+                 "identical reports must compare clean");
+  SELFTEST_CHECK(Same.Compared != 0, "identical reports must be compared");
+
+  // +15% dbds compile time: caught at 10%, tolerated at 20%.
+  std::string Slower = syntheticReport(11.5, 40.0);
+  BenchCompareResult Caught = compareBenchReports(Base, Slower, Opts);
+  SELFTEST_CHECK(Caught.Ok && Caught.Regressions == 1,
+                 "+15%% latency must regress at a 10%% threshold");
+  BenchCompareOptions Loose = Opts;
+  Loose.ThresholdPct = 20.0;
+  BenchCompareResult Tolerated = compareBenchReports(Base, Slower, Loose);
+  SELFTEST_CHECK(Tolerated.Ok && Tolerated.Regressions == 0,
+                 "+15%% latency must pass at a 20%% threshold");
+
+  // Deterministic-class metric drift always gates (no --gate-on-metrics
+  // needed); +50% on a deterministic p50/p99 is two regressions.
+  std::string Grown = syntheticReport(10.0, 60.0);
+  BenchCompareResult MetricGate = compareBenchReports(Base, Grown, Opts);
+  SELFTEST_CHECK(MetricGate.Ok && MetricGate.Regressions == 2,
+                 "deterministic metric drift must gate");
+
+  // Sub-noise-floor latencies never gate.
+  std::string FastOld = syntheticReport(0.050, 40.0);
+  std::string FastNew = syntheticReport(0.090, 40.0);
+  BenchCompareResult Noise = compareBenchReports(FastOld, FastNew, Opts);
+  SELFTEST_CHECK(Noise.Ok && Noise.Regressions == 0,
+                 "latencies under the noise floor must not gate");
+
+  // Malformed input fails with Ok=false, never a false verdict.
+  BenchCompareResult Bad = compareBenchReports("{not json", Base, Opts);
+  SELFTEST_CHECK(!Bad.Ok, "malformed JSON must fail the compare");
+  BenchCompareResult WrongSchema =
+      compareBenchReports("{\"schema\":\"other\"}", Base, Opts);
+  SELFTEST_CHECK(!WrongSchema.Ok, "wrong schema must fail the compare");
+
+  // Histogram percentile sanity on the library itself: 1..100 recorded
+  // once each puts p50 near the middle and p99 near the top, and merge
+  // equals record-all.
+  Histogram H, Lo, Hi;
+  for (uint64_t V = 1; V <= 100; ++V) {
+    H.record(V);
+    (V <= 50 ? Lo : Hi).record(V);
+  }
+  Lo.merge(Hi);
+  SELFTEST_CHECK(Lo.count() == H.count() && Lo.sum() == H.sum(),
+                 "merge must equal record-all");
+  SELFTEST_CHECK(H.percentile(50) >= 32 && H.percentile(50) <= 64,
+                 "p50 of 1..100 must land in its log2 bucket");
+  SELFTEST_CHECK(H.percentile(99) > H.percentile(50),
+                 "percentiles must be monotone");
+
+  printf("dbds-stats selftest: all checks passed\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc >= 2 && strcmp(argv[1], "--selftest") == 0)
+    return selftest();
+  if (argc >= 3 && strcmp(argv[1], "report") == 0)
+    return cmdReport(argv[2]);
+  if (argc >= 4 && strcmp(argv[1], "compare") == 0) {
+    BenchCompareOptions Opts;
+    for (int I = 4; I < argc; ++I) {
+      const char *Arg = argv[I];
+      if (strncmp(Arg, "--threshold=", 12) == 0) {
+        Opts.ThresholdPct = strtod(Arg + 12, nullptr);
+      } else if (strncmp(Arg, "--min-latency-ms=", 17) == 0) {
+        Opts.MinLatencyMs = strtod(Arg + 17, nullptr);
+      } else if (strcmp(Arg, "--gate-on-metrics") == 0) {
+        Opts.GateOnMetrics = true;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    return cmdCompare(argv[2], argv[3], Opts);
+  }
+  return usage(argv[0]);
+}
