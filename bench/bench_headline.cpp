@@ -91,7 +91,10 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
-  Opts.CollectCounters = Opts.CollectCounters || !JsonOutPath.empty();
+  // Both --json-out and --compare need the combined report rows; --compare
+  // works standalone (render in memory, diff, never write).
+  const bool NeedReport = !JsonOutPath.empty() || !ComparePath.empty();
+  Opts.CollectCounters = Opts.CollectCounters || NeedReport;
 
   if (Metrics) {
     MetricsRegistry::setEnabled(true);
@@ -124,7 +127,7 @@ int main(int argc, char **argv) {
         MaxPeak = Peak;
         MaxPeakName = Suite.Name + "/" + M.Name;
       }
-      if (!JsonOutPath.empty()) {
+      if (NeedReport) {
         M.Name = Suite.Name + "/" + M.Name;
         AllRows.push_back(std::move(M));
       }
@@ -194,6 +197,15 @@ int main(int argc, char **argv) {
            R.render().c_str());
     if (!R.Ok)
       return 2;
+    // A gate that compared nothing gates nothing: treat it as a
+    // configuration error rather than a silent pass.
+    if (R.Compared == 0) {
+      fprintf(stderr,
+              "--compare: 0 comparisons performed (no benchmark names "
+              "matched %s) — refusing to pass an empty gate\n",
+              ComparePath.c_str());
+      return 2;
+    }
     if (R.Regressions != 0)
       return 1;
   }

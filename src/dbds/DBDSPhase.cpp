@@ -38,7 +38,9 @@ DBDS_COUNTER(dbds, candidates_stale);
 // Per-tier latency distributions (the paper's three-tier split, §3): how
 // the duplication pass's compile time divides between simulation,
 // trade-off, and optimization. candidates_per_iteration is a property of
-// the IR alone, so it participates in the determinism contract.
+// the IR alone, so it participates in the determinism contract — samples
+// from budget-expired/cancelled runs are dropped (see runDBDS) because
+// their count depends on supervision timing.
 DBDS_HISTOGRAM(dbds, simulate_ns, Nanoseconds, Timing);
 DBDS_HISTOGRAM(dbds, tradeoff_ns, Nanoseconds, Timing);
 DBDS_HISTOGRAM(dbds, optimize_ns, Nanoseconds, Timing);
@@ -136,6 +138,19 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     return true;
   };
 
+  // candidates_per_iteration is Deterministic-class, but how many
+  // iterations run — and therefore how many samples exist — depends on
+  // where the wall-clock budget or a cancellation happened to land. Buffer
+  // the per-iteration counts and publish them only for runs supervision
+  // did not cut short, mirroring the interpreter's run_steps rule.
+  std::vector<uint64_t> CandidateSamples;
+  auto flushCandidateSamples = [&Result, &CandidateSamples]() {
+    if (Result.BudgetExpired || Result.Cancelled)
+      return;
+    for (uint64_t N : CandidateSamples)
+      candidates_per_iteration.record(N);
+  };
+
   for (unsigned Iter = 0; Iter != Config.MaxIterations; ++Iter) {
     if (budgetExpired() || cancelled())
       break;
@@ -163,7 +178,7 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
         simulate_ns.record(Timer::nowNs() - T0);
     }
     Result.CandidatesSimulated += Candidates.size();
-    candidates_per_iteration.record(Candidates.size());
+    CandidateSamples.push_back(Candidates.size());
 
     // Tier 2: trade-off — most promising candidates first (§3.2: sorted by
     // benefit and cost, to optimize the best ones while budget remains);
@@ -364,6 +379,9 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
       // records no longer describe the IR.
       if (DL)
         DL->markRolledBackFrom(RoundStartIdx, F.getName());
+      // Rollback is IR-determined (lint failure / deterministic fault
+      // injection), not schedule-dependent: the buffered samples stand.
+      flushCandidateSamples();
       return Result; // Last known-good IR is in place; DBDS is done here.
     }
     Result.TotalBenefit += IterationBenefit;
@@ -380,6 +398,7 @@ DBDSResult dbds::runDBDS(Function &F, const DBDSConfig &Config) {
     if (!Changed || IterationBenefit < Config.MinIterationBenefit)
       break;
   }
+  flushCandidateSamples();
   return Result;
 }
 

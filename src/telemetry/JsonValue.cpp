@@ -205,15 +205,49 @@ private:
       Out.K = JsonValue::Kind::Null;
       return literal("null");
     }
-    // Number: delegate range checking to strtod over the raw bytes.
-    const char *Begin = Text.c_str() + Pos;
-    char *End = nullptr;
-    double V = strtod(Begin, &End);
-    if (End == Begin)
+    // Number: scan the strict JSON grammar (optional '-', integer part
+    // without leading zeros, optional fraction, optional exponent) before
+    // delegating value conversion to strtod — strtod alone also accepts
+    // non-JSON spellings like 'inf', 'nan', hex floats (0x1p3), and a
+    // leading '+', which must be parse errors here.
+    const size_t TokenBegin = Pos;
+    size_t Scan = Pos;
+    auto isDigit = [this](size_t I) {
+      return I != Text.size() && Text[I] >= '0' && Text[I] <= '9';
+    };
+    if (Scan != Text.size() && Text[Scan] == '-')
+      ++Scan;
+    const size_t IntBegin = Scan;
+    while (isDigit(Scan))
+      ++Scan;
+    if (Scan == IntBegin)
       return fail("expected a JSON value");
+    if (Text[IntBegin] == '0' && Scan - IntBegin > 1)
+      return fail("leading zero in number");
+    if (Scan != Text.size() && Text[Scan] == '.') {
+      ++Scan;
+      const size_t FracBegin = Scan;
+      while (isDigit(Scan))
+        ++Scan;
+      if (Scan == FracBegin)
+        return fail("expected digits after '.' in number");
+    }
+    if (Scan != Text.size() && (Text[Scan] == 'e' || Text[Scan] == 'E')) {
+      ++Scan;
+      if (Scan != Text.size() && (Text[Scan] == '+' || Text[Scan] == '-'))
+        ++Scan;
+      const size_t ExpBegin = Scan;
+      while (isDigit(Scan))
+        ++Scan;
+      if (Scan == ExpBegin)
+        return fail("expected digits in number exponent");
+    }
+    // Convert exactly the scanned token: strtod over the raw buffer could
+    // consume a longer non-JSON prefix (e.g. "0x1p3" after scanning "0").
+    std::string Token = Text.substr(TokenBegin, Scan - TokenBegin);
     Out.K = JsonValue::Kind::Number;
-    Out.Num = V;
-    Pos += static_cast<size_t>(End - Begin);
+    Out.Num = strtod(Token.c_str(), nullptr);
+    Pos = Scan;
     return true;
   }
 

@@ -203,27 +203,21 @@ TelemetryHistogram &MetricsRegistry::getOrCreate(const std::string &Component,
                                                  const std::string &Name,
                                                  MetricUnit Unit,
                                                  MetricClass Class) {
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    for (TelemetryHistogram *H : Histograms)
-      if (H->component() == Component && H->name() == Name)
-        return *H;
-  }
-  // Construct outside the lock: the constructor registers itself via
-  // add(), which takes Mu. Losing a construction race would register a
-  // duplicate, so re-check under the lock and keep the first.
-  auto Fresh = std::make_unique<TelemetryHistogram>(Component.c_str(),
-                                                    Name.c_str(), Unit, Class);
+  // Lookup, construction, and registration form one critical section. The
+  // public constructor self-registers via add() (which takes Mu), so use
+  // the non-registering tag constructor and insert here: releasing Mu
+  // between the miss and the insert would let a racing getOrCreate or
+  // snapshot() observe — and retain past destruction — a duplicate that
+  // loses the race. Construction is cheap (two string copies), so holding
+  // the lock across it is fine.
   std::lock_guard<std::mutex> Lock(Mu);
   for (TelemetryHistogram *H : Histograms)
-    if (H != Fresh.get() && H->component() == Component && H->name() == Name) {
-      // Raced: unregister ours (it is the last added) and keep theirs.
-      Histograms.erase(std::remove(Histograms.begin(), Histograms.end(),
-                                   Fresh.get()),
-                       Histograms.end());
+    if (H->component() == Component && H->name() == Name)
       return *H;
-    }
-  Owned.push_back(std::move(Fresh));
+  Owned.emplace_back(new TelemetryHistogram(TelemetryHistogram::UnregisteredTag{},
+                                            Component.c_str(), Name.c_str(),
+                                            Unit, Class));
+  Histograms.push_back(Owned.back().get());
   return *Owned.back();
 }
 

@@ -145,6 +145,15 @@ public:
 private:
   friend class MetricsShard;
   friend class MetricsRegistry;
+
+  /// Non-self-registering constructor for MetricsRegistry::getOrCreate:
+  /// the registry inserts the instance itself while holding its lock, so
+  /// lookup, construction, and registration are one atomic step.
+  struct UnregisteredTag {};
+  TelemetryHistogram(UnregisteredTag, const char *Component, const char *Name,
+                     MetricUnit Unit, MetricClass Class)
+      : Component(Component), Name(Name), Unit(Unit), Class(Class) {}
+
   void mergeGlobal(const Histogram &H);
 
   std::string Component;

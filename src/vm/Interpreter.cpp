@@ -94,13 +94,21 @@ ExecutionResult Interpreter::run(Function &F, ArrayRef<RuntimeValue> Args,
                        : std::string());
   ++runs;
   uint64_t FuelRemaining = Fuel;
+  PendingCheckpointSteps.clear();
   ExecutionResult Result = execute(F, Args, FuelRemaining, Profile,
                                    /*Depth=*/0);
   instructions_executed += Result.Steps;
-  // Interrupted runs' step counts depend on cancellation timing, which is
-  // schedule-dependent; keep them out of the deterministic histogram.
-  if (!Result.Interrupted)
+  // Interrupted runs' step counts — and how many checkpoint strides they
+  // got through — depend on cancellation timing, which is schedule-
+  // dependent; keep both out of the deterministic histograms. execute()
+  // buffers the stride samples so this decision can be made after the
+  // run's fate is known.
+  if (!Result.Interrupted) {
     run_steps.record(Result.Steps);
+    for (uint64_t Steps : PendingCheckpointSteps)
+      steps_per_checkpoint.record(Steps);
+  }
+  PendingCheckpointSteps.clear();
   return Result;
 }
 
@@ -137,10 +145,12 @@ ExecutionResult Interpreter::execute(Function &F, ArrayRef<RuntimeValue> Args,
       bool Fired;
       if (MetricsRegistry::enabled()) {
         // Strided polls happen at deterministic execution points, so the
-        // steps-between-checkpoints distribution is deterministic; the
-        // poll's own cost is wall clock and Timing-class.
+        // steps-between-checkpoints distribution is deterministic — but
+        // only over runs that finish: buffer the samples and let run()
+        // publish them if the run completes uninterrupted. The poll's own
+        // cost is wall clock and Timing-class, recorded immediately.
         if ((Polls & PollMask) == 0) {
-          steps_per_checkpoint.record(Result.Steps - StepsAtLastPoll);
+          PendingCheckpointSteps.push_back(Result.Steps - StepsAtLastPoll);
           StepsAtLastPoll = Result.Steps;
         }
         uint64_t T0 = Timer::nowNs();
@@ -272,6 +282,10 @@ ExecutionResult Interpreter::execute(Function &F, ArrayRef<RuntimeValue> Args,
                     FuelRemaining, Profile, Depth + 1);
         Result.DynamicCycles += Sub.DynamicCycles;
         Result.Steps += Sub.Steps;
+        // Propagate interruption so run() knows this run's metrics are
+        // cancellation-timing-dependent even when the token fired inside
+        // a callee frame.
+        Result.Interrupted |= Sub.Interrupted;
         if (!Sub.Ok)
           return Result; // propagate fuel exhaustion / runaway recursion
         reg(I) = Sub.HasResult ? Sub.Result : RuntimeValue::ofInt(0);

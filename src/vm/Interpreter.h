@@ -164,6 +164,11 @@ private:
   ValueObserver Observer;
   CancellationToken *Cancel = nullptr;
   uint32_t PollMask = 127;
+  /// Steps-between-checkpoint samples buffered during a run; published to
+  /// the deterministic steps_per_checkpoint histogram only when the run
+  /// completes uninterrupted — an interrupted run's sample count depends
+  /// on cancellation timing, which is schedule-dependent.
+  std::vector<uint64_t> PendingCheckpointSteps;
   std::vector<HeapObject> Heap;
   bool PenaltyEnabled = false;
   uint64_t PenaltyThreshold = 256;

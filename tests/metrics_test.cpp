@@ -14,12 +14,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ir/Parser.h"
+#include "support/Cancellation.h"
 #include "telemetry/BenchCompare.h"
 #include "telemetry/JsonValue.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Trace.h"
+#include "vm/Interpreter.h"
 #include "workloads/CompileService.h"
 #include "workloads/Runner.h"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -130,6 +138,33 @@ TEST(MetricsRegistryTest, GetOrCreateReturnsSameInstance) {
   EXPECT_EQ(A.qualifiedName(), "test_registry.identity");
 }
 
+TEST(MetricsRegistryTest, GetOrCreateConcurrentFirstUseIsRaceFree) {
+  // Regression test: getOrCreate used to construct (and self-register) the
+  // new histogram outside the registry lock, then erase and destroy the
+  // loser of a naming race — a concurrent getOrCreate or snapshot() could
+  // retain the doomed pointer. All threads must agree on one instance per
+  // name, with snapshots running concurrently.
+  constexpr unsigned Threads = 8, Names = 4;
+  std::array<std::atomic<TelemetryHistogram *>, Names> First{};
+  std::atomic<bool> Mismatch{false};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&First, &Mismatch] {
+      for (unsigned N = 0; N != Names; ++N) {
+        TelemetryHistogram &H = MetricsRegistry::instance().getOrCreate(
+            "test_registry_race", "name" + std::to_string(N),
+            MetricUnit::Count, MetricClass::Deterministic);
+        TelemetryHistogram *Expected = nullptr;
+        if (!First[N].compare_exchange_strong(Expected, &H) && Expected != &H)
+          Mismatch = true;
+        (void)MetricsRegistry::instance().snapshot();
+      }
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+  EXPECT_FALSE(Mismatch);
+}
+
 TEST(MetricsRegistryTest, DisabledRecordIsDropped) {
   TelemetryHistogram &H = MetricsRegistry::instance().getOrCreate(
       "test_registry", "gated", MetricUnit::Count,
@@ -203,6 +238,24 @@ TEST(MetricsRegistryTest, RenderJsonIsStableAndParses) {
   ASSERT_NE(Unit, nullptr);
   EXPECT_EQ(Unit->asString(), "bytes");
   H.reset();
+}
+
+TEST(JsonValueNumberTest, EnforcesTheJsonNumberGrammar) {
+  // The parser scans the strict JSON number grammar before strtod;
+  // otherwise strtod's extensions (inf/nan, hex floats, leading '+')
+  // would round-trip non-JSON tokens into comparisons as valid numbers.
+  JsonValue V;
+  for (const char *Bad : {"nan", "nancy", "inf", "-inf", "0x1p3", "+5", "01",
+                          "1.", ".5", "1e", "1e+", "-"})
+    EXPECT_FALSE(JsonValue::parse(std::string("[") + Bad + "]", V, nullptr))
+        << "accepted non-JSON number: " << Bad;
+  for (const char *Good :
+       {"0", "-0", "10", "-1.5e-3", "0.25", "1E+2", "20e0"}) {
+    EXPECT_TRUE(JsonValue::parse(std::string("[") + Good + "]", V, nullptr))
+        << "rejected valid JSON number: " << Good;
+    ASSERT_EQ(V.size(), 1u);
+    EXPECT_EQ(V.at(0)->asDouble(), strtod(Good, nullptr));
+  }
 }
 
 TEST(MetricsShardTest, ShardBuffersUntilPublished) {
@@ -391,6 +444,81 @@ TEST(MetricsDeterminismTest, JobsOneAndJobsEightMetricsAreByteIdentical) {
   EXPECT_NE(Serial.find("interpreter.run_steps"), std::string::npos);
   // ...and the deterministic-class JSON must not depend on scheduling.
   EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(MetricsDeterminismTest, InterruptedRunsRecordNoDeterministicSamples) {
+  // An interrupted run's sample counts depend on cancellation timing,
+  // which is schedule-dependent: the interpreter must drop both run_steps
+  // and the buffered steps_per_checkpoint strides for such runs, or the
+  // Deterministic classification of those histograms is a lie under
+  // deadlines/budgets.
+  ScopedMetrics On;
+  MetricsRegistry &Reg = MetricsRegistry::instance();
+  TelemetryHistogram &Checkpoints =
+      Reg.getOrCreate("interpreter", "steps_per_checkpoint",
+                      MetricUnit::Count, MetricClass::Deterministic);
+  TelemetryHistogram &RunSteps = Reg.getOrCreate(
+      "interpreter", "run_steps", MetricUnit::Count,
+      MetricClass::Deterministic);
+  Checkpoints.reset();
+  RunSteps.reset();
+
+  ParseResult R = parseModule(R"(
+func @f(int) {
+b0:
+  %n = param 0
+  %zero = const 0
+  jump b1
+b1:
+  %i = phi int [%zero, b0], [%inext, b2]
+  %c = cmp lt %i, %n
+  if %c, b2, b3
+b2:
+  %one = const 1
+  %inext = add %i, %one
+  jump b1
+b3:
+  ret %i
+}
+)");
+  ASSERT_TRUE(R) << R.Error;
+  Function *F = R.Mod->functions()[0];
+
+  // A completed run feeds both histograms.
+  {
+    Interpreter Interp(*R.Mod);
+    CancellationToken Token;
+    Interp.setCancellation(&Token);
+    Interp.setPollInterval(4);
+    ExecutionResult E = Interp.run(*F, ArrayRef<int64_t>({64}));
+    ASSERT_TRUE(E.Ok);
+    EXPECT_FALSE(E.Interrupted);
+  }
+  EXPECT_EQ(RunSteps.read().count(), 1u);
+  const uint64_t CompletedStrides = Checkpoints.read().count();
+  EXPECT_GT(CompletedStrides, 0u);
+
+  // The same program cancelled mid-run contributes nothing, even though
+  // it passed several checkpoints before the token fired.
+  {
+    Interpreter Interp(*R.Mod);
+    CancellationToken Token;
+    Interp.setCancellation(&Token);
+    Interp.setPollInterval(4);
+    unsigned Seen = 0;
+    Interp.setObserver([&Seen, &Token](const Instruction *,
+                                       const RuntimeValue &) {
+      if (++Seen == 100)
+        Token.requestCancel();
+    });
+    ExecutionResult E = Interp.run(*F, ArrayRef<int64_t>({64}));
+    EXPECT_TRUE(E.Interrupted);
+    EXPECT_FALSE(E.Ok);
+  }
+  EXPECT_EQ(RunSteps.read().count(), 1u);
+  EXPECT_EQ(Checkpoints.read().count(), CompletedStrides);
+  Checkpoints.reset();
+  RunSteps.reset();
 }
 
 } // namespace
