@@ -39,6 +39,12 @@
 ///   --simaudit             audit simulator predictions against dataflow
 ///                          facts; adds the simulation_audit JSON section
 ///
+/// Compile-cache flags (workloads/CompileCache.h; off by default):
+///   --compile-cache[=DIR]  content-addressed compile cache; a hit replays
+///                          the memoized compile byte-identically. With
+///                          =DIR, entries also persist to DIR across runs
+///   --cache-dir=DIR        like --compile-cache=DIR
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DBDS_BENCH_FIGUREBENCH_H
@@ -48,6 +54,7 @@
 #include "telemetry/DecisionLog.h"
 #include "telemetry/Report.h"
 #include "telemetry/Trace.h"
+#include "workloads/CompileCache.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
@@ -89,6 +96,8 @@ struct FigureOptions {
   unsigned BreakerHalfOpenAfter = 0;
   std::string CrashBundleDir;
   bool SimAudit = false;
+  bool UseCompileCache = false;
+  std::string CacheDir;
   bool Ok = true;
 };
 
@@ -136,6 +145,14 @@ inline FigureOptions parseFigureOptions(int argc, char **argv,
       O.CrashBundleDir = Arg + 19;
     } else if (strcmp(Arg, "--simaudit") == 0) {
       O.SimAudit = true;
+    } else if (strcmp(Arg, "--compile-cache") == 0) {
+      O.UseCompileCache = true;
+    } else if (strncmp(Arg, "--compile-cache=", 16) == 0) {
+      O.UseCompileCache = true;
+      O.CacheDir = Arg + 16;
+    } else if (strncmp(Arg, "--cache-dir=", 12) == 0) {
+      O.UseCompileCache = true;
+      O.CacheDir = Arg + 12;
     } else {
       fprintf(stderr,
               "unknown option: %s\nusage: %s [--trace=FILE] "
@@ -143,7 +160,8 @@ inline FigureOptions parseFigureOptions(int argc, char **argv,
               "[--jobs=N] [--metrics] [--flamegraph=FILE] [--poll-mask=N] "
               "[--max-attempts=N] [--task-deadline-ms=MS] "
               "[--breaker-threshold=N] [--breaker-half-open=N] "
-              "[--crash-bundle-dir=DIR] [--simaudit]\n",
+              "[--crash-bundle-dir=DIR] [--simaudit] "
+              "[--compile-cache[=DIR]] [--cache-dir=DIR]\n",
               Arg, argv[0]);
       O.Ok = false;
       return O;
@@ -183,6 +201,11 @@ inline int runFigureMain(int argc, char **argv, const char *FigureName,
   Opts.BreakerHalfOpenAfter = O.BreakerHalfOpenAfter;
   Opts.CrashBundleDir = O.CrashBundleDir;
   Opts.SimAudit = O.SimAudit;
+  std::optional<CompileCache> Cache;
+  if (O.UseCompileCache) {
+    Cache.emplace(O.CacheDir);
+    Opts.Cache = &*Cache;
+  }
 
   if (O.Metrics) {
     MetricsRegistry::setEnabled(true);

@@ -28,11 +28,13 @@
 #include "telemetry/BenchCompare.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Report.h"
+#include "workloads/CompileCache.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 using namespace dbds;
 
@@ -41,6 +43,8 @@ int main(int argc, char **argv) {
   bool Metrics = false;
   std::string JsonOutPath;
   std::string ComparePath;
+  bool UseCompileCache = false;
+  std::string CacheDir;
   BenchCompareOptions CompareOpts;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -79,6 +83,14 @@ int main(int argc, char **argv) {
       Opts.CrashBundleDir = Arg + 19;
     } else if (strcmp(Arg, "--simaudit") == 0) {
       Opts.SimAudit = true;
+    } else if (strcmp(Arg, "--compile-cache") == 0) {
+      UseCompileCache = true;
+    } else if (strncmp(Arg, "--compile-cache=", 16) == 0) {
+      UseCompileCache = true;
+      CacheDir = Arg + 16;
+    } else if (strncmp(Arg, "--cache-dir=", 12) == 0) {
+      UseCompileCache = true;
+      CacheDir = Arg + 12;
     } else {
       fprintf(stderr,
               "unknown option: %s\nusage: %s [--jobs=N] [--metrics] "
@@ -86,10 +98,17 @@ int main(int argc, char **argv) {
               "[--compare-threshold=PCT] [--max-attempts=N] "
               "[--task-deadline-ms=MS] [--breaker-threshold=N] "
               "[--breaker-half-open=N] [--crash-bundle-dir=DIR] "
-              "[--simaudit]\n",
+              "[--simaudit] [--compile-cache[=DIR]] [--cache-dir=DIR]\n",
               Arg, argv[0]);
       return 2;
     }
+  }
+  // One cache for all four suites: identical functions recur across suite
+  // seeds, which is exactly the cross-benchmark reuse the cache exists for.
+  std::optional<CompileCache> Cache;
+  if (UseCompileCache) {
+    Cache.emplace(CacheDir);
+    Opts.Cache = &*Cache;
   }
   // Both --json-out and --compare need the combined report rows; --compare
   // works standalone (render in memory, diff, never write).

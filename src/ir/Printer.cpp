@@ -9,8 +9,10 @@
 #include "ir/Block.h"
 #include "ir/Function.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_map>
+#include <vector>
 
 using namespace dbds;
 
@@ -99,8 +101,28 @@ std::string dbds::printInstruction(const Instruction *I) {
     Out += "phi ";
     Out += typeName(I->getType());
     const Block *B = I->getBlock();
-    for (unsigned Idx = 0, E = I->getNumOperands(); Idx != E; ++Idx) {
-      Out += Idx == 0 ? " " : ", ";
+    const unsigned E = I->getNumOperands();
+    // Under the canonical renaming, inputs print sorted by predecessor
+    // print index rather than predecessor-list position: the parser
+    // rebuilds predecessor lists in CFG-construction order, so only a
+    // text-derivable pair order makes print -> parse -> print a fixed
+    // point (which content-addressed caching depends on).
+    std::vector<unsigned> Order(E);
+    for (unsigned Idx = 0; Idx != E; ++Idx)
+      Order[Idx] = Idx;
+    if (ActiveNames && B && B->getNumPreds() == E)
+      std::stable_sort(Order.begin(), Order.end(),
+                       [&](unsigned L, unsigned R) {
+                         auto LI = ActiveNames->Blocks.find(B->preds()[L]);
+                         auto RI = ActiveNames->Blocks.find(B->preds()[R]);
+                         if (LI == ActiveNames->Blocks.end() ||
+                             RI == ActiveNames->Blocks.end())
+                           return false;
+                         return LI->second < RI->second;
+                       });
+    for (unsigned N = 0; N != E; ++N) {
+      const unsigned Idx = Order[N];
+      Out += N == 0 ? " " : ", ";
       Out += "[" + valueName(I->getOperand(Idx)) + ", ";
       Out += B && Idx < B->getNumPreds() ? blockName(B->preds()[Idx]) : "b?";
       Out += "]";

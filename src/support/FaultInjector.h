@@ -111,6 +111,13 @@ public:
     Injected += Task.Injected;
   }
 
+  /// Raw-count overload: a cache hit replays the memoized compile's site
+  /// count without a live task injector to absorb from.
+  void absorbCounts(unsigned TaskSites, unsigned TaskInjected) {
+    Sites += TaskSites;
+    Injected += TaskInjected;
+  }
+
 private:
   uint64_t Seed;
   RNG Gen;

@@ -68,6 +68,44 @@ void compareConfigs(BenchCompareResult &R, const BenchCompareOptions &Opts,
                NewC->getNumber("dynamic_cycles"), /*Gating=*/true);
     gateScalar(R, Opts, Where, "code_size", OldC->getNumber("code_size"),
                NewC->getNumber("code_size"), /*Gating=*/true);
+
+    // Compile-cache effectiveness: gated only when both runs carried the
+    // cache counters. Misses are lower-is-better and ride the standard
+    // gate; hits are higher-is-better, so the ratio is fed inverted — a
+    // hit count that *dropped* past the threshold is the regression.
+    const JsonValue *OldCtr = OldC->get("counters");
+    const JsonValue *NewCtr = NewC->get("counters");
+    if (OldCtr && NewCtr && OldCtr->isObject() && NewCtr->isObject()) {
+      if (OldCtr->get("cache.miss") && NewCtr->get("cache.miss"))
+        gateScalar(R, Opts, Where, "counters/cache.miss",
+                   OldCtr->getNumber("cache.miss"),
+                   NewCtr->getNumber("cache.miss"), /*Gating=*/true);
+      const JsonValue *OldHit = OldCtr->get("cache.hit");
+      const JsonValue *NewHit = NewCtr->get("cache.hit");
+      // Zero-valued counters are omitted from reports, so a missing
+      // new-side cache.hit means the hits collapsed to zero — the worst
+      // shrinkage, which must still gate. A missing old-side key skips
+      // the check (nothing to shrink from), matching gateScalar.
+      if (OldHit) {
+        double OldV = OldHit->asDouble();
+        double NewV = NewHit ? NewHit->asDouble() : 0.0;
+        ++R.Compared;
+        if (OldV > 0.0) {
+          double Pct = deltaPct(OldV, NewV);
+          if (-Pct > Opts.ThresholdPct) {
+            BenchDelta D;
+            D.Where = Where;
+            D.Field = "counters/cache.hit";
+            D.OldValue = OldV;
+            D.NewValue = NewV;
+            D.DeltaPct = Pct;
+            D.Gating = true;
+            ++R.Regressions;
+            R.Deltas.push_back(std::move(D));
+          }
+        }
+      }
+    }
   }
 }
 

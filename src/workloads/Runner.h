@@ -29,6 +29,7 @@
 namespace dbds {
 
 class CancellationToken;
+class CompileCache;
 class DecisionLog;
 class DiagnosticEngine;
 class FaultInjector;
@@ -125,6 +126,13 @@ struct RunnerOptions {
   /// phase effects are lint-diffed and attributed, feeding the breaker
   /// higher-fidelity blame than the plain verifier.
   const Linter *AuditLinter = nullptr;
+
+  /// Optional content-addressed compile cache (not owned; drivers expose
+  /// --compile-cache[=dir]). A hit replays the memoized compile so the
+  /// run's deterministic outputs are byte-identical to a cold compile
+  /// (workloads/CompileCache.h); misses store clean compiles at the
+  /// serial join.
+  CompileCache *Cache = nullptr;
 };
 
 /// Raw measurements of one benchmark under one configuration.

@@ -18,9 +18,12 @@
 #include "analysis/Verifier.h"
 #include "dbds/DBDSPhase.h"
 #include "dbds/Simulator.h"
+#include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opts/Phase.h"
+#include "support/StableHash.h"
 #include "vm/Interpreter.h"
+#include "workloads/CompileCache.h"
 #include "workloads/ProgramGenerator.h"
 
 #include <gtest/gtest.h>
@@ -154,6 +157,52 @@ TEST_P(OptimizationProperties, SimulationDoesNotMutate) {
     EXPECT_EQ(printFunction(F), Before); // P5 (modulo revived constants,
                                          // which print canonically)
     EXPECT_EQ(verifyFunction(*F), "");
+  }
+}
+
+TEST_P(OptimizationProperties, PrintParsePrintIsAFixedPoint) {
+  // P6: the canonical printing is a parse fixed point — print(parse(T))
+  // == T for both pristine and fully optimized modules. The optimized
+  // case is the hard one: duplication appends and redirects predecessor
+  // edges, so phi-input ordering only round-trips because the printer
+  // emits a text-derivable canonical order.
+  GeneratedWorkload W = generateWorkload(makeConfig());
+  const std::string Pristine = printModule(W.Mod.get());
+  ParseResult R = parseModule(Pristine);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(printModule(R.Mod.get()), Pristine);
+
+  auto Functions = W.Mod->functions();
+  for (unsigned FIdx = 0; FIdx != Functions.size(); ++FIdx) {
+    Function &F = *Functions[FIdx];
+    profileFunction(W, FIdx, F);
+    PhaseManager PM = PhaseManager::standardPipeline(true, W.Mod.get());
+    PM.run(F);
+    DBDSConfig Config;
+    Config.ClassTable = W.Mod.get();
+    runDBDS(F, Config);
+  }
+  const std::string Optimized = printModule(W.Mod.get());
+  ParseResult R2 = parseModule(Optimized);
+  ASSERT_TRUE(R2) << R2.Error;
+  EXPECT_EQ(printModule(R2.Mod.get()), Optimized);
+}
+
+TEST_P(OptimizationProperties, ContentHashIsInvariantUnderReparse) {
+  // P7: hash(printCacheableUnit(f)) survives a parse round-trip — the
+  // cache key a process computes over re-parsed IR equals the key the
+  // writing process computed, which is what makes on-disk entries
+  // portable across processes.
+  GeneratedWorkload W = generateWorkload(makeConfig());
+  ParseResult R = parseModule(printModule(W.Mod.get()));
+  ASSERT_TRUE(R) << R.Error;
+  auto FA = W.Mod->functions(), FB = R.Mod->functions();
+  ASSERT_EQ(FA.size(), FB.size());
+  for (size_t I = 0; I != FA.size(); ++I) {
+    const std::string UA = printCacheableUnit(W.Mod.get(), FA[I]);
+    const std::string UB = printCacheableUnit(R.Mod.get(), FB[I]);
+    EXPECT_EQ(UA, UB);
+    EXPECT_EQ(stableHash128(UA), stableHash128(UB));
   }
 }
 

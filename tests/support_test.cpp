@@ -8,6 +8,7 @@
 #include "support/Casting.h"
 #include "support/RNG.h"
 #include "support/SmallVector.h"
+#include "support/StableHash.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 
@@ -318,6 +319,92 @@ TEST(TimerTest, ResetClearsNestingDepth) {
   EXPECT_FALSE(T.isRunning());
   T.stop(); // and its stop is now unmatched -> no-op
   EXPECT_EQ(T.totalNs(), 0u);
+}
+
+// ---- StableHash ----------------------------------------------------------
+//
+// Golden values pin the exact FNV-1a parameters. These digests are
+// persisted in on-disk compile-cache entries and file names: any change
+// here is a silent cache-format break, so the constants are asserted
+// against independently computed values, not against the implementation.
+
+TEST(StableHashTest, Fnv64GoldenValues) {
+  EXPECT_EQ(stableHash64(std::string("")), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(stableHash64(std::string("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(stableHash64(std::string("foobar")), 0x85944171f73967e8ULL);
+  EXPECT_EQ(stableHash64(std::string("dbds")), 0x7a763a6729d50d62ULL);
+}
+
+TEST(StableHashTest, Fnv128GoldenValues) {
+  Hash128 Empty = stableHash128(std::string(""));
+  EXPECT_EQ(Empty.Hi, 0x6c62272e07bb0142ULL);
+  EXPECT_EQ(Empty.Lo, 0x62b821756295c58dULL);
+  Hash128 A = stableHash128(std::string("a"));
+  EXPECT_EQ(A.Hi, 0xd228cb696f1a8cafULL);
+  EXPECT_EQ(A.Lo, 0x78912b704e4a8964ULL);
+  Hash128 Foobar = stableHash128(std::string("foobar"));
+  EXPECT_EQ(Foobar.Hi, 0x343e1662793c64bfULL);
+  EXPECT_EQ(Foobar.Lo, 0x6f0d3597ba446f18ULL);
+  Hash128 Dbds = stableHash128(std::string("dbds"));
+  EXPECT_EQ(Dbds.Hi, 0x695b5628d9757277ULL);
+  EXPECT_EQ(Dbds.Lo, 0xb806e9704c361922ULL);
+}
+
+TEST(StableHashTest, ScalarsHashAsLittleEndianBytes) {
+  // The field hasher must feed scalars as fixed-width little-endian bytes
+  // regardless of host endianness: hashing the bytes directly must agree.
+  const uint64_t V = 0x0123456789abcdefULL;
+  const unsigned char Bytes[8] = {0xef, 0xcd, 0xab, 0x89,
+                                  0x67, 0x45, 0x23, 0x01};
+  EXPECT_EQ(StableHasher().u64(V).digest(),
+            StableHasher().bytes(Bytes, 8).digest());
+  // Independently computed goldens over those eight bytes.
+  EXPECT_EQ(stableHash64(Bytes, 8), 0x37eb3f3347761c55ULL);
+  Hash128 H = StableHasher().u64(V).digest();
+  EXPECT_EQ(H.Hi, 0x0619098f38659878ULL);
+  EXPECT_EQ(H.Lo, 0xf047fc4523abfdfdULL);
+}
+
+TEST(StableHashTest, StringsAreLengthPrefixed) {
+  // ("ab","c") and ("a","bc") concatenate identically; the length prefix
+  // must keep them apart.
+  Hash128 A = StableHasher().str("ab").str("c").digest();
+  Hash128 B = StableHasher().str("a").str("bc").digest();
+  EXPECT_NE(A, B);
+}
+
+TEST(StableHashTest, DoublesHashByBitPattern) {
+  // 0.0 and -0.0 compare equal as doubles but are distinct bit patterns;
+  // bit-pattern hashing must separate them (and NaN must be stable).
+  EXPECT_NE(StableHasher().f64(0.0).digest(),
+            StableHasher().f64(-0.0).digest());
+  EXPECT_EQ(StableHasher().f64(1.0 / 3.0).digest(),
+            StableHasher().f64(1.0 / 3.0).digest());
+}
+
+TEST(StableHashTest, FieldTypesDoNotAlias) {
+  // A bool true and a u8 1 are the same byte by design, but widths differ
+  // across types: u32(1) vs u64(1) must not collide.
+  EXPECT_NE(StableHasher().u32(1).digest(), StableHasher().u64(1).digest());
+  EXPECT_EQ(StableHasher().boolean(true).digest(),
+            StableHasher().u8(1).digest());
+  EXPECT_NE(StableHasher().i64(-1).digest(), StableHasher().i64(1).digest());
+}
+
+TEST(StableHashTest, HexIsFixedWidthLowercaseHiFirst) {
+  Hash128 H{0x0000000000000001ULL, 0xabcdef0123456789ULL};
+  EXPECT_EQ(H.hex(), "0000000000000001abcdef0123456789");
+  EXPECT_EQ(Hash128{}.hex(), "00000000000000000000000000000000");
+  EXPECT_EQ(H.hex().size(), 32u);
+}
+
+TEST(StableHashTest, ComparisonOperators) {
+  Hash128 A{1, 2}, B{1, 3}, C{2, 0};
+  EXPECT_TRUE(A == A);
+  EXPECT_TRUE(A != B);
+  EXPECT_TRUE(A < B); // Lo breaks Hi ties
+  EXPECT_TRUE(B < C); // Hi dominates
+  EXPECT_FALSE(C < A);
 }
 
 } // namespace

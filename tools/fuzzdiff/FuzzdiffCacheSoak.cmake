@@ -1,0 +1,47 @@
+# Compile-cache differential soak: the fuzzer's findings must be identical
+# with and without the cache. Three runs over the same 200-seed range, all
+# three configurations each — uncached, cold on-disk cache, warm on-disk
+# cache (a fresh process over the store the cold run wrote) — must exit 0
+# and produce byte-identical output (--quiet prints findings only, so the
+# comparison is exact, no wall-clock lines).
+#
+# Variables: FUZZDIFF_BIN (fuzzdiff executable), WORK_DIR (scratch).
+
+set(ARGS --seed=31 --count=200 --functions=2 --segments=3 --jobs=0 --quiet)
+set(STORE ${WORK_DIR}/cache-soak-store)
+file(REMOVE_RECURSE ${STORE})
+
+function(run_fuzzdiff TAG OUT_VAR)
+  execute_process(
+    COMMAND ${FUZZDIFF_BIN} ${ARGS} ${ARGN}
+            --out-dir=${WORK_DIR}/artifacts-cache-soak-${TAG}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "fuzzdiff (${TAG}) exited ${RC}:\n${OUT}${ERR}")
+  endif()
+  set(${OUT_VAR} "${OUT}" PARENT_SCOPE)
+endfunction()
+
+run_fuzzdiff(uncached UNCACHED)
+run_fuzzdiff(cold COLD --compile-cache=${STORE})
+run_fuzzdiff(warm WARM --compile-cache=${STORE})
+
+if(NOT "${COLD}" STREQUAL "${UNCACHED}")
+  message(FATAL_ERROR "cold cached run diverged from uncached run:\n"
+                      "--- uncached ---\n${UNCACHED}\n--- cached ---\n${COLD}")
+endif()
+if(NOT "${WARM}" STREQUAL "${UNCACHED}")
+  message(FATAL_ERROR "warm cached run diverged from uncached run:\n"
+                      "--- uncached ---\n${UNCACHED}\n--- warm ---\n${WARM}")
+endif()
+
+# The warm run must actually have had a store to read: an empty directory
+# here would mean the soak silently tested nothing.
+file(GLOB ENTRIES ${STORE}/*.dbdscache)
+list(LENGTH ENTRIES N)
+if(N EQUAL 0)
+  message(FATAL_ERROR "cold run stored no cache entries in ${STORE}")
+endif()
+message(STATUS "fuzzdiff cache soak passed (${N} stored entries)")

@@ -9,7 +9,13 @@
 //   fuzzdiff [--seed=N] [--count=N] [--max-seconds=N] [--out-dir=DIR]
 //            [--functions=N] [--segments=N] [--inject=SEED]
 //            [--inject-kinds=MASK] [--sabotage] [--fail-fast] [--quiet]
-//            [--trace=FILE] [--jobs=N] [--simaudit]
+//            [--trace=FILE] [--jobs=N] [--simaudit] [--compile-cache[=DIR]]
+//            [--cache-dir=DIR]
+//
+// --compile-cache memoizes injector-free compiles by content hash
+// (workloads/CompileCache.h): identical generated functions recurring
+// across seeds and configs replay instead of recompiling, with findings
+// byte-identical to the uncached run. With =DIR entries persist on disk.
 //
 // For each seed it generates a program (workloads/ProgramGenerator),
 // optimizes a copy under each of the paper's three configurations —
@@ -65,6 +71,7 @@
 #include "tooling/Reducer.h"
 #include "tooling/Sabotage.h"
 #include "vm/Interpreter.h"
+#include "workloads/CompileCache.h"
 #include "workloads/CompileService.h"
 #include "workloads/ProgramGenerator.h"
 #include "workloads/Runner.h"
@@ -103,6 +110,8 @@ struct Options {
   std::string TracePath; ///< Whole-run trace ("" = tracing off).
   unsigned Jobs = 1;     ///< Concurrent seeds (0 = hardware threads).
   bool SimAudit = false; ///< Audit DBDS decisions on every compile.
+  bool UseCompileCache = false; ///< Memoize injector-free compiles.
+  std::string CacheDir;         ///< On-disk cache directory ("" = memory).
 };
 
 int usage(const char *Prog) {
@@ -110,7 +119,8 @@ int usage(const char *Prog) {
           "usage: %s [--seed=N] [--count=N] [--max-seconds=N] "
           "[--out-dir=DIR] [--functions=N] [--segments=N] [--inject=SEED] "
           "[--inject-kinds=MASK] [--sabotage] [--fail-fast] [--quiet] "
-          "[--trace=FILE] [--jobs=N] [--simaudit]\n",
+          "[--trace=FILE] [--jobs=N] [--simaudit] [--compile-cache[=DIR]] "
+          "[--cache-dir=DIR]\n",
           Prog);
   return 2;
 }
@@ -131,8 +141,45 @@ GeneratorConfig makeGeneratorConfig(uint64_t Seed, const Options &O) {
 void compileFunction(Function &F, Module *M, RunConfig Config,
                      const std::vector<std::vector<int64_t>> &Train,
                      const Options &O, DiagnosticEngine *Diags,
-                     FaultInjector *Injector,
-                     DecisionLog *Decisions = nullptr) {
+                     FaultInjector *Injector, DecisionLog *Decisions = nullptr,
+                     CompileCache *Cache = nullptr,
+                     std::vector<std::pair<CompileCacheKey, CompileCacheEntry>>
+                         *PendingStores = nullptr) {
+  // Content-addressed memoization of the whole profile+optimize procedure.
+  // Only injector-free, sabotage-free compiles participate: a fault stream
+  // advances sequentially across calls (replaying one call would desync
+  // the rest of the seed's stream), and sabotage diverges by design. The
+  // reduction oracle never passes a cache — a shrinking module must
+  // recompile for real every time.
+  if (Injector || O.Sabotage)
+    Cache = nullptr;
+  CompileCacheKey Key{};
+  if (Cache) {
+    CompileCacheFingerprint FP;
+    FP.Tool = "fuzzdiff";
+    FP.Config = static_cast<unsigned>(Config);
+    FP.Verify = true;
+    FP.FailFast = O.FailFast;
+    FP.WantDiags = Diags != nullptr;
+    FP.WantDecisions = Decisions != nullptr;
+    FP.MetricsEnabled = MetricsRegistry::enabled();
+    Key = computeCompileCacheKey(printCacheableUnit(M, &F), Train,
+                                 /*EvalInputs=*/{}, FP);
+    auto Entry = Cache->probe(Key);
+    PreparedReplay Replay;
+    if (Entry && prepareReplay(*Entry, Replay)) {
+      CompileCache::countHit();
+      F.restoreFrom(*Replay.Fn);
+      if (Decisions)
+        for (const DuplicationDecision &D : Entry->Decisions)
+          Decisions->append(D);
+      return;
+    }
+    CompileCache::countMiss();
+  }
+  const size_t DiagsBefore = Diags ? Diags->all().size() : 0;
+  const size_t DecisionsBefore = Decisions ? Decisions->decisions().size() : 0;
+
   Interpreter Interp(*M);
   ProfileSummary Profile;
   for (const auto &Args : Train) {
@@ -141,11 +188,13 @@ void compileFunction(Function &F, Module *M, RunConfig Config,
   }
   applyProfile(F, Profile);
 
+  unsigned Rollbacks = 0;
   PhaseManager Pipeline = PhaseManager::standardPipeline(/*Verify=*/true, M);
   Pipeline.setFailFast(O.FailFast);
   Pipeline.setDiagnostics(Diags);
   Pipeline.setFaultInjector(Injector);
   Pipeline.run(F);
+  Rollbacks += Pipeline.rollbackCount();
   if (Config != RunConfig::Baseline) {
     DBDSConfig DC;
     DC.UseTradeoff = Config == RunConfig::DBDS;
@@ -155,11 +204,27 @@ void compileFunction(Function &F, Module *M, RunConfig Config,
     DC.Diags = Diags;
     DC.Injector = Injector;
     DC.Decisions = Decisions;
-    runDBDS(F, DC);
+    DBDSResult R = runDBDS(F, DC);
+    Rollbacks += R.RollbacksPerformed;
   }
   if (O.Sabotage && Config != RunConfig::Baseline) {
     SabotagePhase Sabotage;
     Sabotage.run(F);
+  }
+
+  // Store only clean compiles (no rollbacks, no new diagnostics) — the
+  // same eligibility rule the compile service applies. Stores are
+  // buffered; the seed-order join inserts them serially.
+  if (Cache && PendingStores && Rollbacks == 0 &&
+      (!Diags || Diags->all().size() == DiagsBefore)) {
+    CompileCacheEntry E;
+    E.CodeSize = F.estimatedCodeSize();
+    E.OptimizedIR = printCacheableUnit(M, &F);
+    if (Decisions)
+      E.Decisions.assign(Decisions->decisions().begin() +
+                             static_cast<ptrdiff_t>(DecisionsBefore),
+                         Decisions->decisions().end());
+    PendingStores->push_back({Key, std::move(E)});
   }
 }
 
@@ -339,7 +404,15 @@ int main(int Argc, char **Argv) {
       O.Jobs = static_cast<unsigned>(strtoul(Argv[I] + 7, nullptr, 10));
     else if (strcmp(Argv[I], "--simaudit") == 0)
       O.SimAudit = true;
-    else
+    else if (strcmp(Argv[I], "--compile-cache") == 0)
+      O.UseCompileCache = true;
+    else if (strncmp(Argv[I], "--compile-cache=", 16) == 0) {
+      O.UseCompileCache = true;
+      O.CacheDir = Argv[I] + 16;
+    } else if (strncmp(Argv[I], "--cache-dir=", 12) == 0) {
+      O.UseCompileCache = true;
+      O.CacheDir = Argv[I] + 12;
+    } else
       return usage(Argv[0]);
   }
 
@@ -390,8 +463,15 @@ int main(int Argc, char **Argv) {
     std::optional<GeneratedWorkload> Ref; ///< Kept only when findings exist.
     std::vector<PendingFinding> Findings;
     SimAuditCounts Audit; ///< Aggregated --simaudit verdicts for this seed.
+    /// Clean compiles buffered for the cache; inserted at the seed-order
+    /// join (tasks only probe during the parallel phase).
+    std::vector<std::pair<CompileCacheKey, CompileCacheEntry>> PendingStores;
   };
   std::vector<SeedOutcome> Outcomes(O.Count);
+  std::optional<CompileCache> Cache;
+  if (O.UseCompileCache)
+    Cache.emplace(O.CacheDir);
+  CompileCache *CachePtr = Cache ? &*Cache : nullptr;
   std::atomic<bool> SabotageFound{false};
   const RunConfig Configs[] = {RunConfig::Baseline, RunConfig::DBDS,
                                RunConfig::DupALot};
@@ -438,7 +518,8 @@ int main(int Argc, char **Argv) {
         DecisionLog Decisions;
         compileFunction(OF, Opt.Mod.get(), Config, Opt.TrainInputs[FIdx], O,
                         &Out.Diags, TaskInjector,
-                        WantAudit ? &Decisions : nullptr);
+                        WantAudit ? &Decisions : nullptr, CachePtr,
+                        &Out.PendingStores);
         if (WantAudit)
           Out.Audit.accumulate(auditSimulation(OF, Decisions));
         for (const auto &Args : Ref.EvalInputs[FIdx]) {
@@ -492,6 +573,9 @@ int main(int Argc, char **Argv) {
     Diags.mergeFrom(Out.Diags);
     if (InjectorPtr && Out.HasInjector)
       InjectorPtr->absorbCounts(Out.Injector);
+    if (CachePtr)
+      for (auto &P : Out.PendingStores)
+        CachePtr->insert(P.first, std::move(P.second));
     for (PendingFinding &PF : Out.Findings) {
       if (O.Sabotage && !Findings.empty())
         break; // one proven catch is enough
