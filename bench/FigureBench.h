@@ -10,40 +10,10 @@
 /// per-benchmark rows plus the geometric-mean footer the paper reports
 /// under each figure.
 ///
-/// Telemetry flags (all optional; the default run is byte-identical to
-/// the pre-telemetry drivers):
-///   --trace=FILE    write a Chrome trace_event JSON (Perfetto-loadable)
-///                   covering the whole measurement
-///   --remarks=FILE  write the DBDS duplication decision log as JSONL
-///   --counters      dump the telemetry counter registry after the run
-///   --json-out[=F]  write the machine-readable BENCH_<suite>.json report
-///                   (default file name when =F is omitted)
-///   --jobs=N        compile functions on N worker threads (0 = one per
-///                   hardware thread; default 1). Every output except
-///                   wall-clock compile time is identical to --jobs=1.
-///   --metrics       enable the histogram metrics registry: prints the
-///                   percentile table after the run and adds the
-///                   "metrics" section to --json-out reports
-///   --flamegraph=F  write a collapsed-stack (folded) profile derived
-///                   from the trace spans — loadable by flamegraph.pl
-///                   and speedscope; implies trace collection
-///   --poll-mask=N   interpreter cancellation-poll stride (power of two,
-///                   default 128; tune against interpreter.poll_ns)
-///
-/// Supervision flags (workloads/CompileService.h; all off by default):
-///   --max-attempts=N       retry ladder depth per task (1-3)
-///   --task-deadline-ms=MS  per-attempt wall-clock deadline
-///   --breaker-threshold=N  per-phase circuit breaker trip count
-///   --breaker-half-open=N  re-enable a tripped phase after N clean tasks
-///   --crash-bundle-dir=D   write crash bundles for exhausted tasks to D
-///   --simaudit             audit simulator predictions against dataflow
-///                          facts; adds the simulation_audit JSON section
-///
-/// Compile-cache flags (workloads/CompileCache.h; off by default):
-///   --compile-cache[=DIR]  content-addressed compile cache; a hit replays
-///                          the memoized compile byte-identically. With
-///                          =DIR, entries also persist to DIR across runs
-///   --cache-dir=DIR        like --compile-cache=DIR
+/// All flags come from the shared driver-option table
+/// (tooling/DriverOptions.h) — run any figure binary with --help for the
+/// generated list. The default run is byte-identical to the
+/// pre-telemetry drivers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +24,7 @@
 #include "telemetry/DecisionLog.h"
 #include "telemetry/Report.h"
 #include "telemetry/Trace.h"
+#include "tooling/DriverOptions.h"
 #include "workloads/CompileCache.h"
 #include "workloads/Runner.h"
 
@@ -80,89 +51,46 @@ runFigure(const char *FigureName, const SuiteSpec &Suite) {
   return Rows;
 }
 
-/// Telemetry options shared by the figure drivers.
+/// The figure drivers' option state: everything is a shared flag.
 struct FigureOptions {
-  std::string TracePath;
-  std::string RemarksPath;
-  std::string JsonOutPath;
-  std::string FlamegraphPath;
-  bool DumpCounters = false;
-  bool Metrics = false;
-  unsigned Jobs = 1;
-  unsigned PollInterval = 128;
-  unsigned MaxAttempts = 1;
-  double TaskDeadlineMs = 0.0;
-  unsigned BreakerThreshold = 0;
-  unsigned BreakerHalfOpenAfter = 0;
-  std::string CrashBundleDir;
-  bool SimAudit = false;
-  bool UseCompileCache = false;
-  std::string CacheDir;
+  DriverOptions Driver;
   bool Ok = true;
+  bool ShowedHelp = false;
 };
+
+/// The full shared-flag subset the figure binaries support.
+inline DriverOptionsParser makeFigureParser(DriverOptions &D) {
+  return DriverOptionsParser(
+      D, {DriverFlag::Trace, DriverFlag::Remarks, DriverFlag::Counters,
+          DriverFlag::JsonOut, DriverFlag::Jobs, DriverFlag::Metrics,
+          DriverFlag::Flamegraph, DriverFlag::PollMask,
+          DriverFlag::MaxAttempts, DriverFlag::TaskDeadlineMs,
+          DriverFlag::BreakerThreshold, DriverFlag::BreakerHalfOpen,
+          DriverFlag::CrashBundleDir, DriverFlag::SimAudit,
+          DriverFlag::CompileCache, DriverFlag::CacheDir});
+}
 
 inline FigureOptions parseFigureOptions(int argc, char **argv,
                                         const SuiteSpec &Suite) {
   FigureOptions O;
+  O.Driver.JsonOutDefault = "BENCH_" + Suite.Name + ".json";
+  DriverOptionsParser P = makeFigureParser(O.Driver);
   for (int I = 1; I < argc; ++I) {
-    const char *Arg = argv[I];
-    if (strncmp(Arg, "--trace=", 8) == 0) {
-      O.TracePath = Arg + 8;
-    } else if (strncmp(Arg, "--remarks=", 10) == 0) {
-      O.RemarksPath = Arg + 10;
-    } else if (strcmp(Arg, "--counters") == 0) {
-      O.DumpCounters = true;
-    } else if (strcmp(Arg, "--json-out") == 0) {
-      O.JsonOutPath = "BENCH_" + Suite.Name + ".json";
-    } else if (strncmp(Arg, "--json-out=", 11) == 0) {
-      O.JsonOutPath = Arg + 11;
-    } else if (strncmp(Arg, "--jobs=", 7) == 0) {
-      O.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
-    } else if (strcmp(Arg, "--metrics") == 0) {
-      O.Metrics = true;
-    } else if (strncmp(Arg, "--flamegraph=", 13) == 0) {
-      O.FlamegraphPath = Arg + 13;
-    } else if (strncmp(Arg, "--poll-mask=", 12) == 0) {
-      O.PollInterval = static_cast<unsigned>(strtoul(Arg + 12, nullptr, 10));
-      if (O.PollInterval == 0 ||
-          (O.PollInterval & (O.PollInterval - 1)) != 0) {
-        fprintf(stderr, "--poll-mask: %u is not a power of two\n",
-                O.PollInterval);
-        O.Ok = false;
-        return O;
-      }
-    } else if (strncmp(Arg, "--max-attempts=", 15) == 0) {
-      O.MaxAttempts = static_cast<unsigned>(strtoul(Arg + 15, nullptr, 10));
-    } else if (strncmp(Arg, "--task-deadline-ms=", 19) == 0) {
-      O.TaskDeadlineMs = strtod(Arg + 19, nullptr);
-    } else if (strncmp(Arg, "--breaker-threshold=", 20) == 0) {
-      O.BreakerThreshold =
-          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
-    } else if (strncmp(Arg, "--breaker-half-open=", 20) == 0) {
-      O.BreakerHalfOpenAfter =
-          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
-    } else if (strncmp(Arg, "--crash-bundle-dir=", 19) == 0) {
-      O.CrashBundleDir = Arg + 19;
-    } else if (strcmp(Arg, "--simaudit") == 0) {
-      O.SimAudit = true;
-    } else if (strcmp(Arg, "--compile-cache") == 0) {
-      O.UseCompileCache = true;
-    } else if (strncmp(Arg, "--compile-cache=", 16) == 0) {
-      O.UseCompileCache = true;
-      O.CacheDir = Arg + 16;
-    } else if (strncmp(Arg, "--cache-dir=", 12) == 0) {
-      O.UseCompileCache = true;
-      O.CacheDir = Arg + 12;
-    } else {
-      fprintf(stderr,
-              "unknown option: %s\nusage: %s [--trace=FILE] "
-              "[--remarks=FILE] [--counters] [--json-out[=FILE]] "
-              "[--jobs=N] [--metrics] [--flamegraph=FILE] [--poll-mask=N] "
-              "[--max-attempts=N] [--task-deadline-ms=MS] "
-              "[--breaker-threshold=N] [--breaker-half-open=N] "
-              "[--crash-bundle-dir=DIR] [--simaudit] "
-              "[--compile-cache[=DIR]] [--cache-dir=DIR]\n",
-              Arg, argv[0]);
+    switch (P.parse(argv[I])) {
+    case ParseStatus::Handled:
+      break;
+    case ParseStatus::Help:
+      printf("usage: %s %s\noptions:\n%s", argv[0], P.usage().c_str(),
+             P.helpText().c_str());
+      O.ShowedHelp = true;
+      return O;
+    case ParseStatus::Error:
+      fprintf(stderr, "%s: %s\n", argv[0], P.error().c_str());
+      O.Ok = false;
+      return O;
+    case ParseStatus::Unrecognized:
+      fprintf(stderr, "unknown option: %s\nusage: %s %s\n", argv[I],
+              argv[0], P.usage().c_str());
       O.Ok = false;
       return O;
     }
@@ -176,8 +104,25 @@ inline FigureOptions parseFigureOptions(int argc, char **argv,
 inline int runFigureMain(int argc, char **argv, const char *FigureName,
                          const SuiteSpec &Suite,
                          std::vector<BenchmarkMeasurement> *RowsOut = nullptr) {
-  FigureOptions O = parseFigureOptions(argc, argv, Suite);
-  if (!O.Ok)
+  FigureOptions FO = parseFigureOptions(argc, argv, Suite);
+  if (FO.ShowedHelp)
+    return 0;
+  if (!FO.Ok)
+    return 2;
+  const DriverOptions &O = FO.Driver;
+
+  TraceSession Session;
+  DecisionLog Decisions;
+  RunnerOptions Opts = O.toRunnerOptions();
+  if (!O.RemarksPath.empty())
+    Opts.Decisions = &Decisions;
+  Opts.CollectCounters = O.DumpCounters || !O.JsonOutPath.empty();
+  std::optional<CompileCache> Cache;
+  if (O.UseCompileCache) {
+    Cache.emplace(O.CacheDir);
+    Opts.Cache = &*Cache;
+  }
+  if (reportInvalidRunnerOptions(Opts, argv[0]))
     return 2;
 
   printf("# %s — configurations: baseline (DBDS off), DBDS, dupalot "
@@ -186,26 +131,6 @@ inline int runFigureMain(int argc, char **argv, const char *FigureName,
   printf("# peak: %% faster than baseline (higher is better)\n");
   printf("# ct:   %% compile-time increase (lower is better)\n");
   printf("# cs:   %% code-size increase (lower is better)\n");
-
-  TraceSession Session;
-  DecisionLog Decisions;
-  RunnerOptions Opts;
-  if (!O.RemarksPath.empty())
-    Opts.Decisions = &Decisions;
-  Opts.CollectCounters = O.DumpCounters || !O.JsonOutPath.empty();
-  Opts.Jobs = O.Jobs;
-  Opts.PollInterval = O.PollInterval;
-  Opts.MaxAttempts = O.MaxAttempts;
-  Opts.TaskDeadlineMs = O.TaskDeadlineMs;
-  Opts.BreakerThreshold = O.BreakerThreshold;
-  Opts.BreakerHalfOpenAfter = O.BreakerHalfOpenAfter;
-  Opts.CrashBundleDir = O.CrashBundleDir;
-  Opts.SimAudit = O.SimAudit;
-  std::optional<CompileCache> Cache;
-  if (O.UseCompileCache) {
-    Cache.emplace(O.CacheDir);
-    Opts.Cache = &*Cache;
-  }
 
   if (O.Metrics) {
     MetricsRegistry::setEnabled(true);

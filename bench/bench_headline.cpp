@@ -28,6 +28,7 @@
 #include "telemetry/BenchCompare.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Report.h"
+#include "tooling/DriverOptions.h"
 #include "workloads/CompileCache.h"
 #include "workloads/Runner.h"
 
@@ -39,77 +40,63 @@
 using namespace dbds;
 
 int main(int argc, char **argv) {
-  RunnerOptions Opts;
-  bool Metrics = false;
-  std::string JsonOutPath;
+  DriverOptions D;
+  D.JsonOutDefault = "BENCH_headline.json";
+  DriverOptionsParser P(
+      D, {DriverFlag::Jobs, DriverFlag::Metrics, DriverFlag::PollMask,
+          DriverFlag::JsonOut, DriverFlag::MaxAttempts,
+          DriverFlag::TaskDeadlineMs, DriverFlag::BreakerThreshold,
+          DriverFlag::BreakerHalfOpen, DriverFlag::CrashBundleDir,
+          DriverFlag::SimAudit, DriverFlag::CompileCache,
+          DriverFlag::CacheDir});
   std::string ComparePath;
-  bool UseCompileCache = false;
-  std::string CacheDir;
   BenchCompareOptions CompareOpts;
+  auto usage = [&](FILE *To) {
+    fprintf(To, "usage: %s [--compare=FILE] [--compare-threshold=PCT] %s\n",
+            argv[0], P.usage().c_str());
+  };
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
-    if (strncmp(Arg, "--jobs=", 7) == 0) {
-      Opts.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
-    } else if (strcmp(Arg, "--metrics") == 0) {
-      Metrics = true;
-    } else if (strncmp(Arg, "--poll-mask=", 12) == 0) {
-      Opts.PollInterval =
-          static_cast<unsigned>(strtoul(Arg + 12, nullptr, 10));
-      if (Opts.PollInterval == 0 ||
-          (Opts.PollInterval & (Opts.PollInterval - 1)) != 0) {
-        fprintf(stderr, "--poll-mask: %u is not a power of two\n",
-                Opts.PollInterval);
-        return 2;
-      }
-    } else if (strcmp(Arg, "--json-out") == 0) {
-      JsonOutPath = "BENCH_headline.json";
-    } else if (strncmp(Arg, "--json-out=", 11) == 0) {
-      JsonOutPath = Arg + 11;
-    } else if (strncmp(Arg, "--compare=", 10) == 0) {
+    switch (P.parse(Arg)) {
+    case ParseStatus::Handled:
+      continue;
+    case ParseStatus::Help:
+      usage(stdout);
+      printf("options:\n%s"
+             "  --compare=FILE           diff this run against a prior "
+             "--json-out report\n"
+             "  --compare-threshold=PCT  regression-gate tolerance for "
+             "--compare\n",
+             P.helpText().c_str());
+      return 0;
+    case ParseStatus::Error:
+      fprintf(stderr, "%s: %s\n", argv[0], P.error().c_str());
+      return 2;
+    case ParseStatus::Unrecognized:
+      break;
+    }
+    if (strncmp(Arg, "--compare=", 10) == 0) {
       ComparePath = Arg + 10;
     } else if (strncmp(Arg, "--compare-threshold=", 20) == 0) {
       CompareOpts.ThresholdPct = strtod(Arg + 20, nullptr);
-    } else if (strncmp(Arg, "--max-attempts=", 15) == 0) {
-      Opts.MaxAttempts = static_cast<unsigned>(strtoul(Arg + 15, nullptr, 10));
-    } else if (strncmp(Arg, "--task-deadline-ms=", 19) == 0) {
-      Opts.TaskDeadlineMs = strtod(Arg + 19, nullptr);
-    } else if (strncmp(Arg, "--breaker-threshold=", 20) == 0) {
-      Opts.BreakerThreshold =
-          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
-    } else if (strncmp(Arg, "--breaker-half-open=", 20) == 0) {
-      Opts.BreakerHalfOpenAfter =
-          static_cast<unsigned>(strtoul(Arg + 20, nullptr, 10));
-    } else if (strncmp(Arg, "--crash-bundle-dir=", 19) == 0) {
-      Opts.CrashBundleDir = Arg + 19;
-    } else if (strcmp(Arg, "--simaudit") == 0) {
-      Opts.SimAudit = true;
-    } else if (strcmp(Arg, "--compile-cache") == 0) {
-      UseCompileCache = true;
-    } else if (strncmp(Arg, "--compile-cache=", 16) == 0) {
-      UseCompileCache = true;
-      CacheDir = Arg + 16;
-    } else if (strncmp(Arg, "--cache-dir=", 12) == 0) {
-      UseCompileCache = true;
-      CacheDir = Arg + 12;
     } else {
-      fprintf(stderr,
-              "unknown option: %s\nusage: %s [--jobs=N] [--metrics] "
-              "[--poll-mask=N] [--json-out[=FILE]] [--compare=FILE] "
-              "[--compare-threshold=PCT] [--max-attempts=N] "
-              "[--task-deadline-ms=MS] [--breaker-threshold=N] "
-              "[--breaker-half-open=N] [--crash-bundle-dir=DIR] "
-              "[--simaudit] [--compile-cache[=DIR]] [--cache-dir=DIR]\n",
-              Arg, argv[0]);
+      fprintf(stderr, "unknown option: %s\n", Arg);
+      usage(stderr);
       return 2;
     }
   }
+  const bool Metrics = D.Metrics;
+  const std::string JsonOutPath = D.JsonOutPath;
+  RunnerOptions Opts = D.toRunnerOptions();
   // One cache for all four suites: identical functions recur across suite
   // seeds, which is exactly the cross-benchmark reuse the cache exists for.
   std::optional<CompileCache> Cache;
-  if (UseCompileCache) {
-    Cache.emplace(CacheDir);
+  if (D.UseCompileCache) {
+    Cache.emplace(D.CacheDir);
     Opts.Cache = &*Cache;
   }
+  if (reportInvalidRunnerOptions(Opts, argv[0]))
+    return 2;
   // Both --json-out and --compare need the combined report rows; --compare
   // works standalone (render in memory, diff, never write).
   const bool NeedReport = !JsonOutPath.empty() || !ComparePath.empty();

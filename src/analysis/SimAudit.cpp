@@ -103,6 +103,78 @@ bool mergeHasPerEdgeProvableFold(StampFlow &Flow, Block *Merge) {
   return false;
 }
 
+/// Local escape classification for the audit's independent replay. The
+/// auditor re-derives "this use publishes the allocation" instead of
+/// calling the optimizer's own predicate (opts/PartialEscape.h): the
+/// analysis layer sits below opts, and an auditor should not share the
+/// code paths it audits.
+bool auditUseEscapes(const NewInst *New, const Instruction *User) {
+  if (auto *Load = dyn_cast<LoadFieldInst>(User))
+    return Load->getObject() != New;
+  if (auto *Store = dyn_cast<StoreFieldInst>(User))
+    return Store->getValue() == New || Store->getObject() != New;
+  return true; // call/invoke argument, phi, return, comparison, ...
+}
+
+/// Scalar-replacement residue for accepted PEA/sink claims: an allocation
+/// that escapes nowhere and feeds no surviving load is held alive only by
+/// its own initializer stores — the partial-escape phase plus DCE must
+/// erase it, so its survival means the claimed un-escape was not
+/// delivered. Allocations with surviving loads are excluded: a load past
+/// a merge legitimately pins the object.
+bool functionHasUnescapedAllocResidue(StampFlow &Flow, Function &F) {
+  for (Block *B : F.blocks()) {
+    if (!Flow.blockExecutable(B))
+      continue;
+    for (Instruction *I : *B) {
+      auto *New = dyn_cast<NewInst>(I);
+      if (!New)
+        continue;
+      bool Pinned = false;
+      for (Instruction *User : New->users())
+        if (auditUseEscapes(New, User) || isa<LoadFieldInst>(User)) {
+          Pinned = true;
+          break;
+        }
+      if (!Pinned)
+        return true;
+    }
+  }
+  return false;
+}
+
+/// The §5.2 missed-opportunity probe for one rejected edge: the phi input
+/// coming from \p PredIdx is an allocation whose only escape is that phi —
+/// duplicating this predecessor would have un-escaped it, so a simulation
+/// that priced the pair at zero opportunities underclaimed.
+bool phiEdgeCarriesUnescapableAlloc(StampFlow &Flow, Block *Merge,
+                                    unsigned PredIdx) {
+  if (!Flow.blockExecutable(Merge) || !Flow.edgeExecutable(Merge, PredIdx))
+    return false;
+  for (PhiInst *Phi : Merge->phis()) {
+    if (PredIdx >= Phi->getNumInputs())
+      continue;
+    auto *New = dyn_cast<NewInst>(Phi->getInput(PredIdx));
+    if (!New)
+      continue;
+    unsigned PhiUses = 0;
+    bool OtherEscape = false;
+    for (Instruction *User : New->users()) {
+      if (!auditUseEscapes(New, User))
+        continue;
+      if (User == Phi)
+        ++PhiUses;
+      else {
+        OtherEscape = true;
+        break;
+      }
+    }
+    if (!OtherEscape && PhiUses == 1)
+      return true;
+  }
+  return false;
+}
+
 AuditVerdict classify(StampFlow &Flow, Liveness &Live, Function &F,
                       const DuplicationDecision &D) {
   switch (D.Verdict) {
@@ -132,6 +204,12 @@ AuditVerdict classify(StampFlow &Flow, Liveness &Live, Function &F,
         }
       }
     }
+    // PEA claims replay against post-DBDS facts: a promised un-escape
+    // (scalar replacement or sink) that left a store-only allocation
+    // behind anywhere in the function is an overclaim.
+    if (!Residue && (D.Opportunities.AllocationSinks != 0 ||
+                     D.Opportunities.PartialEscapes != 0))
+      Residue = functionHasUnescapedAllocResidue(Flow, F);
     return Residue ? AuditVerdict::Overclaimed : AuditVerdict::Confirmed;
   }
 
@@ -145,9 +223,15 @@ AuditVerdict classify(StampFlow &Flow, Liveness &Live, Function &F,
     Block *Merge = F.getBlockById(D.MergeId);
     if (!Merge || !Merge->isMerge())
       return AuditVerdict::Skipped;
-    if (D.Opportunities.total() == 0 &&
-        mergeHasPerEdgeProvableFold(Flow, Merge))
-      return AuditVerdict::Underclaimed;
+    if (D.Opportunities.total() == 0) {
+      if (mergeHasPerEdgeProvableFold(Flow, Merge))
+        return AuditVerdict::Underclaimed;
+      Block *Pred = F.getBlockById(D.PredId);
+      if (Pred && Merge->hasPred(Pred) &&
+          phiEdgeCarriesUnescapableAlloc(Flow, Merge,
+                                         Merge->indexOfPred(Pred)))
+        return AuditVerdict::Underclaimed;
+    }
     return AuditVerdict::Confirmed;
   }
   }

@@ -11,6 +11,7 @@
 #include "opts/Canonicalize.h"
 #include "support/Cancellation.h"
 #include "opts/MemoryState.h"
+#include "opts/PartialEscape.h"
 #include "opts/ScopedStamps.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Json.h"
@@ -29,6 +30,7 @@ DBDS_COUNTER(simulator, strength_reductions);
 DBDS_COUNTER(simulator, conditional_eliminations);
 DBDS_COUNTER(simulator, read_eliminations);
 DBDS_COUNTER(simulator, allocation_sinks);
+DBDS_COUNTER(simulator, partial_escapes);
 
 namespace {
 
@@ -140,27 +142,40 @@ private:
     Scope.undo(Undo);
   }
 
-  /// Partial-escape credit: duplicating this pair removes the phi input at
-  /// \p PredIdx; an allocation whose only escape is that input dies.
+  /// Partial-escape credit (paper §5.2): duplicating this pair removes the
+  /// phi input at \p PredIdx. An allocation whose only escape was that
+  /// input dies entirely — scalar replacement, priced as AllocationSinks.
+  /// One whose residual escapes are confined to a single dominated,
+  /// loop-free block gets its materialization sunk there by the
+  /// partial-escape phase — priced as PartialEscapes: the CYCLES_8
+  /// allocation cost stops being paid on paths that avoid the escape.
   void addEscapeCredit(Block *M, unsigned PredIdx, DuplicationCandidate &C) {
     for (PhiInst *Phi : M->phis()) {
       auto *New = dyn_cast<NewInst>(Phi->getInput(PredIdx));
-      if (!New)
+      if (!New || !New->getBlock())
         continue;
-      unsigned EscapeUses = 0;
-      bool OnlyThisPhi = true;
+      Block *Home = New->getBlock();
+      unsigned PhiUses = 0;
+      bool HasLoad = false;
+      bool StoresAtHome = true;
+      SmallVector<Instruction *, 4> Residual;
       for (Instruction *User : New->users()) {
-        if (auto *Store = dyn_cast<StoreFieldInst>(User))
-          if (Store->getObject() == New && Store->getValue() != New)
-            continue;
-        if (auto *Load = dyn_cast<LoadFieldInst>(User))
-          if (Load->getObject() == New)
-            continue;
-        ++EscapeUses;
-        if (User != Phi)
-          OnlyThisPhi = false;
+        if (!useEscapesAllocation(New, User)) {
+          if (isa<LoadFieldInst>(User))
+            HasLoad = true;
+          else if (User->getBlock() != Home)
+            StoresAtHome = false;
+          continue;
+        }
+        if (User == Phi)
+          ++PhiUses;
+        else
+          Residual.push_back(User);
       }
-      if (EscapeUses == 1 && OnlyThisPhi) {
+      if (PhiUses != 1)
+        continue; // another input of this phi keeps it escaped
+      if (Residual.empty()) {
+        // Full un-escape: the allocation and its initializer stores die.
         double Saved = New->estimatedCycles();
         for (Instruction *User : New->users())
           if (isa<StoreFieldInst>(User))
@@ -170,7 +185,26 @@ private:
         ++allocation_sinks;
         if (Stats)
           ++Stats->AllocationSinks;
+        continue;
       }
+      // Partial un-escape: mirror PartialEscapePhase::trySink's
+      // preconditions so the claim is only made when the phase can
+      // actually deliver the sink after duplication.
+      if (HasLoad || !StoresAtHome || LI.loopDepth(Home) != 0)
+        continue;
+      Block *SinkB = Residual.front()->getBlock();
+      bool Confined = SinkB != nullptr && SinkB != Home &&
+                      DT.isReachable(SinkB) && DT.dominates(Home, SinkB) &&
+                      LI.loopDepth(SinkB) == 0;
+      for (Instruction *E : Residual)
+        Confined = Confined && !isa<PhiInst>(E) && E->getBlock() == SinkB;
+      if (!Confined)
+        continue;
+      C.CyclesSaved += New->estimatedCycles();
+      ++C.Opportunities.PartialEscapes;
+      ++partial_escapes;
+      if (Stats)
+        ++Stats->PartialEscapes;
     }
   }
 

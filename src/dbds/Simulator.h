@@ -40,6 +40,8 @@ struct SimulationStats {
   unsigned ConditionalEliminations = 0;
   unsigned ReadEliminations = 0;
   unsigned AllocationSinks = 0;
+  unsigned PartialEscapes = 0; ///< §5.2 partial un-escapes (residual
+                               ///< escapes confined to a dominated block).
 };
 
 /// Simulates every predecessor->merge duplication in \p F and returns the

@@ -14,7 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "opts/MemoryState.h"
+#include "opts/PartialEscape.h"
 #include "opts/Phase.h"
 
 #include <unordered_set>

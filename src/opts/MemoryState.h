@@ -22,13 +22,9 @@
 
 namespace dbds {
 
-/// True if \p New never escapes: every use is a field access *on* it (not
-/// storing it anywhere, passing it, returning it, merging it in a phi).
-/// After duplication removes a phi use, this starts holding — the paper's
-/// partial-escape pattern (Listing 3).
-bool allocationDoesNotEscape(NewInst *New);
-
 /// A flow-sensitive (object, field) -> value map with freshness tracking.
+/// (The escape predicate backing the freshness reasoning lives in
+/// opts/PartialEscape.h.)
 class MemoryState {
 public:
   /// Forgets everything (used at merge points).

@@ -6,6 +6,7 @@
 
 #include "analysis/Lint.h"
 #include "analysis/Verifier.h"
+#include "opts/PartialEscape.h"
 #include "opts/Phase.h"
 #include "support/Budget.h"
 #include "support/Cancellation.h"
@@ -274,6 +275,7 @@ PhaseManager PhaseManager::standardPipeline(bool Verify,
   PM.add(std::make_unique<ValueNumbering>());
   PM.add(std::make_unique<ConditionalElimination>());
   PM.add(std::make_unique<ReadElimination>(ClassTable));
+  PM.add(std::make_unique<PartialEscapePhase>(ClassTable));
   PM.add(std::make_unique<DeadCodeElimination>());
   PM.add(std::make_unique<SimplifyCFG>());
   return PM;

@@ -21,25 +21,10 @@
 
 #include "analysis/DominatorTree.h"
 #include "opts/MemoryState.h"
+#include "opts/PartialEscape.h"
 #include "opts/Phase.h"
 
 using namespace dbds;
-
-bool dbds::allocationDoesNotEscape(NewInst *New) {
-  for (Instruction *User : New->users()) {
-    if (auto *Store = dyn_cast<StoreFieldInst>(User)) {
-      if (Store->getObject() == New && Store->getValue() != New)
-        continue;
-      return false; // stored as a value: escapes
-    }
-    if (auto *Load = dyn_cast<LoadFieldInst>(User)) {
-      if (Load->getObject() == New)
-        continue;
-    }
-    return false; // phi, call, return, comparison, ... : escapes
-  }
-  return true;
-}
 
 void MemoryState::clear() {
   Available.clear();

@@ -44,6 +44,36 @@ void gateScalar(BenchCompareResult &R, const BenchCompareOptions &Opts,
   R.Deltas.push_back(std::move(D));
 }
 
+/// Gates one higher-is-better counter, fed inverted: a value that
+/// *dropped* past the threshold is the regression. Zero-valued counters
+/// are omitted from reports, so \p New may be null — that means the
+/// counter collapsed to zero, the worst shrinkage, which must still gate.
+/// A missing old-side key skips the check (nothing to shrink from),
+/// matching gateScalar's zero-baseline rule.
+void gateShrinkage(BenchCompareResult &R, const BenchCompareOptions &Opts,
+                   const std::string &Where, const std::string &Field,
+                   const JsonValue *Old, const JsonValue *New) {
+  if (!Old)
+    return;
+  double OldV = Old->asDouble();
+  double NewV = New ? New->asDouble() : 0.0;
+  ++R.Compared;
+  if (OldV <= 0.0)
+    return;
+  double Pct = deltaPct(OldV, NewV);
+  if (-Pct <= Opts.ThresholdPct)
+    return;
+  BenchDelta D;
+  D.Where = Where;
+  D.Field = Field;
+  D.OldValue = OldV;
+  D.NewValue = NewV;
+  D.DeltaPct = Pct;
+  D.Gating = true;
+  ++R.Regressions;
+  R.Deltas.push_back(std::move(D));
+}
+
 void compareConfigs(BenchCompareResult &R, const BenchCompareOptions &Opts,
                     const std::string &BenchName, const JsonValue &OldBench,
                     const JsonValue &NewBench) {
@@ -80,31 +110,17 @@ void compareConfigs(BenchCompareResult &R, const BenchCompareOptions &Opts,
         gateScalar(R, Opts, Where, "counters/cache.miss",
                    OldCtr->getNumber("cache.miss"),
                    NewCtr->getNumber("cache.miss"), /*Gating=*/true);
-      const JsonValue *OldHit = OldCtr->get("cache.hit");
-      const JsonValue *NewHit = NewCtr->get("cache.hit");
-      // Zero-valued counters are omitted from reports, so a missing
-      // new-side cache.hit means the hits collapsed to zero — the worst
-      // shrinkage, which must still gate. A missing old-side key skips
-      // the check (nothing to shrink from), matching gateScalar.
-      if (OldHit) {
-        double OldV = OldHit->asDouble();
-        double NewV = NewHit ? NewHit->asDouble() : 0.0;
-        ++R.Compared;
-        if (OldV > 0.0) {
-          double Pct = deltaPct(OldV, NewV);
-          if (-Pct > Opts.ThresholdPct) {
-            BenchDelta D;
-            D.Where = Where;
-            D.Field = "counters/cache.hit";
-            D.OldValue = OldV;
-            D.NewValue = NewV;
-            D.DeltaPct = Pct;
-            D.Gating = true;
-            ++R.Regressions;
-            R.Deltas.push_back(std::move(D));
-          }
-        }
-      }
+      gateShrinkage(R, Opts, Where, "counters/cache.hit",
+                    OldCtr->get("cache.hit"), NewCtr->get("cache.hit"));
+      // Partial-escape effectiveness: every pea.* counter is optimizer
+      // work done (loads forwarded, allocations virtualized or sunk), so
+      // the whole family gates on shrinkage — a PR that silently stops
+      // scalar-replacing shows up as a drop here before it shows up in
+      // cycle counts.
+      for (const auto &[Name, OldV] : OldCtr->members())
+        if (Name.rfind("pea.", 0) == 0)
+          gateShrinkage(R, Opts, Where, "counters/" + Name, &OldV,
+                        NewCtr->get(Name));
     }
   }
 }

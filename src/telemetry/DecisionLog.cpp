@@ -67,6 +67,7 @@ std::string DuplicationDecision::renderJson() const {
          jsonNumber(Opportunities.ConditionalEliminations);
   Out += ",\"read_eliminations\":" + jsonNumber(Opportunities.ReadEliminations);
   Out += ",\"allocation_sinks\":" + jsonNumber(Opportunities.AllocationSinks);
+  Out += ",\"partial_escapes\":" + jsonNumber(Opportunities.PartialEscapes);
   Out += "}";
   if (TradeoffEvaluated) {
     Out += ",\"clauses\":{";

@@ -34,10 +34,11 @@ struct OpportunityCounts {
   unsigned ConditionalEliminations = 0;
   unsigned ReadEliminations = 0;
   unsigned AllocationSinks = 0;
+  unsigned PartialEscapes = 0;
 
   unsigned total() const {
     return ConstantFolds + StrengthReductions + ConditionalEliminations +
-           ReadEliminations + AllocationSinks;
+           ReadEliminations + AllocationSinks + PartialEscapes;
   }
 };
 

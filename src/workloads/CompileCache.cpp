@@ -99,7 +99,8 @@ CompileCacheKey dbds::computeCompileCacheKey(
 
 namespace {
 
-constexpr const char *FormatHeader = "dbds-compile-cache v1";
+// v2: decision lines carry the partial_escapes opportunity count.
+constexpr const char *FormatHeader = "dbds-compile-cache v2";
 
 uint64_t bitsOfDouble(double V) {
   uint64_t Bits;
@@ -316,6 +317,7 @@ std::string dbds::serializeCacheEntry(const CompileCacheKey &Key,
            std::to_string(O.ConditionalEliminations) + " " +
            std::to_string(O.ReadEliminations) + " " +
            std::to_string(O.AllocationSinks) + " " +
+           std::to_string(O.PartialEscapes) + " " +
            std::to_string(D.TradeoffEvaluated ? 1 : 0) + " " +
            std::to_string(D.Clauses.PositiveCyclesSaved ? 1 : 0) + " " +
            std::to_string(D.Clauses.BenefitOutweighsCost ? 1 : 0) + " " +
@@ -486,6 +488,7 @@ bool dbds::parseCacheEntry(const std::string &Text,
     D.Opportunities.ConditionalEliminations = static_cast<unsigned>(R.u64());
     D.Opportunities.ReadEliminations = static_cast<unsigned>(R.u64());
     D.Opportunities.AllocationSinks = static_cast<unsigned>(R.u64());
+    D.Opportunities.PartialEscapes = static_cast<unsigned>(R.u64());
     D.TradeoffEvaluated = R.flag();
     D.Clauses.PositiveCyclesSaved = R.flag();
     D.Clauses.BenefitOutweighsCost = R.flag();

@@ -31,6 +31,26 @@ const char *dbds::runConfigName(RunConfig Config) {
   return "?";
 }
 
+std::vector<RunnerOptionDiagnostic> RunnerOptions::validate() const {
+  std::vector<RunnerOptionDiagnostic> Out;
+  if (PollInterval == 0 || (PollInterval & (PollInterval - 1)) != 0)
+    Out.push_back({"--poll-mask",
+                   std::to_string(PollInterval) + " is not a power of two"});
+  if (MaxAttempts == 0)
+    Out.push_back({"--max-attempts", "must be at least 1"});
+  if (TaskDeadlineMs < 0.0)
+    Out.push_back({"--task-deadline-ms", "deadline cannot be negative"});
+  if (BreakerHalfOpenAfter != 0 && BreakerThreshold == 0)
+    Out.push_back({"--breaker-half-open",
+                   "half-open recovery needs --breaker-threshold to arm "
+                   "the breaker"});
+  if (Injector != nullptr && Cache != nullptr)
+    Out.push_back({"--compile-cache",
+                   "incompatible with fault injection: a replayed compile "
+                   "would desync the sequential fault stream"});
+  return Out;
+}
+
 namespace {
 
 void diagnose(const RunnerOptions &Opts, DiagKind Kind,

@@ -25,6 +25,7 @@
 #include "workloads/Suites.h"
 
 #include <string>
+#include <vector>
 
 namespace dbds {
 
@@ -39,6 +40,14 @@ class Linter;
 enum class RunConfig { Baseline, DBDS, DupALot };
 
 const char *runConfigName(RunConfig Config);
+
+/// One conflict or out-of-range knob found by RunnerOptions::validate(),
+/// phrased in the drivers' flag vocabulary so it can be printed verbatim
+/// as a usage error.
+struct RunnerOptionDiagnostic {
+  std::string Option;  ///< The flag as drivers expose it ("--poll-mask").
+  std::string Message; ///< What is wrong with its value or combination.
+};
 
 /// Harness robustness knobs. The defaults degrade gracefully: faults are
 /// diagnosed and measurement continues; FailFast restores the legacy
@@ -126,6 +135,17 @@ struct RunnerOptions {
   /// phase effects are lint-diffed and attributed, feeding the breaker
   /// higher-fidelity blame than the plain verifier.
   const Linter *AuditLinter = nullptr;
+
+  /// Checks the knob combination for conflicts the harness would
+  /// otherwise paper over at runtime: a non-power-of-two poll stride, a
+  /// zero retry budget, a negative deadline, half-open recovery with the
+  /// breaker off, and fault injection combined with the compile cache (a
+  /// replayed compile would desync the sequential fault stream — the
+  /// conflict fuzzdiff used to auto-disable silently). Returns one
+  /// diagnostic per problem; empty means the options are coherent. Every
+  /// driver gates on this after wiring its pointers (see
+  /// tooling/DriverOptions.h's reportInvalidRunnerOptions).
+  std::vector<RunnerOptionDiagnostic> validate() const;
 
   /// Optional content-addressed compile cache (not owned; drivers expose
   /// --compile-cache[=dir]). A hit replays the memoized compile so the

@@ -420,6 +420,7 @@ CompileCacheEntry makeRichEntry() {
   D.Opportunities.ConditionalEliminations = 3;
   D.Opportunities.ReadEliminations = 4;
   D.Opportunities.AllocationSinks = 5;
+  D.Opportunities.PartialEscapes = 6;
   D.TradeoffEvaluated = true;
   D.Clauses.PositiveCyclesSaved = true;
   D.Clauses.BenefitOutweighsCost = true;
@@ -547,10 +548,10 @@ TEST(CacheSerializationTest, TruncationIsAMiss) {
 TEST(CacheSerializationTest, VersionMismatchIsAMiss) {
   const CompileCacheKey Key = stableHash128("version");
   std::string Text = serializeCacheEntry(Key, makeRichEntry());
-  ASSERT_EQ(Text.compare(0, 21, "dbds-compile-cache v1"), 0);
-  // A hypothetical v2 writer with a *valid* checksum over its bytes: the
+  ASSERT_EQ(Text.compare(0, 21, "dbds-compile-cache v2"), 0);
+  // A hypothetical v3 writer with a *valid* checksum over its bytes: the
   // version check must run first and reject without touching the payload.
-  Text[20] = '2';
+  Text[20] = '3';
   const size_t ChecksumLine = Text.rfind("checksum ");
   ASSERT_NE(ChecksumLine, std::string::npos);
   std::string Body = Text.substr(0, ChecksumLine);

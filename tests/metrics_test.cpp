@@ -400,6 +400,46 @@ TEST(BenchCompareTest, ImprovementsNeverGate) {
   EXPECT_EQ(Res.Regressions, 0u);
 }
 
+std::string counterReport(const char *Counters) {
+  std::string Out =
+      "{\"schema\":\"dbds-bench-report\",\"version\":2,"
+      "\"suite\":\"t\",\"benchmarks\":[{\"name\":\"b\",\"configs\":{"
+      "\"dbds\":{\"dynamic_cycles\":1000,\"compile_time_ms\":10,"
+      "\"code_size\":200,\"counters\":{";
+  Out += Counters;
+  Out += "}}}}]}";
+  return Out;
+}
+
+// The pea.* family is optimizer work done, so it gates on shrinkage:
+// fewer loads forwarded / allocations virtualized than the baseline run
+// is the regression, growth never is.
+TEST(BenchCompareTest, PeaCounterShrinkageGates) {
+  BenchCompareOptions Opts; // 10% threshold
+  BenchCompareResult Res = compareBenchReports(
+      counterReport("\"pea.loads_forwarded\":100"),
+      counterReport("\"pea.loads_forwarded\":80"), Opts);
+  EXPECT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.Regressions, 1u);
+
+  Res = compareBenchReports(counterReport("\"pea.loads_forwarded\":100"),
+                            counterReport("\"pea.loads_forwarded\":200"),
+                            Opts);
+  EXPECT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.Regressions, 0u);
+}
+
+TEST(BenchCompareTest, PeaCounterMissingOnNewSideIsACollapseToZero) {
+  // Zero-valued counters are omitted from reports, so a vanished
+  // pea.allocs_sunk means the sinking stopped happening entirely — the
+  // worst shrinkage. A key only the new side has is not comparable.
+  BenchCompareResult Res = compareBenchReports(
+      counterReport("\"pea.allocs_sunk\":5"),
+      counterReport("\"pea.loads_forwarded\":5"), BenchCompareOptions());
+  EXPECT_TRUE(Res.Ok);
+  EXPECT_EQ(Res.Regressions, 1u);
+}
+
 TEST(BenchCompareTest, MalformedInputFailsClosed) {
   BenchCompareResult Res = compareBenchReports("nonsense", "also nonsense",
                                                BenchCompareOptions());

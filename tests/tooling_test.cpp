@@ -10,6 +10,7 @@
 #include "ir/IRBuilder.h"
 #include "ir/Parser.h"
 #include "opts/MemoryState.h"
+#include "opts/PartialEscape.h"
 #include "vm/Interpreter.h"
 #include "workloads/ProgramGenerator.h"
 

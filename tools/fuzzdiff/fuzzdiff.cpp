@@ -68,6 +68,7 @@
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
 #include "telemetry/Trace.h"
+#include "tooling/DriverOptions.h"
 #include "tooling/Reducer.h"
 #include "tooling/Sabotage.h"
 #include "vm/Interpreter.h"
@@ -94,42 +95,34 @@ namespace {
 constexpr uint64_t RunFuel = 1u << 22;
 
 struct Options {
-  uint64_t Seed = 1;
-  unsigned Count = 50;
+  /// Shared flags (tooling/DriverOptions.h): --seed/--count/--functions/
+  /// --segments/--fail-fast/--quiet/--trace/--jobs/--simaudit/
+  /// --compile-cache/--cache-dir.
+  DriverOptions Common;
   double MaxSeconds = 0.0; ///< 0 = unlimited.
   std::string OutDir = "fuzzdiff-artifacts";
-  unsigned Functions = 4;
-  unsigned Segments = 4;
   uint64_t InjectSeed = 0; ///< 0 = fault injection off.
   /// Fault-kind mask for --inject (FaultInjector::Mask*); the default
   /// reproduces the legacy corrupt-ir/phase-failure alternation.
   unsigned InjectKinds = FaultInjector::MaskLegacy;
   bool Sabotage = false;
-  bool FailFast = false;
-  bool Quiet = false;
-  std::string TracePath; ///< Whole-run trace ("" = tracing off).
-  unsigned Jobs = 1;     ///< Concurrent seeds (0 = hardware threads).
-  bool SimAudit = false; ///< Audit DBDS decisions on every compile.
-  bool UseCompileCache = false; ///< Memoize injector-free compiles.
-  std::string CacheDir;         ///< On-disk cache directory ("" = memory).
 };
 
-int usage(const char *Prog) {
-  fprintf(stderr,
-          "usage: %s [--seed=N] [--count=N] [--max-seconds=N] "
-          "[--out-dir=DIR] [--functions=N] [--segments=N] [--inject=SEED] "
-          "[--inject-kinds=MASK] [--sabotage] [--fail-fast] [--quiet] "
-          "[--trace=FILE] [--jobs=N] [--simaudit] [--compile-cache[=DIR]] "
-          "[--cache-dir=DIR]\n",
-          Prog);
+const char *SpecificUsage =
+    "[--max-seconds=N] [--out-dir=DIR] [--inject=SEED] "
+    "[--inject-kinds=MASK] [--sabotage]";
+
+int usage(const char *Prog, const DriverOptionsParser &P) {
+  fprintf(stderr, "usage: %s %s %s\n", Prog, SpecificUsage,
+          P.usage().c_str());
   return 2;
 }
 
 GeneratorConfig makeGeneratorConfig(uint64_t Seed, const Options &O) {
   GeneratorConfig GC;
   GC.Seed = Seed;
-  GC.NumFunctions = O.Functions;
-  GC.SegmentsPerFunction = O.Segments;
+  GC.NumFunctions = O.Common.Functions;
+  GC.SegmentsPerFunction = O.Common.Segments;
   return GC;
 }
 
@@ -146,11 +139,11 @@ void compileFunction(Function &F, Module *M, RunConfig Config,
                      std::vector<std::pair<CompileCacheKey, CompileCacheEntry>>
                          *PendingStores = nullptr) {
   // Content-addressed memoization of the whole profile+optimize procedure.
-  // Only injector-free, sabotage-free compiles participate: a fault stream
-  // advances sequentially across calls (replaying one call would desync
-  // the rest of the seed's stream), and sabotage diverges by design. The
-  // reduction oracle never passes a cache — a shrinking module must
-  // recompile for real every time.
+  // Only sabotage-free compiles participate: sabotage diverges by design.
+  // Injected faults advance a sequential stream, so --inject with the
+  // cache is rejected up front by RunnerOptions::validate(); the Injector
+  // guard here is belt-and-braces. The reduction oracle never passes a
+  // cache — a shrinking module must recompile for real every time.
   if (Injector || O.Sabotage)
     Cache = nullptr;
   CompileCacheKey Key{};
@@ -159,7 +152,7 @@ void compileFunction(Function &F, Module *M, RunConfig Config,
     FP.Tool = "fuzzdiff";
     FP.Config = static_cast<unsigned>(Config);
     FP.Verify = true;
-    FP.FailFast = O.FailFast;
+    FP.FailFast = O.Common.FailFast;
     FP.WantDiags = Diags != nullptr;
     FP.WantDecisions = Decisions != nullptr;
     FP.MetricsEnabled = MetricsRegistry::enabled();
@@ -190,7 +183,7 @@ void compileFunction(Function &F, Module *M, RunConfig Config,
 
   unsigned Rollbacks = 0;
   PhaseManager Pipeline = PhaseManager::standardPipeline(/*Verify=*/true, M);
-  Pipeline.setFailFast(O.FailFast);
+  Pipeline.setFailFast(O.Common.FailFast);
   Pipeline.setDiagnostics(Diags);
   Pipeline.setFaultInjector(Injector);
   Pipeline.run(F);
@@ -200,7 +193,7 @@ void compileFunction(Function &F, Module *M, RunConfig Config,
     DC.UseTradeoff = Config == RunConfig::DBDS;
     DC.ClassTable = M;
     DC.Verify = true;
-    DC.FailFast = O.FailFast;
+    DC.FailFast = O.Common.FailFast;
     DC.Diags = Diags;
     DC.Injector = Injector;
     DC.Decisions = Decisions;
@@ -362,7 +355,7 @@ void reportFinding(Finding &F, const GeneratedWorkload &Ref, unsigned FnIdx,
   } else {
     fprintf(stderr, "fuzzdiff: cannot write '%s'\n", LintPath.c_str());
   }
-  if (!O.Quiet)
+  if (!O.Common.Quiet)
     printf("fuzzdiff: FINDING seed=%llu @%s [%s]: %s — reduced %u -> %u "
            "instructions (%s.ir, %s_reduced.ir)\n",
            static_cast<unsigned long long>(F.Seed), F.FunctionName.c_str(),
@@ -375,45 +368,39 @@ void reportFinding(Finding &F, const GeneratedWorkload &Ref, unsigned FnIdx,
 
 int main(int Argc, char **Argv) {
   Options O;
+  O.Common.Count = 50;
+  DriverOptionsParser P(
+      O.Common,
+      {DriverFlag::Seed, DriverFlag::Count, DriverFlag::Functions,
+       DriverFlag::Segments, DriverFlag::FailFast, DriverFlag::Quiet,
+       DriverFlag::Trace, DriverFlag::Jobs, DriverFlag::SimAudit,
+       DriverFlag::CompileCache, DriverFlag::CacheDir});
   for (int I = 1; I != Argc; ++I) {
-    if (strncmp(Argv[I], "--seed=", 7) == 0)
-      O.Seed = strtoull(Argv[I] + 7, nullptr, 10);
-    else if (strncmp(Argv[I], "--count=", 8) == 0)
-      O.Count = static_cast<unsigned>(atoi(Argv[I] + 8));
-    else if (strncmp(Argv[I], "--max-seconds=", 14) == 0)
+    switch (P.parse(Argv[I])) {
+    case ParseStatus::Handled:
+      continue;
+    case ParseStatus::Help:
+      printf("usage: %s %s %s\noptions:\n%s", Argv[0], SpecificUsage,
+             P.usage().c_str(), P.helpText().c_str());
+      return 0;
+    case ParseStatus::Error:
+      fprintf(stderr, "fuzzdiff: %s\n", P.error().c_str());
+      return 2;
+    case ParseStatus::Unrecognized:
+      break;
+    }
+    if (strncmp(Argv[I], "--max-seconds=", 14) == 0)
       O.MaxSeconds = atof(Argv[I] + 14);
     else if (strncmp(Argv[I], "--out-dir=", 10) == 0)
       O.OutDir = Argv[I] + 10;
-    else if (strncmp(Argv[I], "--functions=", 12) == 0)
-      O.Functions = static_cast<unsigned>(atoi(Argv[I] + 12));
-    else if (strncmp(Argv[I], "--segments=", 11) == 0)
-      O.Segments = static_cast<unsigned>(atoi(Argv[I] + 11));
     else if (strncmp(Argv[I], "--inject=", 9) == 0)
       O.InjectSeed = strtoull(Argv[I] + 9, nullptr, 10);
     else if (strncmp(Argv[I], "--inject-kinds=", 15) == 0)
       O.InjectKinds = static_cast<unsigned>(strtoul(Argv[I] + 15, nullptr, 0));
     else if (strcmp(Argv[I], "--sabotage") == 0)
       O.Sabotage = true;
-    else if (strcmp(Argv[I], "--fail-fast") == 0)
-      O.FailFast = true;
-    else if (strcmp(Argv[I], "--quiet") == 0)
-      O.Quiet = true;
-    else if (strncmp(Argv[I], "--trace=", 8) == 0)
-      O.TracePath = Argv[I] + 8;
-    else if (strncmp(Argv[I], "--jobs=", 7) == 0)
-      O.Jobs = static_cast<unsigned>(strtoul(Argv[I] + 7, nullptr, 10));
-    else if (strcmp(Argv[I], "--simaudit") == 0)
-      O.SimAudit = true;
-    else if (strcmp(Argv[I], "--compile-cache") == 0)
-      O.UseCompileCache = true;
-    else if (strncmp(Argv[I], "--compile-cache=", 16) == 0) {
-      O.UseCompileCache = true;
-      O.CacheDir = Argv[I] + 16;
-    } else if (strncmp(Argv[I], "--cache-dir=", 12) == 0) {
-      O.UseCompileCache = true;
-      O.CacheDir = Argv[I] + 12;
-    } else
-      return usage(Argv[0]);
+    else
+      return usage(Argv[0], P);
   }
 
   // POSIX mkdir; an existing directory is fine.
@@ -425,7 +412,7 @@ int main(int Argc, char **Argv) {
 
   TraceSession RunTrace;
   std::optional<ScopedTraceAttach> RunAttach;
-  if (!O.TracePath.empty())
+  if (!O.Common.TracePath.empty())
     RunAttach.emplace(RunTrace);
 
   DiagnosticEngine Diags;
@@ -467,17 +454,27 @@ int main(int Argc, char **Argv) {
     /// join (tasks only probe during the parallel phase).
     std::vector<std::pair<CompileCacheKey, CompileCacheEntry>> PendingStores;
   };
-  std::vector<SeedOutcome> Outcomes(O.Count);
+  std::vector<SeedOutcome> Outcomes(O.Common.Count);
   std::optional<CompileCache> Cache;
-  if (O.UseCompileCache)
-    Cache.emplace(O.CacheDir);
+  if (O.Common.UseCompileCache)
+    Cache.emplace(O.Common.CacheDir);
   CompileCache *CachePtr = Cache ? &*Cache : nullptr;
+
+  // Knob-conflict gate: most prominently --inject + --compile-cache,
+  // which this driver used to reconcile silently by dropping the cache.
+  {
+    RunnerOptions Check = O.Common.toRunnerOptions();
+    Check.Injector = InjectorPtr;
+    Check.Cache = CachePtr;
+    if (reportInvalidRunnerOptions(Check, "fuzzdiff"))
+      return 2;
+  }
   std::atomic<bool> SabotageFound{false};
   const RunConfig Configs[] = {RunConfig::Baseline, RunConfig::DBDS,
                                RunConfig::DupALot};
 
-  CompileService Service(O.Jobs);
-  Service.forEachIndex(O.Count, [&](size_t N, unsigned /*Worker*/) {
+  CompileService Service(O.Common.Jobs);
+  Service.forEachIndex(O.Common.Count, [&](size_t N, unsigned /*Worker*/) {
     if (O.MaxSeconds > 0.0 && elapsedSeconds() >= O.MaxSeconds)
       return;
     // The self-test only needs to prove one divergence is caught and
@@ -486,7 +483,7 @@ int main(int Argc, char **Argv) {
       return;
     SeedOutcome &Out = Outcomes[N];
     Out.Ran = true;
-    uint64_t Seed = O.Seed + N;
+    uint64_t Seed = O.Common.Seed + N;
     GeneratorConfig GC = makeGeneratorConfig(Seed, O);
 
     // The seed's fault stream derives from (inject seed, N) — identical
@@ -514,7 +511,7 @@ int main(int Argc, char **Argv) {
         // recorded decisions against it would measure the corruption,
         // not the simulator.
         bool WantAudit =
-            O.SimAudit && Config != RunConfig::Baseline && !O.Sabotage;
+            O.Common.SimAudit && Config != RunConfig::Baseline && !O.Sabotage;
         DecisionLog Decisions;
         compileFunction(OF, Opt.Mod.get(), Config, Opt.TrainInputs[FIdx], O,
                         &Out.Diags, TaskInjector,
@@ -538,7 +535,7 @@ int main(int Argc, char **Argv) {
           F.Detail = "expected " + describeRun(RA) + ", got " +
                      describeRun(RB);
           Out.Findings.push_back({std::move(F), FIdx});
-          if (O.FailFast) {
+          if (O.Common.FailFast) {
             // Debug mode: write the artifact before dying so there is
             // something to look at.
             reportFinding(Out.Findings.back().F, Ref, FIdx, O);
@@ -565,7 +562,7 @@ int main(int Argc, char **Argv) {
   std::vector<Finding> Findings;
   SimAuditCounts Audit;
   unsigned SeedsRun = 0;
-  for (unsigned N = 0; N != O.Count; ++N) {
+  for (unsigned N = 0; N != O.Common.Count; ++N) {
     SeedOutcome &Out = Outcomes[N];
     if (Out.Ran)
       ++SeedsRun;
@@ -584,7 +581,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (!O.Quiet) {
+  if (!O.Common.Quiet) {
     std::string InjectNote;
     if (InjectorPtr)
       InjectNote = ", " + std::to_string(Injector.faultsInjected()) +
@@ -606,16 +603,16 @@ int main(int Argc, char **Argv) {
       printf("%s", Diags.render().c_str());
   }
 
-  if (!O.TracePath.empty()) {
+  if (!O.Common.TracePath.empty()) {
     RunAttach.reset();
     std::string TraceError;
-    if (!RunTrace.writeJson(O.TracePath, &TraceError)) {
+    if (!RunTrace.writeJson(O.Common.TracePath, &TraceError)) {
       fprintf(stderr, "fuzzdiff: --trace: %s\n", TraceError.c_str());
       return 2;
     }
-    if (!O.Quiet)
+    if (!O.Common.Quiet)
       printf("fuzzdiff: trace written to %s (%zu events)\n",
-             O.TracePath.c_str(), RunTrace.eventCount());
+             O.Common.TracePath.c_str(), RunTrace.eventCount());
   }
 
   // Self-test mode must find something; normal mode must not.

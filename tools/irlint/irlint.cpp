@@ -59,6 +59,7 @@
 #include "support/Diagnostics.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Trace.h"
+#include "tooling/DriverOptions.h"
 #include "tooling/LintFixtures.h"
 #include "tooling/LintHarness.h"
 #include "tooling/Sabotage.h"
@@ -81,39 +82,31 @@ namespace {
 constexpr uint64_t RunFuel = 1u << 22;
 
 struct Options {
+  /// Shared flags (tooling/DriverOptions.h): --seed/--count/--functions/
+  /// --segments/--quiet/--trace/--counters/--jobs/--simaudit.
+  DriverOptions Common;
   bool Selftest = false;
   bool Corpus = false;
   bool Dynamic = false;
   bool Audit = false;
   bool Sabotage = false;
   bool Dataflow = false;
-  bool SimAudit = false;
   bool Json = false;
   bool Werror = false;
   bool ListRules = false;
-  bool Quiet = false;
-  uint64_t Seed = 1;
-  unsigned Count = 3;
-  unsigned Functions = 4;
-  unsigned Segments = 4;
   std::vector<std::string> Disabled;
   std::vector<std::string> Enabled;
   std::vector<std::string> Files;
-  std::string TracePath;     ///< "" = tracing off.
-  bool DumpCounters = false;
-  unsigned Jobs = 1; ///< Concurrent corpus seeds (0 = hardware threads).
 };
 
-int usage(const char *Prog) {
+int usage(const char *Prog, const DriverOptionsParser &P) {
   fprintf(stderr,
           "usage: %s [--selftest | --corpus | file.ir...]\n"
           "  [--json] [--Werror] [--disable=RULE] [--enable=RULE]\n"
-          "  [--list-rules] [--quiet] [--trace=FILE] [--counters]\n"
-          "  [--dataflow]\n"
-          "  corpus: [--seed=N] [--count=N] [--functions=N] [--segments=N]\n"
-          "          [--dynamic] [--audit] [--sabotage] [--simaudit]\n"
-          "          [--jobs=N]\n",
-          Prog);
+          "  [--list-rules] [--dataflow]\n"
+          "  corpus: [--dynamic] [--audit] [--sabotage]\n"
+          "  shared: %s\n",
+          Prog, P.usage().c_str());
   return 2;
 }
 
@@ -145,7 +138,7 @@ void printReport(const LintReport &Report, const Options &O) {
     printf("%s\n", Report.renderJSON().c_str());
     return;
   }
-  if (!O.Quiet || Report.hasErrors())
+  if (!O.Common.Quiet || Report.hasErrors())
     printf("%s", Report.render().c_str());
 }
 
@@ -182,7 +175,7 @@ int runSelftest(const Options &O) {
     fprintf(stderr, "irlint: selftest FAILED\n%s", Log.c_str());
     return 1;
   }
-  if (!O.Quiet)
+  if (!O.Common.Quiet)
     printf("irlint: selftest passed (%zu fixtures)\n", Total);
   return 0;
 }
@@ -281,17 +274,17 @@ int runCorpus(const Options &O) {
     unsigned CorruptionsCaught = 0;
     SimAuditCounts Audit;
   };
-  std::vector<SeedResult> Results(O.Count);
+  std::vector<SeedResult> Results(O.Common.Count);
 
   const RunConfig Configs[] = {RunConfig::Baseline, RunConfig::DBDS,
                                RunConfig::DupALot};
-  CompileService Service(O.Jobs);
-  Service.forEachIndex(O.Count, [&](size_t N, unsigned /*Worker*/) {
+  CompileService Service(O.Common.Jobs);
+  Service.forEachIndex(O.Common.Count, [&](size_t N, unsigned /*Worker*/) {
     SeedResult &R = Results[N];
     GeneratorConfig GC;
-    GC.Seed = O.Seed + N;
-    GC.NumFunctions = O.Functions;
-    GC.SegmentsPerFunction = O.Segments;
+    GC.Seed = O.Common.Seed + N;
+    GC.NumFunctions = O.Common.Functions;
+    GC.SegmentsPerFunction = O.Common.Segments;
 
     for (RunConfig Config : Configs) {
       GeneratedWorkload Work = generateWorkload(GC);
@@ -305,7 +298,7 @@ int runCorpus(const Options &O) {
         // --simaudit: record this function's DBDS decisions so the audit
         // can replay them against the optimized IR below.
         DecisionLog Decisions;
-        bool WantAudit = O.SimAudit && Config != RunConfig::Baseline;
+        bool WantAudit = O.Common.SimAudit && Config != RunConfig::Baseline;
         optimizeFunction(F, M, Config, Work.TrainInputs[FIdx], O, &L,
                          &R.Diags, &R.AuditRollbacks,
                          WantAudit ? &Decisions : nullptr);
@@ -372,7 +365,7 @@ int runCorpus(const Options &O) {
   }
 
   printReport(Combined, O);
-  if (!O.Quiet) {
+  if (!O.Common.Quiet) {
     printf("irlint: corpus: %u function-compiles linted, %u error(s), "
            "%u warning(s)\n",
            FunctionsLinted, Combined.errorCount(),
@@ -411,8 +404,31 @@ int runCorpus(const Options &O) {
 
 int main(int Argc, char **Argv) {
   Options O;
+  O.Common.Count = 3;
+  DriverOptionsParser P(
+      O.Common, {DriverFlag::Seed, DriverFlag::Count, DriverFlag::Functions,
+                 DriverFlag::Segments, DriverFlag::Quiet, DriverFlag::Trace,
+                 DriverFlag::Counters, DriverFlag::Jobs,
+                 DriverFlag::SimAudit});
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
+    switch (P.parse(Arg)) {
+    case ParseStatus::Handled:
+      continue;
+    case ParseStatus::Help:
+      printf("usage: %s [--selftest | --corpus | file.ir...]\n"
+             "  [--json] [--Werror] [--disable=RULE] [--enable=RULE]\n"
+             "  [--list-rules] [--dataflow]\n"
+             "  corpus: [--dynamic] [--audit] [--sabotage]\n"
+             "shared options:\n%s",
+             Argv[0], P.helpText().c_str());
+      return 0;
+    case ParseStatus::Error:
+      fprintf(stderr, "irlint: %s\n", P.error().c_str());
+      return 2;
+    case ParseStatus::Unrecognized:
+      break;
+    }
     if (strcmp(Arg, "--selftest") == 0)
       O.Selftest = true;
     else if (strcmp(Arg, "--corpus") == 0)
@@ -425,46 +441,33 @@ int main(int Argc, char **Argv) {
       O.Sabotage = true;
     else if (strcmp(Arg, "--dataflow") == 0)
       O.Dataflow = true;
-    else if (strcmp(Arg, "--simaudit") == 0)
-      O.SimAudit = true;
     else if (strcmp(Arg, "--json") == 0)
       O.Json = true;
     else if (strcmp(Arg, "--Werror") == 0)
       O.Werror = true;
     else if (strcmp(Arg, "--list-rules") == 0)
       O.ListRules = true;
-    else if (strcmp(Arg, "--quiet") == 0)
-      O.Quiet = true;
     else if (strncmp(Arg, "--disable=", 10) == 0)
       O.Disabled.push_back(Arg + 10);
     else if (strncmp(Arg, "--enable=", 9) == 0)
       O.Enabled.push_back(Arg + 9);
-    else if (strncmp(Arg, "--seed=", 7) == 0)
-      O.Seed = strtoull(Arg + 7, nullptr, 10);
-    else if (strncmp(Arg, "--count=", 8) == 0)
-      O.Count = static_cast<unsigned>(atoi(Arg + 8));
-    else if (strncmp(Arg, "--functions=", 12) == 0)
-      O.Functions = static_cast<unsigned>(atoi(Arg + 12));
-    else if (strncmp(Arg, "--segments=", 11) == 0)
-      O.Segments = static_cast<unsigned>(atoi(Arg + 11));
-    else if (strncmp(Arg, "--trace=", 8) == 0)
-      O.TracePath = Arg + 8;
-    else if (strcmp(Arg, "--counters") == 0)
-      O.DumpCounters = true;
-    else if (strncmp(Arg, "--jobs=", 7) == 0)
-      O.Jobs = static_cast<unsigned>(strtoul(Arg + 7, nullptr, 10));
     else if (strncmp(Arg, "--", 2) == 0)
-      return usage(Argv[0]);
+      return usage(Argv[0], P);
     else
       O.Files.push_back(Arg);
   }
+
+  // The shared knobs feed CompileService directly here, but the conflict
+  // rules are the same for every driver — gate through the one validator.
+  if (reportInvalidRunnerOptions(O.Common.toRunnerOptions(), "irlint"))
+    return 2;
 
   if (O.ListRules)
     return listRules(O);
 
   TraceSession Trace;
   std::optional<ScopedTraceAttach> Attach;
-  if (!O.TracePath.empty())
+  if (!O.Common.TracePath.empty())
     Attach.emplace(Trace);
 
   int Exit;
@@ -473,25 +476,25 @@ int main(int Argc, char **Argv) {
   else if (O.Corpus)
     Exit = runCorpus(O);
   else if (O.Files.empty())
-    return usage(Argv[0]);
+    return usage(Argv[0], P);
   else
     Exit = lintFiles(O);
 
-  if (O.DumpCounters)
+  if (O.Common.DumpCounters)
     printf("=== telemetry counters ===\n%s",
            CounterRegistry::renderText(
                CounterRegistry::instance().snapshot(/*SkipZero=*/true))
                .c_str());
-  if (!O.TracePath.empty()) {
+  if (!O.Common.TracePath.empty()) {
     Attach.reset();
     std::string Error;
-    if (!Trace.writeJson(O.TracePath, &Error)) {
+    if (!Trace.writeJson(O.Common.TracePath, &Error)) {
       fprintf(stderr, "irlint: --trace: %s\n", Error.c_str());
       return 2;
     }
-    if (!O.Quiet)
+    if (!O.Common.Quiet)
       printf("irlint: trace written to %s (%zu events)\n",
-             O.TracePath.c_str(), Trace.eventCount());
+             O.Common.TracePath.c_str(), Trace.eventCount());
   }
   return Exit;
 }
